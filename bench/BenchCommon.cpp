@@ -1,0 +1,94 @@
+//===- bench/BenchCommon.cpp - Shared bench-harness plumbing --------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace specctrl;
+using namespace specctrl::bench;
+
+void bench::addStandardOptions(OptionSet &Opts) {
+  Opts.addFlag("csv", "emit CSV instead of aligned text tables");
+  Opts.addInt("opt-latency", 10000,
+              "re-optimization latency in dynamic instructions (Table 2's "
+              "1M rescaled to the compressed default run lengths)");
+  Opts.addInt("wait-period", 50000,
+              "unbiased-state wait period in executions (Table 2's 1M "
+              "rescaled: at paper scale hot sites execute billions of "
+              "times, here hundreds of thousands)");
+  Opts.addDouble("events-per-billion", 6.0e5,
+                 "branch events generated per billion paper-run "
+                 "instructions (run-length scale)");
+  Opts.addDouble("site-scale", 0.25,
+                 "fraction of the paper's static branch population");
+  Opts.addString("benchmarks", "",
+                 "comma-separated benchmark subset (default: all twelve)");
+}
+
+SuiteOptions bench::readSuiteOptions(const OptionSet &Opts) {
+  SuiteOptions Out;
+  Out.Csv = Opts.getFlag("csv");
+  Out.Scale.EventsPerBillion = Opts.getDouble("events-per-billion");
+  Out.Scale.SiteScale = Opts.getDouble("site-scale");
+  const std::string &List = Opts.getString("benchmarks");
+  size_t Pos = 0;
+  while (Pos < List.size()) {
+    const size_t Comma = List.find(',', Pos);
+    const size_t End = Comma == std::string::npos ? List.size() : Comma;
+    if (End > Pos)
+      Out.Benchmarks.push_back(List.substr(Pos, End - Pos));
+    Pos = End + 1;
+  }
+  return Out;
+}
+
+std::vector<workload::BenchmarkProfile>
+bench::selectedProfiles(const SuiteOptions &Opt) {
+  std::vector<workload::BenchmarkProfile> Out;
+  for (const workload::BenchmarkProfile &P : workload::suiteProfiles()) {
+    if (Opt.Benchmarks.empty()) {
+      Out.push_back(P);
+      continue;
+    }
+    for (const std::string &Name : Opt.Benchmarks)
+      if (Name == P.Name) {
+        Out.push_back(P);
+        break;
+      }
+  }
+  return Out;
+}
+
+std::vector<workload::WorkloadSpec>
+bench::selectedSuite(const SuiteOptions &Opt) {
+  std::vector<workload::WorkloadSpec> Suite;
+  for (const workload::BenchmarkProfile &P : selectedProfiles(Opt))
+    Suite.push_back(workload::makeBenchmark(P, Opt.Scale));
+  return Suite;
+}
+
+profile::BranchProfile
+bench::collectProfile(const workload::WorkloadSpec &Spec,
+                      const workload::InputConfig &Input) {
+  profile::BranchProfile P(Spec.numSites());
+  workload::TraceGenerator Gen(Spec, Input);
+  workload::BranchEvent E;
+  while (Gen.next(E))
+    P.addOutcome(E.Site, E.Taken);
+  return P;
+}
+
+core::ReactiveConfig bench::scaledBaseline(const OptionSet &Opts) {
+  core::ReactiveConfig C = core::ReactiveConfig::baseline();
+  C.OptLatency = static_cast<uint64_t>(Opts.getInt("opt-latency"));
+  C.WaitPeriod = static_cast<uint64_t>(Opts.getInt("wait-period"));
+  return C;
+}
+
+void bench::printBanner(const std::string &Title, const std::string &Detail) {
+  std::printf("# %s\n# %s\n#\n", Title.c_str(), Detail.c_str());
+}

@@ -1,0 +1,97 @@
+//===- bench/ablation_thresholds.cpp - Design-choice ablations ------------===//
+//
+// Ablation study for the two Table 2 parameters the paper motivates but
+// does not sweep explicitly (DESIGN.md §5 items 2-3):
+//
+//  * selection threshold -- why 99.5% and not the 99% evaluation target:
+//    the hysteresis margin between selection (99.5%) and eviction (~98%)
+//    absorbs sampling noise; lowering the selection threshold admits
+//    borderline sites that churn, raising it forfeits benefit;
+//  * monitor period -- the false-positive filter: shorter monitors admit
+//    briefly-biased sites (misspeculation), longer monitors burn benefit.
+//
+// Suite-average correct/incorrect rates per setting.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/Driver.h"
+#include "core/ReactiveController.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace specctrl;
+using namespace specctrl::bench;
+using namespace specctrl::core;
+using namespace specctrl::workload;
+
+int main(int Argc, char **Argv) {
+  OptionSet Opts("ablation_thresholds: selection-threshold and "
+                 "monitor-period sweeps around the Table 2 defaults");
+  addStandardOptions(Opts);
+  if (!Opts.parse(Argc, Argv))
+    return Opts.wasError() ? 1 : 0;
+  const SuiteOptions Opt = readSuiteOptions(Opts);
+
+  printBanner("Ablation: thresholds",
+              "suite-average rates while sweeping the selection threshold "
+              "and the monitor period (all else Table 2)");
+
+  const std::vector<WorkloadSpec> Suite = selectedSuite(Opt);
+  const ReactiveConfig Base = scaledBaseline(Opts);
+
+  auto RunAverage = [&Suite](const ReactiveConfig &Config, double &Correct,
+                             double &Incorrect, uint64_t &Requests) {
+    Correct = Incorrect = 0.0;
+    Requests = 0;
+    for (const WorkloadSpec &Spec : Suite) {
+      ReactiveController C(Config);
+      const ControlStats &S = runWorkload(C, Spec, Spec.refInput());
+      Correct += S.correctRate();
+      Incorrect += S.incorrectRate();
+      Requests += S.DeployRequests + S.RevokeRequests;
+    }
+    Correct /= static_cast<double>(Suite.size());
+    Incorrect /= static_cast<double>(Suite.size());
+  };
+
+  {
+    Table Out({"selection threshold", "correct", "incorrect", "requests"});
+    for (double T : {0.98, 0.99, 0.995, 0.998, 0.9995}) {
+      ReactiveConfig C = Base;
+      C.SelectThreshold = T;
+      double Correct = 0, Incorrect = 0;
+      uint64_t Requests = 0;
+      RunAverage(C, Correct, Incorrect, Requests);
+      Out.row()
+          .cellPercent(T, 2)
+          .cellPercent(Correct)
+          .cellPercent(Incorrect, 4)
+          .cell(Requests);
+    }
+    Out.print(std::cout, Opt.Csv);
+  }
+
+  std::cout << '\n';
+
+  {
+    Table Out({"monitor period", "correct", "incorrect", "requests"});
+    for (uint64_t Period : {uint64_t(1000), uint64_t(3000), uint64_t(10000),
+                            uint64_t(30000), uint64_t(100000)}) {
+      ReactiveConfig C = Base;
+      C.MonitorPeriod = Period;
+      double Correct = 0, Incorrect = 0;
+      uint64_t Requests = 0;
+      RunAverage(C, Correct, Incorrect, Requests);
+      Out.row()
+          .cell(Period)
+          .cellPercent(Correct)
+          .cellPercent(Incorrect, 4)
+          .cell(Requests);
+    }
+    Out.print(std::cout, Opt.Csv);
+  }
+  return 0;
+}

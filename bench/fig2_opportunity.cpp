@@ -1,0 +1,113 @@
+//===- bench/fig2_opportunity.cpp - Figure 2 ------------------------------===//
+//
+// Regenerates Figure 2: the correct/incorrect speculation trade-off.
+//
+//  * "pareto"  series -- the self-training Pareto frontier, sampled at a
+//    ladder of bias thresholds (the solid line);
+//  * "self-99" -- the 99% threshold knee point (the filled circle);
+//  * "offline" -- selection from a differing training input at the 99%
+//    threshold (the triangles; Table 1's input pairs);
+//  * "init-<N>" -- selection from the first N executions of each branch
+//    (the crosses; N in 1k/10k/100k/300k/1M).
+//
+// Axes are fractions of the evaluation run's dynamic branches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "profile/InitialBehavior.h"
+#include "profile/Pareto.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace specctrl;
+using namespace specctrl::bench;
+using namespace specctrl::profile;
+using namespace specctrl::workload;
+
+int main(int Argc, char **Argv) {
+  OptionSet Opts("fig2_opportunity: Figure 2, the opportunity for software "
+                 "speculation and the fragility of non-reactive selection");
+  addStandardOptions(Opts);
+  Opts.addDouble("threshold", 0.99, "selection bias threshold");
+  if (!Opts.parse(Argc, Argv))
+    return Opts.wasError() ? 1 : 0;
+  const SuiteOptions Opt = readSuiteOptions(Opts);
+  const double Threshold = Opts.getDouble("threshold");
+
+  printBanner("Figure 2",
+              "correct vs incorrect speculation: self-training frontier, "
+              "99% knee, differing-input profile, initial-behavior windows");
+
+  Table Out({"bench", "series", "param", "correct", "incorrect",
+             "selected sites"});
+
+  const double Ladder[] = {0.9999, 0.999, 0.998, 0.995, 0.99, 0.98,
+                           0.95,   0.90,  0.80,  0.70,  0.60, 0.51};
+
+  for (const WorkloadSpec &Spec : selectedSuite(Opt)) {
+    const InputConfig Ref = Spec.refInput();
+
+    // One streaming pass over the evaluation input collects both the
+    // whole-run profile and the initial-behavior prefix statistics.
+    BranchProfile RefProfile(Spec.numSites());
+    InitialBehaviorProfile Initial(InitialBehaviorProfile::paperWindows());
+    {
+      TraceGenerator Gen(Spec, Ref);
+      BranchEvent E;
+      while (Gen.next(E)) {
+        RefProfile.addOutcome(E.Site, E.Taken);
+        Initial.addOutcome(E.Site, E.Taken);
+      }
+    }
+
+    for (double T : Ladder) {
+      const SelectionResult R = evaluateSelection(RefProfile, RefProfile, T);
+      Out.row()
+          .cell(Spec.Name)
+          .cell("pareto")
+          .cell(T, 4)
+          .cellPercent(R.Correct)
+          .cellPercent(R.Incorrect, 4)
+          .cell(R.SelectedSites);
+    }
+
+    const SelectionResult Knee =
+        evaluateSelection(RefProfile, RefProfile, Threshold);
+    Out.row()
+        .cell(Spec.Name)
+        .cell("self-99")
+        .cell(Threshold, 2)
+        .cellPercent(Knee.Correct)
+        .cellPercent(Knee.Incorrect, 4)
+        .cell(Knee.SelectedSites);
+
+    const BranchProfile TrainProfile =
+        collectProfile(Spec, Spec.trainInput());
+    const SelectionResult Offline =
+        evaluateSelection(TrainProfile, RefProfile, Threshold);
+    Out.row()
+        .cell(Spec.Name)
+        .cell("offline")
+        .cell(Threshold, 2)
+        .cellPercent(Offline.Correct)
+        .cellPercent(Offline.Incorrect, 4)
+        .cell(Offline.SelectedSites);
+
+    for (unsigned W = 0; W < Initial.windows().size(); ++W) {
+      const SelectionResult R = Initial.evaluate(W, Threshold);
+      Out.row()
+          .cell(Spec.Name)
+          .cell("init-" + std::to_string(Initial.windows()[W]))
+          .cell(Threshold, 2)
+          .cellPercent(R.Correct)
+          .cellPercent(R.Incorrect, 4)
+          .cell(R.SelectedSites);
+    }
+  }
+
+  Out.print(std::cout, Opt.Csv);
+  return 0;
+}

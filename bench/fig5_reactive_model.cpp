@@ -1,0 +1,118 @@
+//===- bench/fig5_reactive_model.cpp - Figure 5 ---------------------------===//
+//
+// Regenerates Figure 5: the reactive control model against static
+// self-training, per benchmark, for the baseline configuration and the
+// Sec. 3.3 sensitivity variants (no eviction, no revisit, lower eviction
+// threshold, eviction by sampling, monitor sampling, more frequent
+// revisit), plus an optimization-latency sweep (the paper's headline
+// latency-tolerance claim).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/Driver.h"
+#include "core/ReactiveController.h"
+#include "profile/Pareto.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace specctrl;
+using namespace specctrl::bench;
+using namespace specctrl::core;
+using namespace specctrl::workload;
+
+namespace {
+
+struct Variant {
+  const char *Name;
+  ReactiveConfig Config;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  OptionSet Opts("fig5_reactive_model: Figure 5, reactive control vs "
+                 "self-training and the sensitivity variants");
+  addStandardOptions(Opts);
+  Opts.addFlag("latency-sweep",
+               "also run the 0 / 100k / 1M instruction latency points");
+  if (!Opts.parse(Argc, Argv))
+    return Opts.wasError() ? 1 : 0;
+  const SuiteOptions Opt = readSuiteOptions(Opts);
+
+  printBanner("Figure 5",
+              "reactive model vs self-training; sensitivity variants "
+              "(rates are fractions of all dynamic branches)");
+
+  const ReactiveConfig Base = scaledBaseline(Opts);
+  auto WithBaseLatency = [&Base](ReactiveConfig C) {
+    C.OptLatency = Base.OptLatency;
+    // Keep the scaled wait period except where the variant itself changes
+    // it (frequent revisit = one order of magnitude below the baseline).
+    C.WaitPeriod = C.WaitPeriod == ReactiveConfig().WaitPeriod
+                       ? Base.WaitPeriod
+                       : Base.WaitPeriod / 10;
+    // Keep the sampling variant's 10% duty cycle but scale the window
+    // with the compressed site lifetimes.
+    if (C.EvictBySampling) {
+      C.EvictSampleWindow = 2000;
+      C.EvictSampleCount = 200;
+    }
+    return C;
+  };
+
+  std::vector<Variant> Variants = {
+      {"baseline", Base},
+      {"no-eviction", WithBaseLatency(ReactiveConfig::noEviction())},
+      {"no-revisit", WithBaseLatency(ReactiveConfig::noRevisit())},
+      {"lower-evict-1k",
+       WithBaseLatency(ReactiveConfig::lowerEvictionThreshold())},
+      {"evict-sampling", WithBaseLatency(ReactiveConfig::evictionBySampling())},
+      {"monitor-sampling", WithBaseLatency(ReactiveConfig::monitorSampling())},
+      {"revisit-100k", WithBaseLatency(ReactiveConfig::frequentRevisit())},
+  };
+  if (Opts.getFlag("latency-sweep")) {
+    static const char *LatencyNames[] = {"latency-0", "latency-100k",
+                                         "latency-1M"};
+    const uint64_t Latencies[] = {0, 100000, 1000000};
+    for (unsigned I = 0; I < 3; ++I) {
+      ReactiveConfig C = Base;
+      C.OptLatency = Latencies[I];
+      Variants.push_back({LatencyNames[I], C});
+    }
+  }
+
+  Table Out({"bench", "config", "correct", "incorrect", "evictions",
+             "requests"});
+
+  for (const WorkloadSpec &Spec : selectedSuite(Opt)) {
+    // Self-training reference point (the line's 99% knee).
+    const profile::BranchProfile Self = collectProfile(Spec, Spec.refInput());
+    const profile::SelectionResult Ref =
+        profile::evaluateSelection(Self, Self, 0.99);
+    Out.row()
+        .cell(Spec.Name)
+        .cell("self-training-99")
+        .cellPercent(Ref.Correct)
+        .cellPercent(Ref.Incorrect, 4)
+        .cell("-")
+        .cell("-");
+
+    for (const Variant &V : Variants) {
+      ReactiveController C(V.Config, V.Name);
+      const ControlStats &S = runWorkload(C, Spec, Spec.refInput());
+      Out.row()
+          .cell(Spec.Name)
+          .cell(V.Name)
+          .cellPercent(S.correctRate())
+          .cellPercent(S.incorrectRate(), 4)
+          .cell(S.Evictions)
+          .cell(S.DeployRequests + S.RevokeRequests);
+    }
+  }
+
+  Out.print(std::cout, Opt.Csv);
+  return 0;
+}

@@ -1,0 +1,122 @@
+//===- bench/fig7_mssp_reactivity.cpp - Figure 7 --------------------------===//
+//
+// Regenerates Figure 7: MSSP performance with closed-loop (eviction arc
+// present) vs open-loop (no eviction) speculation control, for monitor
+// periods of 1k and 10k executions, normalized to a plain superscalar
+// execution of the original program on the leading core.
+//
+// Series (the paper's marks): B = baseline superscalar (1.0 by
+// definition), o/c = open/closed loop with 1k monitoring, O/C = open/
+// closed with 10k.  Like the paper's 200M-instruction runs, these runs
+// are short; speedups are lower bounds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "mssp/MsspSimulator.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace specctrl;
+using namespace specctrl::bench;
+using namespace specctrl::mssp;
+using namespace specctrl::workload;
+
+namespace {
+
+bool GValueSpec = false;
+
+MsspResult runOne(const workload::BenchmarkProfile &Profile,
+                  uint64_t Iterations, bool Eviction,
+                  uint64_t MonitorPeriod) {
+  const SynthSpec Spec = makeSynthSpecFor(Profile, Iterations);
+  SynthProgram Program = synthesize(Spec);
+  MsspConfig Cfg;
+  Cfg.Control.MonitorPeriod = MonitorPeriod;
+  Cfg.Control.EnableEviction = Eviction;
+  // Short runs: scale the eviction counter and wait period with the
+  // monitor (the paper's short-run desensitization note, Sec. 4.2).
+  Cfg.Control.EvictSaturation = 2000;
+  Cfg.Control.WaitPeriod = 100000;
+  Cfg.OptLatencyCycles = 0; // Fig. 7 uses zero optimization latency
+  if (GValueSpec) {
+    Cfg.EnableValueSpeculation = true;
+    Cfg.ValueControl = Cfg.Control;
+  }
+  MsspSimulator Sim(Program, Cfg);
+  return Sim.run();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  OptionSet Opts("fig7_mssp_reactivity: Figure 7, closed- vs open-loop "
+                 "control in the MSSP timing simulation");
+  addStandardOptions(Opts);
+  Opts.addInt("iterations", 90000,
+              "main-loop iterations per run (~70 original instructions "
+              "each)");
+  Opts.addFlag("value-spec",
+               "also control load-value speculation reactively");
+  if (!Opts.parse(Argc, Argv))
+    return Opts.wasError() ? 1 : 0;
+  const SuiteOptions Opt = readSuiteOptions(Opts);
+  const uint64_t Iterations =
+      static_cast<uint64_t>(Opts.getInt("iterations"));
+  GValueSpec = Opts.getFlag("value-spec");
+
+  printBanner("Figure 7",
+              "MSSP speedup over the superscalar baseline: open (o/O) vs "
+              "closed (c/C) loop at 1k/10k monitor periods");
+
+  Table Out({"bench", "o (open,1k)", "c (closed,1k)", "O (open,10k)",
+             "C (closed,10k)", "squashes o/c", "distill ratio"});
+
+  double Sums[4] = {0, 0, 0, 0};
+  unsigned N = 0;
+  for (const workload::BenchmarkProfile &P : selectedProfiles(Opt)) {
+    const SynthSpec Spec = makeSynthSpecFor(P, Iterations);
+    SynthProgram Program = synthesize(Spec);
+    const uint64_t Baseline =
+        simulateSuperscalarBaseline(Program, MachineConfig());
+
+    const MsspResult Open1k = runOne(P, Iterations, false, 1000);
+    const MsspResult Closed1k = runOne(P, Iterations, true, 1000);
+    const MsspResult Open10k = runOne(P, Iterations, false, 10000);
+    const MsspResult Closed10k = runOne(P, Iterations, true, 10000);
+
+    const double Speedups[4] = {
+        static_cast<double>(Baseline) / Open1k.TotalCycles,
+        static_cast<double>(Baseline) / Closed1k.TotalCycles,
+        static_cast<double>(Baseline) / Open10k.TotalCycles,
+        static_cast<double>(Baseline) / Closed10k.TotalCycles,
+    };
+    for (int I = 0; I < 4; ++I)
+      Sums[I] += Speedups[I];
+    ++N;
+
+    Out.row()
+        .cell(P.Name)
+        .cell(Speedups[0], 3)
+        .cell(Speedups[1], 3)
+        .cell(Speedups[2], 3)
+        .cell(Speedups[3], 3)
+        .cell(std::to_string(Open1k.TaskSquashes) + "/" +
+              std::to_string(Closed1k.TaskSquashes))
+        .cell(Closed1k.distillationRatio(), 3);
+  }
+  if (N > 1)
+    Out.row()
+        .cell("geomean-ish (avg)")
+        .cell(Sums[0] / N, 3)
+        .cell(Sums[1] / N, 3)
+        .cell(Sums[2] / N, 3)
+        .cell(Sums[3] / N, 3)
+        .cell("-")
+        .cell("-");
+
+  Out.print(std::cout, Opt.Csv);
+  return 0;
+}

@@ -1,0 +1,104 @@
+//===- core/ControlStats.h - Controller accounting --------------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statistics a speculation controller accumulates while processing a run:
+/// the correct/incorrect speculation rates of Figs. 2/5 and Table 4, the
+/// per-benchmark transition data of Table 3, and the transition-vicinity
+/// records behind Fig. 6.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_CORE_CONTROLSTATS_H
+#define SPECCTRL_CORE_CONTROLSTATS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace specctrl {
+namespace core {
+
+/// Outcomes observed in the first executions after a site leaves the
+/// biased state (Fig. 6's transition vicinity, up to 64 executions).
+struct TransitionRecord {
+  uint32_t Site = 0;
+  uint32_t Observed = 0;      ///< executions recorded (<= 64)
+  uint32_t AgainstOriginal = 0; ///< executions not in the original direction
+};
+
+/// Aggregate and per-site controller statistics.
+struct ControlStats {
+  // ---- Aggregate ---------------------------------------------------------
+  uint64_t Branches = 0;        ///< dynamic branches observed
+  uint64_t LastInstRet = 0;     ///< instret of the latest event
+  uint64_t CorrectSpecs = 0;    ///< executions speculated correctly
+  uint64_t IncorrectSpecs = 0;  ///< executions misspeculated
+  uint64_t DeployRequests = 0;  ///< re-optimization requests (into biased)
+  uint64_t RevokeRequests = 0;  ///< re-optimization requests (out of biased)
+  uint64_t SuppressedRequests = 0; ///< suppressed by the oscillation limit
+  uint64_t Evictions = 0;       ///< biased -> monitor transitions
+  uint64_t Revisits = 0;        ///< unbiased -> monitor transitions
+
+  // ---- Per site ----------------------------------------------------------
+  std::vector<uint8_t> Touched;       ///< executed at least once
+  std::vector<uint8_t> EverBiased;    ///< entered the biased state
+  std::vector<uint32_t> SiteEvictions;///< eviction count per site
+
+  // ---- Fig. 6 ------------------------------------------------------------
+  std::vector<TransitionRecord> Transitions;
+
+  // ---- Derived -----------------------------------------------------------
+  double correctRate() const {
+    return Branches ? static_cast<double>(CorrectSpecs) /
+                          static_cast<double>(Branches)
+                    : 0.0;
+  }
+  double incorrectRate() const {
+    return Branches ? static_cast<double>(IncorrectSpecs) /
+                          static_cast<double>(Branches)
+                    : 0.0;
+  }
+  /// Average dynamic instructions between misspeculations (Table 3's
+  /// "misspec dist." column).
+  double misspecDistance() const {
+    return IncorrectSpecs ? static_cast<double>(LastInstRet) /
+                                static_cast<double>(IncorrectSpecs)
+                          : 0.0;
+  }
+  uint32_t touchedCount() const {
+    uint32_t N = 0;
+    for (uint8_t T : Touched)
+      N += T != 0;
+    return N;
+  }
+  uint32_t everBiasedCount() const {
+    uint32_t N = 0;
+    for (uint8_t B : EverBiased)
+      N += B != 0;
+    return N;
+  }
+  uint32_t evictedSiteCount() const {
+    uint32_t N = 0;
+    for (uint32_t E : SiteEvictions)
+      N += E > 0;
+    return N;
+  }
+
+  /// Marks \p Site touched, growing per-site vectors as needed.
+  void touch(uint32_t Site) {
+    if (Site >= Touched.size()) {
+      Touched.resize(Site + 1, 0);
+      EverBiased.resize(Site + 1, 0);
+      SiteEvictions.resize(Site + 1, 0);
+    }
+    Touched[Site] = 1;
+  }
+};
+
+} // namespace core
+} // namespace specctrl
+
+#endif // SPECCTRL_CORE_CONTROLSTATS_H

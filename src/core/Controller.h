@@ -1,0 +1,88 @@
+//===- core/Controller.h - Speculation-controller interface -----*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The architecture-independent speculation-control interface.  A
+/// controller watches the dynamic branch stream of a program and decides,
+/// per static site, whether generated code should speculate on the branch
+/// (assume one direction and optimize accordingly).  Because software
+/// speculation lives in the code, changing a decision requires
+/// re-optimization: controllers therefore *request* deployments and
+/// revocations, and the decision takes effect only once the optimization
+/// completes -- either after the controller's own modeled latency
+/// (instruction-count based, as in the paper's abstract model, Sec. 3) or
+/// when an external optimizer (the MSSP distiller, Sec. 4) reports
+/// completion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_CORE_CONTROLLER_H
+#define SPECCTRL_CORE_CONTROLLER_H
+
+#include "core/ControlStats.h"
+
+#include <cstdint>
+
+namespace specctrl {
+namespace core {
+
+using SiteId = uint32_t;
+
+/// What kind of code change a controller requests.
+enum class OptRequestKind : uint8_t {
+  Deploy, ///< start speculating on the site (direction given)
+  Revoke, ///< stop speculating on the site (repair the code)
+};
+
+/// A code-change request emitted by a controller.
+struct OptRequest {
+  OptRequestKind Kind = OptRequestKind::Deploy;
+  SiteId Site = 0;
+  bool Direction = false; ///< speculated outcome (Deploy only)
+};
+
+/// Receives controller requests when external completion is enabled.
+class OptRequestSink {
+public:
+  virtual ~OptRequestSink();
+  virtual void onRequest(const OptRequest &Request) = 0;
+};
+
+/// What the controller says about one dynamic branch execution.
+struct BranchVerdict {
+  bool Speculated = false; ///< the deployed code speculated this branch
+  bool Correct = false;    ///< ... and the speculation was correct
+};
+
+/// Abstract speculation controller.
+class SpeculationController {
+public:
+  virtual ~SpeculationController();
+
+  /// Feeds one dynamic branch.  \p InstRet is the cumulative dynamic
+  /// instruction count (drives latency modeling and misspeculation
+  /// distances).  Returns whether this execution ran under deployed
+  /// speculation, and correctly so.
+  virtual BranchVerdict onBranch(SiteId Site, bool Taken,
+                                 uint64_t InstRet) = 0;
+
+  /// True if speculation is currently deployed for \p Site.
+  virtual bool isDeployed(SiteId Site) const = 0;
+
+  /// The deployed direction for \p Site (meaningful when isDeployed).
+  virtual bool deployedDirection(SiteId Site) const = 0;
+
+  /// Accumulated statistics.
+  virtual const ControlStats &stats() const = 0;
+
+  /// Short policy name for reports.
+  virtual const char *name() const = 0;
+};
+
+} // namespace core
+} // namespace specctrl
+
+#endif // SPECCTRL_CORE_CONTROLLER_H

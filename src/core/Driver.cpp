@@ -1,0 +1,35 @@
+//===- core/Driver.cpp - Run controllers over workload traces -------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Driver.h"
+
+using namespace specctrl;
+using namespace specctrl::core;
+
+const ControlStats &core::runTrace(SpeculationController &Controller,
+                                   workload::TraceGenerator &Gen,
+                                   const TraceHook &Hook) {
+  workload::BranchEvent Event;
+  if (!Hook) {
+    while (Gen.next(Event))
+      Controller.onBranch(Event.Site, Event.Taken, Event.InstRet);
+    return Controller.stats();
+  }
+  while (Gen.next(Event)) {
+    const BranchVerdict Verdict =
+        Controller.onBranch(Event.Site, Event.Taken, Event.InstRet);
+    Hook(Event, Verdict);
+  }
+  return Controller.stats();
+}
+
+const ControlStats &core::runWorkload(SpeculationController &Controller,
+                                      const workload::WorkloadSpec &Spec,
+                                      const workload::InputConfig &Input,
+                                      const TraceHook &Hook) {
+  workload::TraceGenerator Gen(Spec, Input);
+  return runTrace(Controller, Gen, Hook);
+}

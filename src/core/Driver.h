@@ -1,0 +1,45 @@
+//===- core/Driver.h - Run controllers over workload traces -----*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Glue between the workload substrate and speculation controllers: feeds
+/// a trace to a controller (and optional per-event hooks), the execution
+/// harness behind the abstract-model experiments (Figs. 2/5/6, Tables 3/4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_CORE_DRIVER_H
+#define SPECCTRL_CORE_DRIVER_H
+
+#include "core/Controller.h"
+#include "workload/TraceGenerator.h"
+
+#include <functional>
+
+namespace specctrl {
+namespace core {
+
+/// Per-event hook: (event, verdict).  Used by benches that collect bias
+/// series or profiles alongside the controller.
+using TraceHook =
+    std::function<void(const workload::BranchEvent &, const BranchVerdict &)>;
+
+/// Feeds the entire remaining trace of \p Gen to \p Controller.  Returns
+/// the controller's final stats (also available via Controller.stats()).
+const ControlStats &runTrace(SpeculationController &Controller,
+                             workload::TraceGenerator &Gen,
+                             const TraceHook &Hook = nullptr);
+
+/// Convenience: build the generator for (Spec, Input) and run it.
+const ControlStats &runWorkload(SpeculationController &Controller,
+                                const workload::WorkloadSpec &Spec,
+                                const workload::InputConfig &Input,
+                                const TraceHook &Hook = nullptr);
+
+} // namespace core
+} // namespace specctrl
+
+#endif // SPECCTRL_CORE_DRIVER_H

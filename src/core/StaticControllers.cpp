@@ -1,0 +1,68 @@
+//===- core/StaticControllers.cpp - Non-reactive baselines ----------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/StaticControllers.h"
+
+#include <cassert>
+
+using namespace specctrl;
+using namespace specctrl::core;
+
+StaticSelectionController::StaticSelectionController(
+    const profile::BranchProfile &Profile, double BiasThreshold,
+    uint64_t MinExecs, const char *Name)
+    : PolicyName(Name) {
+  Selected.resize(Profile.numSites(), false);
+  Direction.resize(Profile.numSites(), false);
+  for (SiteId S = 0; S < Profile.numSites(); ++S) {
+    if (Profile.executions(S) < MinExecs ||
+        Profile.bias(S) < BiasThreshold)
+      continue;
+    Selected[S] = true;
+    Direction[S] = Profile.majorityTaken(S);
+  }
+}
+
+StaticSelectionController::StaticSelectionController(
+    std::vector<bool> Selected, std::vector<bool> Direction,
+    const char *Name)
+    : Selected(std::move(Selected)), Direction(std::move(Direction)),
+      PolicyName(Name) {
+  assert(this->Selected.size() == this->Direction.size() &&
+         "selection/direction size mismatch");
+}
+
+uint32_t StaticSelectionController::selectedCount() const {
+  uint32_t N = 0;
+  for (bool B : Selected)
+    N += B;
+  return N;
+}
+
+BranchVerdict StaticSelectionController::onBranch(SiteId Site, bool Taken,
+                                                  uint64_t InstRet) {
+  Stats.touch(Site);
+  ++Stats.Branches;
+  Stats.LastInstRet = InstRet;
+
+  BranchVerdict Verdict;
+  if (Site < Selected.size() && Selected[Site]) {
+    Stats.EverBiased[Site] = 1;
+    Verdict.Speculated = true;
+    Verdict.Correct = Taken == Direction[Site];
+    ++(Verdict.Correct ? Stats.CorrectSpecs : Stats.IncorrectSpecs);
+  }
+  return Verdict;
+}
+
+bool StaticSelectionController::isDeployed(SiteId Site) const {
+  return Site < Selected.size() && Selected[Site];
+}
+
+bool StaticSelectionController::deployedDirection(SiteId Site) const {
+  assert(isDeployed(Site) && "no speculation deployed for this site");
+  return Direction[Site];
+}

@@ -1,0 +1,67 @@
+//===- core/StaticControllers.h - Non-reactive baselines --------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Non-reactive speculation-control baselines:
+///
+///  * StaticSelectionController -- a fixed site->direction selection, fully
+///    deployed from the first instruction.  Feeding it a training-run
+///    profile reproduces the paper's "profiling from a previous run"
+///    policy; feeding it the evaluation run's own profile reproduces
+///    self-training.
+///  * Initial-behavior and open-loop policies are ReactiveController
+///    configurations (ReactiveConfig::oneShot / noEviction), not separate
+///    classes -- the paper's Fig. 4(a) is Fig. 4(b) minus arcs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_CORE_STATICCONTROLLERS_H
+#define SPECCTRL_CORE_STATICCONTROLLERS_H
+
+#include "core/Controller.h"
+#include "profile/BranchProfile.h"
+
+#include <vector>
+
+namespace specctrl {
+namespace core {
+
+/// A fixed speculation set: sites selected ahead of time, never
+/// reconsidered (open-loop profile-guided optimization).
+class StaticSelectionController : public SpeculationController {
+public:
+  /// Builds the selection from \p Profile: speculate, in the profile's
+  /// majority direction, on every site with bias >= \p BiasThreshold and
+  /// at least \p MinExecs profiled executions.
+  StaticSelectionController(const profile::BranchProfile &Profile,
+                            double BiasThreshold, uint64_t MinExecs = 1,
+                            const char *Name = "static-profile");
+
+  /// Builds an explicit selection; Selected[Site]/Direction[Site].
+  StaticSelectionController(std::vector<bool> Selected,
+                            std::vector<bool> Direction,
+                            const char *Name = "static-explicit");
+
+  uint32_t selectedCount() const;
+
+  // SpeculationController interface.
+  BranchVerdict onBranch(SiteId Site, bool Taken, uint64_t InstRet) override;
+  bool isDeployed(SiteId Site) const override;
+  bool deployedDirection(SiteId Site) const override;
+  const ControlStats &stats() const override { return Stats; }
+  const char *name() const override { return PolicyName; }
+
+private:
+  std::vector<bool> Selected;
+  std::vector<bool> Direction;
+  const char *PolicyName;
+  ControlStats Stats;
+};
+
+} // namespace core
+} // namespace specctrl
+
+#endif // SPECCTRL_CORE_STATICCONTROLLERS_H

@@ -1,0 +1,51 @@
+//===- core/ValueInvariance.cpp - Value-speculation control ---------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ValueInvariance.h"
+
+using namespace specctrl;
+using namespace specctrl::core;
+
+ValueInvarianceController::LoadVerdict
+ValueInvarianceController::onLoad(uint32_t Site, uint64_t Value,
+                                  uint64_t InstRet) {
+  SiteState &S = state(Site);
+
+  // An eviction means the compiled-in constant was wrong: restart value
+  // profiling from scratch instead of waiting for the majority vote to
+  // drain (which would let the monitor classify "persistently unequal to
+  // the stale candidate").
+  const ControlStats &Stats = Inner.stats();
+  if (Site < Stats.SiteEvictions.size() &&
+      Stats.SiteEvictions[Site] != S.SeenEvictions) {
+    S.SeenEvictions = Stats.SiteEvictions[Site];
+    S.Vote = 0;
+  }
+
+  // The candidate may only drift while nothing depends on it: not while
+  // the FSM considers the site biased (a deploy may be in flight) and not
+  // while a constant is still compiled in (revocation latency).
+  const bool Frozen =
+      Inner.fsmState(Site) == ReactiveController::FsmState::Biased ||
+      Inner.isDeployed(Site);
+  if (!Frozen) {
+    if (S.Vote == 0) {
+      S.Candidate = Value;
+      S.Vote = 1;
+    } else {
+      S.Vote += Value == S.Candidate ? 1 : -1;
+    }
+  }
+
+  const bool Matches = Value == S.Candidate;
+  const BranchVerdict Verdict = Inner.onBranch(Site, Matches, InstRet);
+
+  LoadVerdict Out;
+  Out.Speculated = Verdict.Speculated;
+  Out.Correct = Verdict.Correct;
+  Out.SpeculatedValue = S.Candidate;
+  return Out;
+}

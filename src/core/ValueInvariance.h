@@ -1,0 +1,85 @@
+//===- core/ValueInvariance.h - Value-speculation control -------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's control model applied to a second program behavior: loads
+/// that produce invariant values (Sec. 2's "qualitatively consistent with
+/// other program behaviors" claim, and the value half of Fig. 1's
+/// approximation).  A load site's "outcome" is whether the loaded value
+/// equals the site's current candidate constant; the unchanged Fig. 4(b)
+/// FSM then decides when the constant is stable enough to compile in and
+/// when to rip it back out.
+///
+/// The candidate is tracked with a Boyer-Moore majority vote while the
+/// site is unfrozen, and frozen from the moment the site is classified
+/// biased (the compiled-in constant must not drift) until its revocation
+/// completes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_CORE_VALUEINVARIANCE_H
+#define SPECCTRL_CORE_VALUEINVARIANCE_H
+
+#include "core/ReactiveController.h"
+
+#include <vector>
+
+namespace specctrl {
+namespace core {
+
+/// Reactive control of load-value speculation, built on the branch FSM.
+class ValueInvarianceController {
+public:
+  explicit ValueInvarianceController(const ReactiveConfig &Config = {})
+      : Inner(Config, "value-invariance") {}
+
+  /// What the controller says about one dynamic load.
+  struct LoadVerdict {
+    bool Speculated = false;      ///< a constant is compiled in
+    bool Correct = false;         ///< ... and the value matched it
+    uint64_t SpeculatedValue = 0; ///< the compiled-in constant
+  };
+
+  /// Feeds one dynamic load of static site \p Site.
+  LoadVerdict onLoad(uint32_t Site, uint64_t Value, uint64_t InstRet);
+
+  /// True if a constant is currently compiled in for \p Site.
+  bool isDeployed(uint32_t Site) const { return Inner.isDeployed(Site); }
+
+  /// Routes deploy/revoke requests to \p Sink (external-optimizer mode,
+  /// e.g. the MSSP distiller); complete them via completeRequest().
+  void setRequestSink(OptRequestSink *Sink) { Inner.setRequestSink(Sink); }
+  void completeRequest(uint32_t Site) { Inner.completeRequest(Site); }
+
+  /// The compiled-in constant (meaningful when isDeployed).
+  uint64_t deployedValue(uint32_t Site) const {
+    return Site < States.size() ? States[Site].Candidate : 0;
+  }
+
+  const ControlStats &stats() const { return Inner.stats(); }
+  const ReactiveController &controller() const { return Inner; }
+
+private:
+  struct SiteState {
+    uint64_t Candidate = 0;
+    int64_t Vote = 0;
+    uint32_t SeenEvictions = 0;
+  };
+
+  SiteState &state(uint32_t Site) {
+    if (Site >= States.size())
+      States.resize(Site + 1);
+    return States[Site];
+  }
+
+  ReactiveController Inner;
+  std::vector<SiteState> States;
+};
+
+} // namespace core
+} // namespace specctrl
+
+#endif // SPECCTRL_CORE_VALUEINVARIANCE_H

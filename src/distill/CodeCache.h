@@ -1,0 +1,71 @@
+//===- distill/CodeCache.h - Versioned distilled-code storage ---*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage for distilled code versions.  Each function id owns a chain of
+/// versions; deployment hands stable Function pointers to the interpreter's
+/// code map.  Version counts feed the "fewer re-optimizations than model
+/// transitions" observation of Sec. 4.3: one regeneration can fold several
+/// controller transitions into a single new version.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_DISTILL_CODECACHE_H
+#define SPECCTRL_DISTILL_CODECACHE_H
+
+#include "distill/Distiller.h"
+
+#include <deque>
+#include <map>
+
+namespace specctrl {
+namespace distill {
+
+/// Owns distilled versions; pointers remain valid for the cache lifetime.
+class CodeCache {
+public:
+  /// Installs a new version for \p FuncId and returns a stable pointer.
+  const ir::Function *install(uint32_t FuncId, ir::Function Version) {
+    Entry &E = Entries[FuncId];
+    E.Versions.push_back(std::move(Version));
+    return &E.Versions.back();
+  }
+
+  /// Latest installed version, or nullptr if none exists.
+  const ir::Function *current(uint32_t FuncId) const {
+    const auto It = Entries.find(FuncId);
+    if (It == Entries.end() || It->second.Versions.empty())
+      return nullptr;
+    return &It->second.Versions.back();
+  }
+
+  /// Number of versions ever installed for \p FuncId.
+  uint32_t versionCount(uint32_t FuncId) const {
+    const auto It = Entries.find(FuncId);
+    return It == Entries.end()
+               ? 0
+               : static_cast<uint32_t>(It->second.Versions.size());
+  }
+
+  /// Total versions installed across all functions (re-optimization count).
+  uint64_t totalVersions() const {
+    uint64_t Total = 0;
+    for (const auto &[Id, E] : Entries)
+      Total += E.Versions.size();
+    return Total;
+  }
+
+private:
+  struct Entry {
+    std::deque<ir::Function> Versions; ///< deque: stable element addresses
+  };
+  std::map<uint32_t, Entry> Entries;
+};
+
+} // namespace distill
+} // namespace specctrl
+
+#endif // SPECCTRL_DISTILL_CODECACHE_H

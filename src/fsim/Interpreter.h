@@ -1,0 +1,152 @@
+//===- fsim/Interpreter.h - SimIR functional simulator ----------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The functional simulator: a resumable SimIR interpreter with observer
+/// hooks for branches, loads, stores, and calls.  It plays the role of the
+/// paper's SimpleScalar-based functional simulation (Sec. 3.2): producing
+/// dynamic branch streams, executing both original and distilled code
+/// versions, and exposing the state comparisons MSSP's verification needs.
+///
+/// Code versioning: the interpreter dispatches calls through a per-function
+/// code map, so a dynamic optimizer can swap in a distilled version of a
+/// function (and back) between or during runs -- the mechanism behind the
+/// paper's "re-optimize and deploy" arc.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_FSIM_INTERPRETER_H
+#define SPECCTRL_FSIM_INTERPRETER_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace specctrl {
+namespace fsim {
+
+/// Identifies a static instruction across code versions.
+struct InstLocation {
+  uint32_t Func = 0;
+  uint32_t Block = 0;
+  uint32_t Index = 0;
+};
+
+/// Callback interface for execution events.  The default implementations
+/// do nothing, so observers override only what they need.
+class ExecObserver {
+public:
+  virtual ~ExecObserver();
+
+  /// Called after every retired instruction.
+  virtual void onInstruction(const ir::Instruction &I, const InstLocation &L) {
+    (void)I;
+    (void)L;
+  }
+  /// Called after a conditional branch resolves.
+  virtual void onBranch(ir::SiteId Site, bool Taken) {
+    (void)Site;
+    (void)Taken;
+  }
+  /// Called after a load retires.
+  virtual void onLoad(const InstLocation &L, uint64_t Addr, uint64_t Value) {
+    (void)L;
+    (void)Addr;
+    (void)Value;
+  }
+  /// Called after a store retires; \p Old is the overwritten value (undo
+  /// logs for task squash are built from this).
+  virtual void onStore(uint64_t Addr, uint64_t Value, uint64_t Old) {
+    (void)Addr;
+    (void)Value;
+    (void)Old;
+  }
+  virtual void onCall(uint32_t Callee) { (void)Callee; }
+  virtual void onReturn(uint32_t Callee) { (void)Callee; }
+};
+
+/// Why Interpreter::run returned.
+enum class StopReason {
+  Halted,        ///< the program executed Halt
+  FuelExhausted, ///< the instruction budget ran out (resumable)
+  Stopped,       ///< an observer called requestStop() (resumable)
+  Fault,         ///< memory out of range or call-stack overflow
+};
+
+/// A resumable SimIR interpreter over a module and a flat word memory.
+class Interpreter {
+public:
+  /// Creates an interpreter positioned at the entry of \p M's entry
+  /// function.  \p Memory is the initial memory image (word-addressed).
+  Interpreter(const ir::Module &M, std::vector<uint64_t> Memory);
+
+  /// Swaps the code executed for function \p FuncId (nullptr restores the
+  /// module's original).  Takes effect at the next call of the function;
+  /// active activations keep running their current version.
+  void setCodeVersion(uint32_t FuncId, const ir::Function *F);
+
+  /// Returns the code version currently dispatched for \p FuncId.
+  const ir::Function &codeFor(uint32_t FuncId) const;
+
+  /// Executes up to \p MaxInstructions instructions, reporting events to
+  /// \p Obs (may be null).  Resumable: call again to continue.
+  StopReason run(uint64_t MaxInstructions, ExecObserver *Obs = nullptr);
+
+  /// Requests that run() return after the current instruction retires.
+  /// Callable from observer callbacks (e.g. to pause at task boundaries).
+  void requestStop() { StopFlag = true; }
+
+  /// Adopts another interpreter's architectural position and registers
+  /// (call stack, register stack, halt flag) -- but not its memory, which
+  /// the caller reconciles (MSSP recovery copies only the written words).
+  /// Both interpreters must execute the same module.
+  void adoptPositionFrom(const Interpreter &Other);
+
+  /// True once Halt has retired (further run() calls return Halted).
+  bool halted() const { return Halted; }
+
+  uint64_t instructionsRetired() const { return InstRet; }
+
+  std::vector<uint64_t> &memory() { return Memory; }
+  const std::vector<uint64_t> &memory() const { return Memory; }
+
+  /// Reads a memory word (0 beyond the image, matching load semantics).
+  uint64_t loadWord(uint64_t Addr) const {
+    return Addr < Memory.size() ? Memory[Addr] : 0;
+  }
+  /// Writes a memory word, growing the image if needed.
+  void storeWord(uint64_t Addr, uint64_t Value);
+
+private:
+  struct Frame {
+    const ir::Function *Code = nullptr;
+    uint32_t FuncId = 0;
+    uint32_t Block = 0;
+    uint32_t Index = 0;
+    uint32_t RegBase = 0; ///< offset into RegStack
+  };
+
+  static constexpr size_t MaxCallDepth = 256;
+  /// Memory images beyond this many words fault instead of growing, so a
+  /// corrupted address cannot swallow the host's RAM.
+  static constexpr uint64_t MaxMemoryWords = 1ull << 28;
+
+  const ir::Module &Mod;
+  std::vector<const ir::Function *> CodeMap; ///< per-function current version
+  std::vector<uint64_t> Memory;
+  std::vector<Frame> Stack;
+  std::vector<uint64_t> RegStack;
+  uint64_t InstRet = 0;
+  bool Halted = false;
+  bool Faulted = false;
+  bool StopFlag = false;
+};
+
+} // namespace fsim
+} // namespace specctrl
+
+#endif // SPECCTRL_FSIM_INTERPRETER_H

@@ -1,0 +1,93 @@
+//===- ir/CFG.cpp - SimIR control-flow-graph utilities --------------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace specctrl;
+using namespace specctrl::ir;
+
+std::vector<uint32_t> ir::successors(const Instruction &Term) {
+  switch (Term.Op) {
+  case Opcode::Br:
+    if (Term.ThenTarget == Term.ElseTarget)
+      return {Term.ThenTarget};
+    return {Term.ThenTarget, Term.ElseTarget};
+  case Opcode::Jmp:
+    return {Term.ThenTarget};
+  default:
+    return {};
+  }
+}
+
+std::vector<std::vector<uint32_t>> ir::predecessors(const Function &F) {
+  std::vector<std::vector<uint32_t>> Preds(F.numBlocks());
+  for (uint32_t B = 0; B < F.numBlocks(); ++B)
+    for (uint32_t Succ : successors(F.block(B).terminator()))
+      Preds[Succ].push_back(B);
+  return Preds;
+}
+
+std::vector<bool> ir::reachableBlocks(const Function &F) {
+  std::vector<bool> Seen(F.numBlocks(), false);
+  if (F.numBlocks() == 0)
+    return Seen;
+  std::vector<uint32_t> Work = {0};
+  Seen[0] = true;
+  while (!Work.empty()) {
+    const uint32_t B = Work.back();
+    Work.pop_back();
+    for (uint32_t Succ : successors(F.block(B).terminator()))
+      if (!Seen[Succ]) {
+        Seen[Succ] = true;
+        Work.push_back(Succ);
+      }
+  }
+  return Seen;
+}
+
+namespace {
+
+void postOrder(const Function &F, uint32_t Block, std::vector<bool> &Seen,
+               std::vector<uint32_t> &Out) {
+  // Iterative DFS with an explicit stack to survive deep synthesized CFGs.
+  struct Frame {
+    uint32_t Block;
+    std::vector<uint32_t> Succs;
+    size_t Next = 0;
+  };
+  std::vector<Frame> Stack;
+  Seen[Block] = true;
+  Stack.push_back({Block, successors(F.block(Block).terminator()), 0});
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (Top.Next < Top.Succs.size()) {
+      const uint32_t Succ = Top.Succs[Top.Next++];
+      if (!Seen[Succ]) {
+        Seen[Succ] = true;
+        Stack.push_back({Succ, successors(F.block(Succ).terminator()), 0});
+      }
+      continue;
+    }
+    Out.push_back(Top.Block);
+    Stack.pop_back();
+  }
+}
+
+} // namespace
+
+std::vector<uint32_t> ir::reversePostOrder(const Function &F) {
+  std::vector<uint32_t> Order;
+  if (F.numBlocks() == 0)
+    return Order;
+  std::vector<bool> Seen(F.numBlocks(), false);
+  postOrder(F, 0, Seen, Order);
+  std::reverse(Order.begin(), Order.end());
+  return Order;
+}

@@ -1,0 +1,43 @@
+//===- ir/CFG.h - SimIR control-flow-graph utilities ------------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow utilities over SimIR functions: successor extraction,
+/// predecessor tables, reachability, and reverse-post-order traversal.
+/// The distiller's straightening and dead-block passes are built on these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_IR_CFG_H
+#define SPECCTRL_IR_CFG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace specctrl {
+namespace ir {
+
+struct Instruction;
+class Function;
+
+/// Returns the block indices a terminator can transfer to (0, 1, or 2
+/// entries; Ret/Halt have none).
+std::vector<uint32_t> successors(const Instruction &Term);
+
+/// Returns, for each block of \p F, the list of predecessor block indices.
+std::vector<std::vector<uint32_t>> predecessors(const Function &F);
+
+/// Returns a bit per block: reachable from the entry block.
+std::vector<bool> reachableBlocks(const Function &F);
+
+/// Returns the blocks of \p F in reverse post order from the entry
+/// (unreachable blocks are omitted).
+std::vector<uint32_t> reversePostOrder(const Function &F);
+
+} // namespace ir
+} // namespace specctrl
+
+#endif // SPECCTRL_IR_CFG_H

@@ -1,0 +1,135 @@
+//===- ir/Function.h - SimIR blocks, functions, and modules -----*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SimIR containers: BasicBlock (an instruction list ending in a
+/// terminator), Function (blocks addressed by index, entry at block 0,
+/// function-local registers), and Module (functions addressed by id).
+///
+/// Functions are value types that can be copied: the distiller produces new
+/// *versions* of a function rather than mutating the original, and the code
+/// cache maps a function id to whichever version currently executes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_IR_FUNCTION_H
+#define SPECCTRL_IR_FUNCTION_H
+
+#include "ir/Instruction.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specctrl {
+namespace ir {
+
+/// A straight-line instruction sequence ending in a terminator.
+struct BasicBlock {
+  std::vector<Instruction> Insts;
+
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+
+  const Instruction &terminator() const {
+    assert(!Insts.empty() && Insts.back().isTerminator() &&
+           "block has no terminator");
+    return Insts.back();
+  }
+};
+
+/// A SimIR function: blocks addressed by index with the entry at index 0.
+/// Registers are function-local; \c NumRegs bounds valid register indices.
+class Function {
+public:
+  Function() = default;
+  Function(std::string Name, uint32_t Id, unsigned NumRegs)
+      : Name(std::move(Name)), Id(Id), NumRegs(NumRegs) {
+    assert(NumRegs >= 1 && NumRegs <= MaxRegs && "register count out of range");
+  }
+
+  static constexpr unsigned MaxRegs = 64;
+
+  const std::string &name() const { return Name; }
+  uint32_t id() const { return Id; }
+  unsigned numRegs() const { return NumRegs; }
+
+  /// Appends an empty block and returns its index.
+  uint32_t addBlock() {
+    Blocks.emplace_back();
+    return static_cast<uint32_t>(Blocks.size() - 1);
+  }
+
+  uint32_t numBlocks() const { return static_cast<uint32_t>(Blocks.size()); }
+
+  BasicBlock &block(uint32_t Index) {
+    assert(Index < Blocks.size() && "block index out of range");
+    return Blocks[Index];
+  }
+  const BasicBlock &block(uint32_t Index) const {
+    assert(Index < Blocks.size() && "block index out of range");
+    return Blocks[Index];
+  }
+
+  std::vector<BasicBlock> &blocks() { return Blocks; }
+  const std::vector<BasicBlock> &blocks() const { return Blocks; }
+
+  /// Total instruction count over all blocks (static size).
+  size_t staticSize() const {
+    size_t Total = 0;
+    for (const BasicBlock &BB : Blocks)
+      Total += BB.size();
+    return Total;
+  }
+
+private:
+  std::string Name;
+  uint32_t Id = 0;
+  unsigned NumRegs = 1;
+  std::vector<BasicBlock> Blocks;
+};
+
+/// A SimIR module: a set of functions addressed by id, plus the designated
+/// entry function.  Function id == index into the function table.
+class Module {
+public:
+  /// Creates a function and returns a reference valid until the next
+  /// createFunction call.
+  Function &createFunction(std::string Name, unsigned NumRegs) {
+    const uint32_t Id = static_cast<uint32_t>(Functions.size());
+    Functions.emplace_back(std::move(Name), Id, NumRegs);
+    return Functions.back();
+  }
+
+  uint32_t numFunctions() const {
+    return static_cast<uint32_t>(Functions.size());
+  }
+
+  Function &function(uint32_t Id) {
+    assert(Id < Functions.size() && "function id out of range");
+    return Functions[Id];
+  }
+  const Function &function(uint32_t Id) const {
+    assert(Id < Functions.size() && "function id out of range");
+    return Functions[Id];
+  }
+
+  void setEntry(uint32_t Id) {
+    assert(Id < Functions.size() && "entry function id out of range");
+    EntryId = Id;
+  }
+  uint32_t entry() const { return EntryId; }
+
+private:
+  std::vector<Function> Functions;
+  uint32_t EntryId = 0;
+};
+
+} // namespace ir
+} // namespace specctrl
+
+#endif // SPECCTRL_IR_FUNCTION_H

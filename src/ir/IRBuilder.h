@@ -1,0 +1,87 @@
+//===- ir/IRBuilder.h - Convenience builder for SimIR -----------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small insertion-point builder over a SimIR function.  Used by the
+/// program synthesizer and by tests; the distiller builds instruction
+/// vectors directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_IR_IRBUILDER_H
+#define SPECCTRL_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+
+namespace specctrl {
+namespace ir {
+
+/// Appends instructions to a designated block of a function.
+class IRBuilder {
+public:
+  explicit IRBuilder(Function &F) : F(F) {}
+
+  /// Directs subsequent appends at block \p Index.
+  void setBlock(uint32_t Index) {
+    assert(Index < F.numBlocks() && "no such block");
+    Current = Index;
+  }
+  uint32_t currentBlock() const { return Current; }
+
+  /// Creates a block (does not change the insertion point).
+  uint32_t makeBlock() { return F.addBlock(); }
+
+  // -- Appends; each asserts the block is still open (no terminator). -----
+
+  void movImm(uint8_t Rd, int64_t Value) {
+    append(Instruction::makeMovImm(Rd, Value));
+  }
+  void mov(uint8_t Rd, uint8_t Ra) { append(Instruction::makeMov(Rd, Ra)); }
+  void binary(Opcode Op, uint8_t Rd, uint8_t Ra, uint8_t Rb) {
+    append(Instruction::makeBinary(Op, Rd, Ra, Rb));
+  }
+  void addImm(uint8_t Rd, uint8_t Ra, int64_t Imm) {
+    append(Instruction::makeBinaryImm(Opcode::AddImm, Rd, Ra, Imm));
+  }
+  void cmpLtImm(uint8_t Rd, uint8_t Ra, int64_t Imm) {
+    append(Instruction::makeBinaryImm(Opcode::CmpLtImm, Rd, Ra, Imm));
+  }
+  void cmpEqImm(uint8_t Rd, uint8_t Ra, int64_t Imm) {
+    append(Instruction::makeBinaryImm(Opcode::CmpEqImm, Rd, Ra, Imm));
+  }
+  void load(uint8_t Rd, uint8_t RaBase, int64_t Offset) {
+    append(Instruction::makeLoad(Rd, RaBase, Offset));
+  }
+  void store(uint8_t RaBase, int64_t Offset, uint8_t RbValue) {
+    append(Instruction::makeStore(RaBase, Offset, RbValue));
+  }
+  void br(uint8_t RaCond, uint32_t ThenBlock, uint32_t ElseBlock,
+          SiteId Site) {
+    append(Instruction::makeBr(RaCond, ThenBlock, ElseBlock, Site));
+  }
+  void jmp(uint32_t Target) { append(Instruction::makeJmp(Target)); }
+  void call(uint32_t FunctionId) { append(Instruction::makeCall(FunctionId)); }
+  void ret() { append(Instruction::makeRet()); }
+  void halt() { append(Instruction::makeHalt()); }
+
+private:
+  void append(Instruction I) {
+    BasicBlock &BB = F.block(Current);
+    assert((BB.empty() || !BB.Insts.back().isTerminator()) &&
+           "appending past a terminator");
+    assert((!I.writesRegister() || I.Dest < F.numRegs()) &&
+           "destination register out of range");
+    BB.Insts.push_back(I);
+  }
+
+  Function &F;
+  uint32_t Current = 0;
+};
+
+} // namespace ir
+} // namespace specctrl
+
+#endif // SPECCTRL_IR_IRBUILDER_H

@@ -1,0 +1,94 @@
+//===- ir/Opcode.cpp - SimIR opcode definitions ---------------------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Opcode.h"
+
+using namespace specctrl;
+using namespace specctrl::ir;
+
+const char *ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+    return "nop";
+  case Opcode::MovImm:
+    return "movimm";
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::Add:
+    return "add";
+  case Opcode::AddImm:
+    return "addimm";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::CmpLtImm:
+    return "cmpltimm";
+  case Opcode::CmpEq:
+    return "cmpeq";
+  case Opcode::CmpEqImm:
+    return "cmpeqimm";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Br:
+    return "br";
+  case Opcode::Jmp:
+    return "jmp";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Halt:
+    return "halt";
+  }
+  return "<invalid>";
+}
+
+unsigned ir::numRegSources(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+  case Opcode::MovImm:
+  case Opcode::Jmp:
+  case Opcode::Call:
+  case Opcode::Ret:
+  case Opcode::Halt:
+    return 0;
+  case Opcode::Mov:
+  case Opcode::AddImm:
+  case Opcode::CmpLtImm:
+  case Opcode::CmpEqImm:
+  case Opcode::Load:
+  case Opcode::Br:
+    return 1;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::CmpLt:
+  case Opcode::CmpEq:
+  case Opcode::Store:
+    return 2;
+  }
+  return 0;
+}

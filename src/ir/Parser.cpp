@@ -1,0 +1,376 @@
+//===- ir/Parser.cpp - SimIR textual parser -------------------------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+using namespace specctrl;
+using namespace specctrl::ir;
+
+namespace {
+
+/// A tiny cursor over one line of text.
+class LineLexer {
+public:
+  explicit LineLexer(const std::string &Text) : Text(Text) {}
+
+  void skipSpace() {
+    while (Pos < Text.size() && std::isspace(
+                                    static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  /// Consumes the literal \p Word (then skips trailing spaces).
+  bool eat(const char *Word) {
+    skipSpace();
+    const size_t Len = std::char_traits<char>::length(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  /// Reads an identifier-ish token ([A-Za-z0-9_.]+).
+  std::string ident() {
+    skipSpace();
+    const size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '_' || Text[Pos] == '.'))
+      ++Pos;
+    return Text.substr(Start, Pos - Start);
+  }
+
+  /// Reads a (possibly negative) decimal integer.
+  bool integer(int64_t &Out) {
+    skipSpace();
+    const char *Begin = Text.c_str() + Pos;
+    char *End = nullptr;
+    const long long V = std::strtoll(Begin, &End, 10);
+    if (End == Begin)
+      return false;
+    Pos += static_cast<size_t>(End - Begin);
+    Out = V;
+    return true;
+  }
+
+  /// Reads "rN" and returns N.
+  bool reg(uint8_t &Out) {
+    skipSpace();
+    if (Pos >= Text.size() || Text[Pos] != 'r')
+      return false;
+    ++Pos;
+    int64_t V = 0;
+    if (!integer(V) || V < 0 || V >= Function::MaxRegs) {
+      return false;
+    }
+    Out = static_cast<uint8_t>(V);
+    return true;
+  }
+
+  /// Reads "bbN" and returns N.
+  bool block(uint32_t &Out) {
+    skipSpace();
+    if (Text.compare(Pos, 2, "bb") != 0)
+      return false;
+    Pos += 2;
+    int64_t V = 0;
+    if (!integer(V) || V < 0)
+      return false;
+    Out = static_cast<uint32_t>(V);
+    return true;
+  }
+
+  bool atEndOrComment() {
+    skipSpace();
+    return Pos >= Text.size() || Text[Pos] == ';';
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+bool fail(ParseError *Error, unsigned Line, const std::string &Message) {
+  if (Error) {
+    Error->Line = Line;
+    Error->Message = Message;
+  }
+  return false;
+}
+
+Opcode binaryOpcodeByName(const std::string &Name) {
+  if (Name == "add")
+    return Opcode::Add;
+  if (Name == "sub")
+    return Opcode::Sub;
+  if (Name == "mul")
+    return Opcode::Mul;
+  if (Name == "and")
+    return Opcode::And;
+  if (Name == "or")
+    return Opcode::Or;
+  if (Name == "xor")
+    return Opcode::Xor;
+  if (Name == "shl")
+    return Opcode::Shl;
+  if (Name == "shr")
+    return Opcode::Shr;
+  if (Name == "cmplt")
+    return Opcode::CmpLt;
+  if (Name == "cmpeq")
+    return Opcode::CmpEq;
+  return Opcode::Nop; // sentinel: not a two-register ALU op
+}
+
+/// Parses the right-hand side of "rD = <rhs>".
+bool parseRhs(LineLexer &L, uint8_t Dest, Instruction &Out) {
+  const std::string Op = L.ident();
+  if (Op == "movimm") {
+    int64_t Imm = 0;
+    if (!L.integer(Imm))
+      return false;
+    Out = Instruction::makeMovImm(Dest, Imm);
+    return true;
+  }
+  if (Op == "mov") {
+    uint8_t A = 0;
+    if (!L.reg(A))
+      return false;
+    Out = Instruction::makeMov(Dest, A);
+    return true;
+  }
+  if (Op == "addimm" || Op == "cmpltimm" || Op == "cmpeqimm") {
+    uint8_t A = 0;
+    int64_t Imm = 0;
+    if (!L.reg(A) || !L.eat(",") || !L.integer(Imm))
+      return false;
+    const Opcode Code = Op == "addimm"    ? Opcode::AddImm
+                        : Op == "cmpltimm" ? Opcode::CmpLtImm
+                                           : Opcode::CmpEqImm;
+    Out = Instruction::makeBinaryImm(Code, Dest, A, Imm);
+    return true;
+  }
+  if (Op == "load") {
+    uint8_t Base = 0;
+    int64_t Offset = 0;
+    if (!L.eat("[") || !L.reg(Base) || !L.eat("+") || !L.integer(Offset) ||
+        !L.eat("]"))
+      return false;
+    Out = Instruction::makeLoad(Dest, Base, Offset);
+    return true;
+  }
+  const Opcode Binary = binaryOpcodeByName(Op);
+  if (Binary != Opcode::Nop) {
+    uint8_t A = 0, B = 0;
+    if (!L.reg(A) || !L.eat(",") || !L.reg(B))
+      return false;
+    Out = Instruction::makeBinary(Binary, Dest, A, B);
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+std::optional<Instruction> ir::parseInstruction(const std::string &Line,
+                                                ParseError *Error) {
+  LineLexer L(Line);
+  Instruction Out;
+
+  auto Fail = [&](const std::string &Message) {
+    fail(Error, 1, Message + ": '" + Line + "'");
+    return std::nullopt;
+  };
+
+  if (L.eat("nop")) {
+    Out = Instruction::makeNop();
+  } else if (L.eat("ret")) {
+    Out = Instruction::makeRet();
+  } else if (L.eat("halt")) {
+    Out = Instruction::makeHalt();
+  } else if (L.eat("store")) {
+    uint8_t Base = 0, Value = 0;
+    int64_t Offset = 0;
+    if (!L.eat("[") || !L.reg(Base) || !L.eat("+") || !L.integer(Offset) ||
+        !L.eat("]") || !L.eat(",") || !L.reg(Value))
+      return Fail("malformed store");
+    Out = Instruction::makeStore(Base, Offset, Value);
+  } else if (L.eat("br")) {
+    uint8_t Cond = 0;
+    uint32_t Then = 0, Else = 0;
+    if (!L.reg(Cond) || !L.eat(",") || !L.block(Then) || !L.eat(",") ||
+        !L.block(Else))
+      return Fail("malformed br");
+    int64_t Site = 0;
+    if (!L.eat(";") || !L.eat("site") || !L.integer(Site) || Site < 0)
+      return Fail("br without '; site N' annotation");
+    Out = Instruction::makeBr(Cond, Then, Else,
+                              static_cast<SiteId>(Site));
+  } else if (L.eat("jmp")) {
+    uint32_t Target = 0;
+    if (!L.block(Target))
+      return Fail("malformed jmp");
+    Out = Instruction::makeJmp(Target);
+  } else if (L.eat("call")) {
+    if (!L.eat("@"))
+      return Fail("malformed call");
+    int64_t Callee = 0;
+    if (!L.integer(Callee) || Callee < 0)
+      return Fail("malformed call target");
+    Out = Instruction::makeCall(static_cast<uint32_t>(Callee));
+  } else {
+    // "rD = <rhs>" forms.
+    uint8_t Dest = 0;
+    if (!L.reg(Dest) || !L.eat("="))
+      return Fail("unrecognized instruction");
+    if (!parseRhs(L, Dest, Out))
+      return Fail("malformed operands");
+  }
+
+  if (!L.atEndOrComment())
+    return Fail("trailing characters");
+  return Out;
+}
+
+std::optional<Function> ir::parseFunction(const std::string &Text,
+                                          ParseError *Error) {
+  std::istringstream IS(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+
+  auto Fail = [&](const std::string &Message) {
+    fail(Error, LineNo, Message);
+    return std::nullopt;
+  };
+
+  // Header: func @name (id=N, regs=N) {
+  std::string Name;
+  int64_t Id = -1, Regs = -1;
+  for (;;) {
+    if (!std::getline(IS, Line))
+      return Fail("missing function header");
+    ++LineNo;
+    LineLexer L(Line);
+    if (L.atEndOrComment())
+      continue;
+    if (!L.eat("func") || !L.eat("@"))
+      return Fail("expected 'func @name'");
+    Name = L.ident();
+    if (!L.eat("(") || !L.eat("id=") || !L.integer(Id) || !L.eat(",") ||
+        !L.eat("regs=") || !L.integer(Regs) || !L.eat(")") || !L.eat("{"))
+      return Fail("malformed function header");
+    break;
+  }
+  if (Id < 0 || Regs < 1 || Regs > static_cast<int64_t>(Function::MaxRegs))
+    return Fail("function id/register count out of range");
+
+  Function F(Name, static_cast<uint32_t>(Id),
+             static_cast<unsigned>(Regs));
+  bool InBlock = false;
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    LineLexer L(Line);
+    if (L.atEndOrComment())
+      continue;
+    if (L.eat("}"))
+      return F;
+    // Block label?
+    {
+      LineLexer Probe(Line);
+      uint32_t BlockNo = 0;
+      if (Probe.block(BlockNo) && Probe.eat(":")) {
+        if (BlockNo != F.numBlocks())
+          return Fail("non-sequential block label bb" +
+                      std::to_string(BlockNo));
+        F.addBlock();
+        InBlock = true;
+        continue;
+      }
+    }
+    if (!InBlock)
+      return Fail("instruction before the first block label");
+    ParseError Inner;
+    std::string Trimmed = Line;
+    const std::optional<Instruction> I = parseInstruction(Trimmed, &Inner);
+    if (!I)
+      return Fail(Inner.Message);
+    F.block(F.numBlocks() - 1).Insts.push_back(*I);
+  }
+  return Fail("unterminated function (missing '}')");
+}
+
+std::optional<Module> ir::parseModule(const std::string &Text,
+                                      ParseError *Error) {
+  std::istringstream IS(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+
+  auto Fail = [&](const std::string &Message) {
+    fail(Error, LineNo, Message);
+    return std::nullopt;
+  };
+
+  // Header: module (entry @N)
+  int64_t Entry = -1;
+  for (;;) {
+    if (!std::getline(IS, Line))
+      return Fail("missing module header");
+    ++LineNo;
+    LineLexer L(Line);
+    if (L.atEndOrComment())
+      continue;
+    if (!L.eat("module") || !L.eat("(") || !L.eat("entry") || !L.eat("@") ||
+        !L.integer(Entry) || !L.eat(")"))
+      return Fail("expected 'module (entry @N)'");
+    break;
+  }
+
+  // Split the remainder into function chunks on "func " boundaries.
+  Module M;
+  std::string Chunk;
+  auto FlushChunk = [&]() -> bool {
+    if (Chunk.empty())
+      return true;
+    ParseError Inner;
+    std::optional<Function> F = parseFunction(Chunk, &Inner);
+    if (!F) {
+      fail(Error, LineNo, Inner.Message);
+      return false;
+    }
+    if (F->id() != M.numFunctions()) {
+      fail(Error, LineNo, "function ids must be sequential");
+      return false;
+    }
+    Function &Slot = M.createFunction(F->name(), F->numRegs());
+    Slot.blocks() = std::move(F->blocks());
+    Chunk.clear();
+    return true;
+  };
+
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    if (Line.rfind("func ", 0) == 0) {
+      if (!FlushChunk())
+        return std::nullopt;
+    }
+    if (!Line.empty() || !Chunk.empty()) {
+      Chunk += Line;
+      Chunk += '\n';
+    }
+  }
+  if (!FlushChunk())
+    return std::nullopt;
+  if (M.numFunctions() == 0)
+    return Fail("module has no functions");
+  if (Entry < 0 || Entry >= M.numFunctions())
+    return Fail("module entry id out of range");
+  M.setEntry(static_cast<uint32_t>(Entry));
+  return M;
+}

@@ -1,0 +1,56 @@
+//===- ir/Parser.h - SimIR textual parser -----------------------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual SimIR form produced by ir/Printer.h back into
+/// Function/Module objects, enabling golden-file tests, hand-written
+/// test inputs, and offline inspection of distilled code versions.
+/// `parseModule(printModule(M))` reproduces `M` exactly.
+///
+/// Grammar (one construct per line; `; ...` comments ignored):
+///
+///   module   := "module (entry @N)" function+
+///   function := "func @name (id=N, regs=N) {" block+ "}"
+///   block    := "bbN:" instruction+
+///   instruction forms as printed by instructionToString().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_IR_PARSER_H
+#define SPECCTRL_IR_PARSER_H
+
+#include "ir/Function.h"
+
+#include <optional>
+#include <string>
+
+namespace specctrl {
+namespace ir {
+
+/// Result of a parse: the value, or a diagnostic with a 1-based line.
+struct ParseError {
+  unsigned Line = 0;
+  std::string Message;
+};
+
+/// Parses one instruction line (without leading whitespace), e.g.
+/// "r3 = cmplt r2, r1" or "br r3, bb1, bb2  ; site 17".
+/// Returns std::nullopt and fills \p Error on failure.
+std::optional<Instruction> parseInstruction(const std::string &Line,
+                                            ParseError *Error = nullptr);
+
+/// Parses a single function ("func @name ... { ... }").
+std::optional<Function> parseFunction(const std::string &Text,
+                                      ParseError *Error = nullptr);
+
+/// Parses a whole module ("module (entry @N)" followed by functions).
+std::optional<Module> parseModule(const std::string &Text,
+                                  ParseError *Error = nullptr);
+
+} // namespace ir
+} // namespace specctrl
+
+#endif // SPECCTRL_IR_PARSER_H

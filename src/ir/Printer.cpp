@@ -1,0 +1,85 @@
+//===- ir/Printer.cpp - SimIR textual printer -----------------------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/Function.h"
+
+#include <ostream>
+
+using namespace specctrl;
+using namespace specctrl::ir;
+
+namespace {
+
+std::string reg(uint8_t R) { return "r" + std::to_string(R); }
+std::string bb(uint32_t B) { return "bb" + std::to_string(B); }
+
+} // namespace
+
+std::string ir::instructionToString(const Instruction &I) {
+  const std::string Name = opcodeName(I.Op);
+  switch (I.Op) {
+  case Opcode::Nop:
+  case Opcode::Ret:
+  case Opcode::Halt:
+    return Name;
+  case Opcode::MovImm:
+    return reg(I.Dest) + " = movimm " + std::to_string(I.Imm);
+  case Opcode::Mov:
+    return reg(I.Dest) + " = mov " + reg(I.SrcA);
+  case Opcode::AddImm:
+  case Opcode::CmpLtImm:
+  case Opcode::CmpEqImm:
+    return reg(I.Dest) + " = " + Name + " " + reg(I.SrcA) + ", " +
+           std::to_string(I.Imm);
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::CmpLt:
+  case Opcode::CmpEq:
+    return reg(I.Dest) + " = " + Name + " " + reg(I.SrcA) + ", " + reg(I.SrcB);
+  case Opcode::Load:
+    return reg(I.Dest) + " = load [" + reg(I.SrcA) + " + " +
+           std::to_string(I.Imm) + "]";
+  case Opcode::Store:
+    return "store [" + reg(I.SrcA) + " + " + std::to_string(I.Imm) + "], " +
+           reg(I.SrcB);
+  case Opcode::Br:
+    return "br " + reg(I.SrcA) + ", " + bb(I.ThenTarget) + ", " +
+           bb(I.ElseTarget) + "  ; site " + std::to_string(I.Site);
+  case Opcode::Jmp:
+    return "jmp " + bb(I.ThenTarget);
+  case Opcode::Call:
+    return "call @" + std::to_string(I.Callee);
+  }
+  return "<invalid>";
+}
+
+void ir::printFunction(const Function &F, std::ostream &OS) {
+  OS << "func @" << F.name() << " (id=" << F.id() << ", regs=" << F.numRegs()
+     << ") {\n";
+  for (uint32_t B = 0; B < F.numBlocks(); ++B) {
+    OS << bb(B) << ":\n";
+    for (const Instruction &I : F.block(B).Insts)
+      OS << "  " << instructionToString(I) << '\n';
+  }
+  OS << "}\n";
+}
+
+void ir::printModule(const Module &M, std::ostream &OS) {
+  OS << "module (entry @" << M.entry() << ")\n";
+  for (uint32_t FId = 0; FId < M.numFunctions(); ++FId) {
+    printFunction(M.function(FId), OS);
+    if (FId + 1 != M.numFunctions())
+      OS << '\n';
+  }
+}

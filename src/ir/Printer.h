@@ -1,0 +1,39 @@
+//===- ir/Printer.h - SimIR textual printer ---------------------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders SimIR instructions, functions, and modules as readable text,
+/// e.g. for the Fig. 1-style before/after distillation example.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_IR_PRINTER_H
+#define SPECCTRL_IR_PRINTER_H
+
+#include <iosfwd>
+#include <string>
+
+namespace specctrl {
+namespace ir {
+
+struct Instruction;
+class Function;
+class Module;
+
+/// Returns the textual form of one instruction, e.g.
+/// "r3 = cmplt r2, r1" or "br r3, bb1, bb2  ; site 17".
+std::string instructionToString(const Instruction &I);
+
+/// Prints \p F in block-structured textual form.
+void printFunction(const Function &F, std::ostream &OS);
+
+/// Prints every function of \p M (entry first).
+void printModule(const Module &M, std::ostream &OS);
+
+} // namespace ir
+} // namespace specctrl
+
+#endif // SPECCTRL_IR_PRINTER_H

@@ -1,0 +1,142 @@
+//===- ir/Verifier.cpp - SimIR structural verifier ------------------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Function.h"
+
+#include <cstdio>
+
+using namespace specctrl;
+using namespace specctrl::ir;
+
+namespace {
+
+/// Accumulates the first verification failure.
+class Checker {
+public:
+  explicit Checker(std::string *ErrorOut) : ErrorOut(ErrorOut) {}
+
+  bool failed() const { return Failed; }
+
+  /// Records the first failure message; later calls are no-ops.
+  void fail(const std::string &Message) {
+    if (Failed)
+      return;
+    Failed = true;
+    if (ErrorOut)
+      *ErrorOut = Message;
+  }
+
+private:
+  std::string *ErrorOut;
+  bool Failed = false;
+};
+
+std::string blockRef(const Function &F, uint32_t BlockIdx) {
+  return "function '" + F.name() + "': block " + std::to_string(BlockIdx);
+}
+
+void checkInstruction(const Function &F, uint32_t BlockIdx, size_t InstIdx,
+                      const Instruction &I, bool IsLast, Checker &C) {
+  const std::string Where =
+      blockRef(F, BlockIdx) + " inst " + std::to_string(InstIdx);
+
+  if (I.isTerminator() != IsLast) {
+    C.fail(Where + (I.isTerminator() ? ": terminator in block interior"
+                                     : ": block does not end in a terminator"));
+    return;
+  }
+
+  if (I.writesRegister() && I.Dest >= F.numRegs()) {
+    C.fail(Where + ": destination register out of range");
+    return;
+  }
+  const unsigned Sources = numRegSources(I.Op);
+  if (Sources >= 1 && I.SrcA >= F.numRegs()) {
+    C.fail(Where + ": source register A out of range");
+    return;
+  }
+  if (Sources >= 2 && I.SrcB >= F.numRegs()) {
+    C.fail(Where + ": source register B out of range");
+    return;
+  }
+
+  switch (I.Op) {
+  case Opcode::Br:
+    if (I.ThenTarget >= F.numBlocks() || I.ElseTarget >= F.numBlocks()) {
+      C.fail(Where + ": branch target out of range");
+      return;
+    }
+    if (I.Site == InvalidSite) {
+      C.fail(Where + ": conditional branch without a site id");
+      return;
+    }
+    break;
+  case Opcode::Jmp:
+    if (I.ThenTarget >= F.numBlocks()) {
+      C.fail(Where + ": jump target out of range");
+      return;
+    }
+    break;
+  default:
+    break;
+  }
+}
+
+void checkFunction(const Function &F, Checker &C) {
+  if (F.numBlocks() == 0) {
+    C.fail("function '" + F.name() + "': has no blocks");
+    return;
+  }
+  if (F.numRegs() == 0 || F.numRegs() > Function::MaxRegs) {
+    C.fail("function '" + F.name() + "': register count out of range");
+    return;
+  }
+  for (uint32_t B = 0; B < F.numBlocks() && !C.failed(); ++B) {
+    const BasicBlock &BB = F.block(B);
+    if (BB.empty()) {
+      C.fail(blockRef(F, B) + " has no terminator");
+      return;
+    }
+    for (size_t I = 0; I < BB.size() && !C.failed(); ++I)
+      checkInstruction(F, B, I, BB.Insts[I], I + 1 == BB.size(), C);
+  }
+}
+
+} // namespace
+
+bool ir::verifyFunction(const Function &F, std::string *ErrorOut) {
+  Checker C(ErrorOut);
+  checkFunction(F, C);
+  return !C.failed();
+}
+
+bool ir::verifyModule(const Module &M, std::string *ErrorOut) {
+  Checker C(ErrorOut);
+  if (M.numFunctions() == 0) {
+    C.fail("module has no functions");
+    return false;
+  }
+  if (M.entry() >= M.numFunctions()) {
+    C.fail("module entry id out of range");
+    return false;
+  }
+  for (uint32_t FId = 0; FId < M.numFunctions() && !C.failed(); ++FId) {
+    const Function &F = M.function(FId);
+    checkFunction(F, C);
+    if (C.failed())
+      break;
+    for (const BasicBlock &BB : F.blocks())
+      for (const Instruction &I : BB.Insts)
+        if (I.Op == Opcode::Call && I.Callee >= M.numFunctions()) {
+          C.fail("function '" + F.name() + "': call to unknown function id " +
+                 std::to_string(I.Callee));
+          break;
+        }
+  }
+  return !C.failed();
+}

@@ -1,0 +1,40 @@
+//===- ir/Verifier.h - SimIR structural verifier ----------------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness checks for SimIR.  The verifier runs on
+/// synthesized programs and on every distilled code version before it can
+/// be deployed, mirroring how a production dynamic optimizer guards its
+/// code cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_IR_VERIFIER_H
+#define SPECCTRL_IR_VERIFIER_H
+
+#include <string>
+
+namespace specctrl {
+namespace ir {
+
+class Function;
+class Module;
+
+/// Checks structural invariants of \p F: every block is non-empty and ends
+/// in its only terminator, register operands are within numRegs, branch
+/// targets are valid block indices, and conditional branches carry a site
+/// id.  On failure returns false and, if \p ErrorOut is non-null, stores a
+/// diagnostic ("function 'f': block 3 has no terminator").
+bool verifyFunction(const Function &F, std::string *ErrorOut = nullptr);
+
+/// Verifies every function in \p M plus module-level invariants (callee
+/// ids resolve, the entry id is valid).
+bool verifyModule(const Module &M, std::string *ErrorOut = nullptr);
+
+} // namespace ir
+} // namespace specctrl
+
+#endif // SPECCTRL_IR_VERIFIER_H

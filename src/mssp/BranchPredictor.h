@@ -1,0 +1,74 @@
+//===- mssp/BranchPredictor.h - gshare + RAS predictors ---------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The branch predictors of Table 5: a gshare direction predictor (global
+/// history XOR PC indexing a 2-bit-counter table) and a return address
+/// stack.  Used by the core timing model to charge pipeline-depth
+/// misprediction penalties.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_MSSP_BRANCHPREDICTOR_H
+#define SPECCTRL_MSSP_BRANCHPREDICTOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace specctrl {
+namespace mssp {
+
+/// gshare: predict with table[hash(PC) ^ history], 2-bit counters.
+class GsharePredictor {
+public:
+  explicit GsharePredictor(uint32_t TableBits = 13);
+
+  /// Predicts the direction of the branch identified by \p Pc.
+  bool predict(uint64_t Pc) const;
+
+  /// Updates the counter and global history with the real outcome.
+  /// Returns true if the prediction (before update) was correct.
+  bool predictAndUpdate(uint64_t Pc, bool Taken);
+
+  uint64_t lookups() const { return Lookups; }
+  uint64_t mispredicts() const { return Mispredicts; }
+
+private:
+  uint32_t index(uint64_t Pc) const;
+
+  uint32_t TableBits;
+  uint32_t Mask;
+  std::vector<uint8_t> Counters; ///< 2-bit saturating, init weakly not-taken
+  uint64_t History = 0;
+  uint64_t Lookups = 0;
+  uint64_t Mispredicts = 0;
+};
+
+/// A bounded return-address stack; overflow wraps (oldest entry lost).
+class ReturnAddressStack {
+public:
+  explicit ReturnAddressStack(uint32_t Entries = 32);
+
+  void pushCall(uint64_t ReturnPc);
+  /// Pops a prediction and checks it against the real return target.
+  /// Returns true when predicted correctly.
+  bool popAndCheck(uint64_t ActualPc);
+
+  uint64_t returns() const { return Returns; }
+  uint64_t mispredicts() const { return Mispredicts; }
+
+private:
+  std::vector<uint64_t> Stack;
+  uint32_t Top = 0;   ///< next push slot
+  uint32_t Depth = 0; ///< valid entries (<= capacity)
+  uint64_t Returns = 0;
+  uint64_t Mispredicts = 0;
+};
+
+} // namespace mssp
+} // namespace specctrl
+
+#endif // SPECCTRL_MSSP_BRANCHPREDICTOR_H

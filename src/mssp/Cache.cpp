@@ -1,0 +1,67 @@
+//===- mssp/Cache.cpp - Set-associative LRU cache model -------------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mssp/Cache.h"
+
+#include <cassert>
+#include <cstddef>
+
+using namespace specctrl;
+using namespace specctrl::mssp;
+
+namespace {
+
+uint32_t log2Exact(uint32_t X) {
+  assert(X != 0 && (X & (X - 1)) == 0 && "expected a power of two");
+  uint32_t L = 0;
+  while ((1u << L) != X)
+    ++L;
+  return L;
+}
+
+} // namespace
+
+CacheModel::CacheModel(const CacheConfig &Config) : Config(Config) {
+  assert(Config.BlockBytes >= 8 && "blocks must hold at least one word");
+  const uint32_t Blocks = Config.SizeBytes / Config.BlockBytes;
+  assert(Config.Assoc > 0 && Blocks >= Config.Assoc &&
+         "cache smaller than one set");
+  Sets = Blocks / Config.Assoc;
+  assert((Sets & (Sets - 1)) == 0 && "set count must be a power of two");
+  SetsLog2 = log2Exact(Sets);
+  WordsPerBlockLog2 = log2Exact(Config.BlockBytes / 8);
+  Ways.assign(static_cast<size_t>(Sets) * Config.Assoc, Way());
+}
+
+void CacheModel::reset() {
+  Ways.assign(Ways.size(), Way());
+  Clock = 0;
+  Accesses = 0;
+  Misses = 0;
+}
+
+bool CacheModel::access(uint64_t WordAddr) {
+  ++Accesses;
+  ++Clock;
+  const uint64_t Block = WordAddr >> WordsPerBlockLog2;
+  const uint32_t Set = static_cast<uint32_t>(Block) & (Sets - 1);
+  const uint64_t Tag = Block >> SetsLog2;
+
+  Way *Row = &Ways[static_cast<size_t>(Set) * Config.Assoc];
+  Way *Victim = Row;
+  for (uint32_t W = 0; W < Config.Assoc; ++W) {
+    if (Row[W].Tag == Tag) {
+      Row[W].LastUse = Clock;
+      return true;
+    }
+    if (Row[W].LastUse < Victim->LastUse)
+      Victim = &Row[W];
+  }
+  ++Misses;
+  Victim->Tag = Tag;
+  Victim->LastUse = Clock;
+  return false;
+}

@@ -1,0 +1,60 @@
+//===- mssp/Cache.h - Set-associative LRU cache model -----------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set-associative LRU cache model for the Table 5 hierarchy.  Tracks
+/// block residency only (no data): the timing model charges miss latencies
+/// and forwards misses to the next level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_MSSP_CACHE_H
+#define SPECCTRL_MSSP_CACHE_H
+
+#include "mssp/MachineConfig.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace specctrl {
+namespace mssp {
+
+/// Residency-tracking set-associative cache with true-LRU replacement.
+class CacheModel {
+public:
+  explicit CacheModel(const CacheConfig &Config);
+
+  /// Accesses the block containing word address \p WordAddr (8-byte
+  /// words).  Returns true on hit; on miss the block is filled.
+  bool access(uint64_t WordAddr);
+
+  void reset();
+
+  uint64_t accesses() const { return Accesses; }
+  uint64_t misses() const { return Misses; }
+  uint32_t numSets() const { return Sets; }
+  const CacheConfig &config() const { return Config; }
+
+private:
+  struct Way {
+    uint64_t Tag = ~0ull;
+    uint32_t LastUse = 0;
+  };
+
+  CacheConfig Config;
+  uint32_t Sets;
+  uint32_t SetsLog2;
+  uint32_t WordsPerBlockLog2;
+  std::vector<Way> Ways; ///< Sets x Assoc, row-major
+  uint32_t Clock = 0;
+  uint64_t Accesses = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace mssp
+} // namespace specctrl
+
+#endif // SPECCTRL_MSSP_CACHE_H

@@ -1,0 +1,58 @@
+//===- mssp/CoreTiming.cpp - Component-latency core model -----------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mssp/CoreTiming.h"
+
+using namespace specctrl;
+using namespace specctrl::mssp;
+
+CoreTiming::CoreTiming(const CoreConfig &Config, CacheModel *SharedL2,
+                       uint32_t L2LatencyCycles, uint32_t MemoryLatencyCycles)
+    : Config(Config), Gshare(Config.GshareBits), Ras(Config.RasEntries),
+      L1(Config.L1), L2(SharedL2), L2Latency(L2LatencyCycles),
+      MemoryLatency(MemoryLatencyCycles) {}
+
+void CoreTiming::onInstruction(const ir::Instruction &I,
+                               const fsim::InstLocation &L) {
+  (void)I;
+  (void)L;
+  ++Insts;
+}
+
+void CoreTiming::onBranch(ir::SiteId Site, bool Taken) {
+  if (!Gshare.predictAndUpdate(Site, Taken))
+    Stalls += Config.PipelineDepth;
+}
+
+void CoreTiming::accessMemory(uint64_t WordAddr) {
+  if (L1.access(WordAddr))
+    return;
+  Stalls += L2Latency;
+  if (L2 && !L2->access(WordAddr))
+    Stalls += MemoryLatency;
+}
+
+void CoreTiming::onLoad(const fsim::InstLocation &L, uint64_t Addr,
+                        uint64_t Value) {
+  (void)L;
+  (void)Value;
+  accessMemory(Addr);
+}
+
+void CoreTiming::onStore(uint64_t Addr, uint64_t Value, uint64_t Old) {
+  (void)Value;
+  (void)Old;
+  accessMemory(Addr);
+}
+
+void CoreTiming::onCall(uint32_t Callee) { Ras.pushCall(Callee); }
+
+void CoreTiming::onReturn(uint32_t Callee) {
+  // SimIR returns have a single static target per activation; the RAS
+  // mispredicts only on overflow-induced stack corruption.
+  if (!Ras.popAndCheck(Callee))
+    Stalls += Config.PipelineDepth;
+}

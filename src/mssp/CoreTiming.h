@@ -1,0 +1,75 @@
+//===- mssp/CoreTiming.h - Component-latency core model ---------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A mechanistic timing model for one core, driven as an interpreter
+/// observer: base issue cost of 1/width per instruction, pipeline-depth
+/// misprediction penalties from a live gshare (branch sites keyed by their
+/// stable site ids, so original and distilled versions share predictor
+/// state exactly as one PC would), RAS-overflow penalties on returns, and
+/// cache-miss stalls from the L1 -> shared L2 -> memory hierarchy.
+/// Instruction fetch is assumed to hit (synthesized regions are small);
+/// the window size's memory-level-parallelism effect is folded into the
+/// per-miss latencies.  See DESIGN.md for the substitution argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_MSSP_CORETIMING_H
+#define SPECCTRL_MSSP_CORETIMING_H
+
+#include "fsim/Interpreter.h"
+#include "mssp/BranchPredictor.h"
+#include "mssp/Cache.h"
+
+namespace specctrl {
+namespace mssp {
+
+/// Cycle accumulator for one core.
+class CoreTiming : public fsim::ExecObserver {
+public:
+  /// \p SharedL2 may be shared between cores (nullptr = perfect L2).
+  CoreTiming(const CoreConfig &Config, CacheModel *SharedL2,
+             uint32_t L2LatencyCycles, uint32_t MemoryLatencyCycles);
+
+  // Observer hooks -- chainable from a composite observer.
+  void onInstruction(const ir::Instruction &I,
+                     const fsim::InstLocation &L) override;
+  void onBranch(ir::SiteId Site, bool Taken) override;
+  void onLoad(const fsim::InstLocation &L, uint64_t Addr,
+              uint64_t Value) override;
+  void onStore(uint64_t Addr, uint64_t Value, uint64_t Old) override;
+  void onCall(uint32_t Callee) override;
+  void onReturn(uint32_t Callee) override;
+
+  /// Total cycles accumulated so far.
+  uint64_t cycles() const {
+    return Insts / Config.Width + (Insts % Config.Width != 0) + Stalls;
+  }
+  uint64_t instructions() const { return Insts; }
+  uint64_t branchMispredicts() const { return Gshare.mispredicts(); }
+  uint64_t l1Misses() const { return L1.misses(); }
+
+  /// Adds idle/penalty cycles from outside (hops, squash recovery).
+  void addStallCycles(uint64_t Cycles) { Stalls += Cycles; }
+
+private:
+  void accessMemory(uint64_t WordAddr);
+
+  CoreConfig Config;
+  GsharePredictor Gshare;
+  ReturnAddressStack Ras;
+  CacheModel L1;
+  CacheModel *L2;
+  uint32_t L2Latency;
+  uint32_t MemoryLatency;
+  uint64_t Insts = 0;
+  uint64_t Stalls = 0;
+};
+
+} // namespace mssp
+} // namespace specctrl
+
+#endif // SPECCTRL_MSSP_CORETIMING_H

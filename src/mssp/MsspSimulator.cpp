@@ -1,0 +1,368 @@
+//===- mssp/MsspSimulator.cpp - MSSP execution-driven simulation ----------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mssp/MsspSimulator.h"
+
+#include "distill/Distiller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+using namespace specctrl;
+using namespace specctrl::mssp;
+
+namespace {
+
+constexpr uint64_t RunForever = ~0ull >> 1;
+
+/// Stops the interpreter at task boundaries (every TaskIterations
+/// iterations of the main loop) and forwards events to a timing model.
+class TaskObserver : public fsim::ExecObserver {
+public:
+  TaskObserver(fsim::Interpreter &Interp, CoreTiming &Timing,
+               uint64_t IterationAddr, unsigned TaskIterations)
+      : Interp(Interp), Timing(Timing), IterationAddr(IterationAddr),
+        TaskIterations(TaskIterations) {}
+
+  void onInstruction(const ir::Instruction &I,
+                     const fsim::InstLocation &L) override {
+    Timing.onInstruction(I, L);
+  }
+  void onBranch(ir::SiteId Site, bool Taken) override {
+    Timing.onBranch(Site, Taken);
+  }
+  void onLoad(const fsim::InstLocation &L, uint64_t Addr,
+              uint64_t Value) override {
+    Timing.onLoad(L, Addr, Value);
+  }
+  void onStore(uint64_t Addr, uint64_t Value, uint64_t Old) override {
+    Timing.onStore(Addr, Value, Old);
+    if (Addr == IterationAddr && Value != 0 &&
+        Value % TaskIterations == 0)
+      Interp.requestStop();
+  }
+  void onCall(uint32_t Callee) override { Timing.onCall(Callee); }
+  void onReturn(uint32_t Callee) override { Timing.onReturn(Callee); }
+
+private:
+  fsim::Interpreter &Interp;
+  CoreTiming &Timing;
+  uint64_t IterationAddr;
+  unsigned TaskIterations;
+};
+
+/// Receives region-load observations (for the value controller).
+using LoadHook =
+    std::function<void(const fsim::InstLocation &, uint64_t, uint64_t)>;
+
+/// The checker-side observer: task boundaries + trailing-core timing +
+/// controller feeding + value-invariance feeding.
+class CheckerObserver : public TaskObserver {
+public:
+  CheckerObserver(fsim::Interpreter &Interp, CoreTiming &Timing,
+                  uint64_t IterationAddr, unsigned TaskIterations,
+                  core::ReactiveController &Controller,
+                  const std::vector<bool> &ControlSites, LoadHook OnLoad)
+      : TaskObserver(Interp, Timing, IterationAddr, TaskIterations),
+        Controller(Controller), ControlSites(ControlSites),
+        OnLoadHook(std::move(OnLoad)) {}
+
+  void onInstruction(const ir::Instruction &I,
+                     const fsim::InstLocation &L) override {
+    ++InstRet;
+    TaskObserver::onInstruction(I, L);
+  }
+
+  void onBranch(ir::SiteId Site, bool Taken) override {
+    TaskObserver::onBranch(Site, Taken);
+    // Control sites (loop exit, dispatch) are real branches the predictor
+    // sees, but the dynamic optimizer never asserts them, so the
+    // controller does not track them.
+    if (Site < ControlSites.size() && ControlSites[Site])
+      return;
+    Controller.onBranch(Site, Taken, InstRet);
+  }
+
+  void onLoad(const fsim::InstLocation &L, uint64_t Addr,
+              uint64_t Value) override {
+    TaskObserver::onLoad(L, Addr, Value);
+    if (OnLoadHook)
+      OnLoadHook(L, Value, InstRet);
+  }
+
+private:
+  core::ReactiveController &Controller;
+  const std::vector<bool> &ControlSites;
+  LoadHook OnLoadHook;
+  uint64_t InstRet = 0;
+};
+
+} // namespace
+
+MsspSimulator::MsspSimulator(const workload::SynthProgram &Program,
+                             const MsspConfig &Config)
+    : Program(Program), Config(Config),
+      Master(Program.Mod, Program.InitialMemory),
+      Checker(Program.Mod, Program.InitialMemory),
+      SharedL2(Config.Machine.L2),
+      MasterTiming(Config.Machine.Leading, &SharedL2,
+                   Config.Machine.L2.LatencyCycles,
+                   Config.Machine.MemoryLatencyCycles),
+      TrailTiming(Config.Machine.Trailing, &SharedL2,
+                  Config.Machine.L2.LatencyCycles,
+                  Config.Machine.MemoryLatencyCycles),
+      Controller(Config.Control, "mssp-reactive"),
+      ValueCtrl(Config.ValueControl),
+      WritableAddrs(Program.writableAddrs()) {
+  assert(Config.TaskIterations > 0 && "tasks need at least one iteration");
+  Controller.setRequestSink(this);
+  if (Config.EnableValueSpeculation)
+    ValueCtrl.setRequestSink(&ValueSink);
+}
+
+MsspSimulator::~MsspSimulator() = default;
+
+void MsspSimulator::onRequest(const core::OptRequest &Request) {
+  const workload::SynthSiteInfo &Info = Program.Sites[Request.Site];
+  // The optimizer never touches the dispatch loop: requests for control
+  // sites complete trivially with no code change.
+  if (Info.IsControlSite || Info.FunctionId == Program.MainFunction) {
+    Controller.completeRequest(Request.Site);
+    return;
+  }
+  Pending.push_back({Request, MasterClock + Config.OptLatencyCycles,
+                     /*IsValue=*/false});
+  ++Result.OptRequests;
+}
+
+void MsspSimulator::onValueRequest(const core::OptRequest &Request) {
+  Pending.push_back({Request, MasterClock + Config.OptLatencyCycles,
+                     /*IsValue=*/true});
+  ++Result.OptRequests;
+}
+
+uint32_t MsspSimulator::valueSiteId(uint32_t Func, distill::LocKey Loc) {
+  const auto [It, Inserted] = ValueSiteIds.try_emplace(
+      {Func, Loc}, static_cast<uint32_t>(ValueSites.size()));
+  if (Inserted)
+    ValueSites.push_back({Func, Loc});
+  return It->second;
+}
+
+uint64_t MsspSimulator::stateDigest(const fsim::Interpreter &Interp) const {
+  uint64_t H = 0xCBF29CE484222325ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 0x100000001B3ull;
+  };
+  for (uint64_t Addr : WritableAddrs)
+    Mix(Interp.loadWord(Addr));
+  Mix(Interp.halted() ? 1 : 0);
+  return H;
+}
+
+void MsspSimulator::restoreMasterFromChecker() {
+  // Digest words cover every address the program writes, so copying them
+  // (plus the register/stack position) transplants the trailing
+  // execution's architectural state into the master.
+  for (uint64_t Addr : WritableAddrs)
+    Master.storeWord(Addr, Checker.loadWord(Addr));
+  Master.adoptPositionFrom(Checker);
+}
+
+void MsspSimulator::rebuildRegion(uint32_t FunctionId) {
+  distill::DistillRequest Request;
+  for (const auto &[Site, Dir] : Assertions)
+    if (Program.Sites[Site].FunctionId == FunctionId)
+      Request.BranchAssertions[Site] = Dir;
+  const auto ValueIt = ValueConstants.find(FunctionId);
+  if (ValueIt != ValueConstants.end())
+    Request.ValueConstants = ValueIt->second;
+  distill::DistillResult Distilled =
+      distill::distillFunction(Program.Mod.function(FunctionId), Request);
+  const ir::Function *Installed =
+      Cache.install(FunctionId, std::move(Distilled.Distilled));
+  Master.setCodeVersion(FunctionId, Installed);
+  ++Result.Regenerations;
+}
+
+void MsspSimulator::processOptCompletions() {
+  // Collect the requests whose optimization latency has elapsed.
+  std::vector<PendingOpt> Ready;
+  for (size_t I = 0; I < Pending.size();) {
+    if (Pending[I].ReadyCycle <= MasterClock) {
+      Ready.push_back(Pending[I]);
+      Pending[I] = Pending.back();
+      Pending.pop_back();
+    } else {
+      ++I;
+    }
+  }
+  if (Ready.empty())
+    return;
+
+  // Apply all ready assertion changes, then rebuild each affected region
+  // once -- several controller transitions can fold into one
+  // re-optimization (Sec. 4.3).
+  std::vector<uint32_t> Regions;
+  for (const PendingOpt &P : Ready) {
+    const core::OptRequest &Rq = P.Request;
+    uint32_t Func = 0;
+    if (P.IsValue) {
+      const ValueSite &Site = ValueSites[Rq.Site];
+      Func = Site.Func;
+      if (Rq.Kind == core::OptRequestKind::Deploy)
+        ValueConstants[Func][Site.Loc] =
+            static_cast<int64_t>(ValueCtrl.deployedValue(Rq.Site));
+      else
+        ValueConstants[Func].erase(Site.Loc);
+    } else {
+      if (Rq.Kind == core::OptRequestKind::Deploy)
+        Assertions[Rq.Site] = Rq.Direction;
+      else
+        Assertions.erase(Rq.Site);
+      Func = Program.Sites[Rq.Site].FunctionId;
+    }
+    if (std::find(Regions.begin(), Regions.end(), Func) == Regions.end())
+      Regions.push_back(Func);
+  }
+  for (uint32_t Func : Regions)
+    rebuildRegion(Func);
+  for (const PendingOpt &P : Ready) {
+    if (P.IsValue)
+      ValueCtrl.completeRequest(P.Request.Site);
+    else
+      Controller.completeRequest(P.Request.Site);
+  }
+}
+
+MsspResult MsspSimulator::run() {
+  std::vector<bool> ControlSites(Program.Sites.size(), false);
+  for (const workload::SynthSiteInfo &Info : Program.Sites)
+    ControlSites[Info.Site] = Info.IsControlSite;
+
+  std::vector<bool> IsRegionFunc(Program.Mod.numFunctions(), false);
+  for (uint32_t F : Program.RegionFunctions)
+    IsRegionFunc[F] = true;
+  LoadHook OnLoad;
+  if (Config.EnableValueSpeculation)
+    OnLoad = [this, IsRegionFunc](const fsim::InstLocation &L,
+                                  uint64_t Value, uint64_t InstRet) {
+      if (L.Func < IsRegionFunc.size() && IsRegionFunc[L.Func])
+        ValueCtrl.onLoad(valueSiteId(L.Func, {L.Block, L.Index}), Value,
+                         InstRet);
+    };
+
+  TaskObserver MasterObs(Master, MasterTiming, Program.IterationAddr,
+                         Config.TaskIterations);
+  CheckerObserver CheckerObs(Checker, TrailTiming, Program.IterationAddr,
+                             Config.TaskIterations, Controller, ControlSites,
+                             std::move(OnLoad));
+
+  std::deque<uint64_t> CommitTimes; ///< in-flight verified-commit times
+  std::vector<uint64_t> SlaveFree(Config.Machine.NumTrailing, 0);
+  uint64_t PrevCommit = 0;
+  const uint32_t Hop = Config.Machine.CoherenceHopCycles;
+
+  for (;;) {
+    processOptCompletions();
+
+    // Checkpoint-buffer back-pressure.
+    while (CommitTimes.size() >= Config.MaxOutstandingTasks) {
+      MasterClock = std::max(MasterClock, CommitTimes.front());
+      CommitTimes.pop_front();
+    }
+
+    // Master executes one task of distilled code.
+    const uint64_t MStart = MasterTiming.cycles();
+    const fsim::StopReason MReason = Master.run(RunForever, &MasterObs);
+    MasterClock += MasterTiming.cycles() - MStart;
+
+    // The trailing execution covers the same task with original code.
+    const uint64_t VStartCycles = TrailTiming.cycles();
+    const fsim::StopReason CReason = Checker.run(RunForever, &CheckerObs);
+    const uint64_t VCycles = TrailTiming.cycles() - VStartCycles;
+    assert(MReason != fsim::StopReason::Fault &&
+           CReason != fsim::StopReason::Fault && "simulated program faulted");
+
+    ++Result.Tasks;
+
+    // Verification on the earliest-free trailing core.
+    auto SlaveIt = std::min_element(SlaveFree.begin(), SlaveFree.end());
+    const uint64_t VerifyStart = std::max(MasterClock, *SlaveIt) + Hop;
+    const uint64_t VerifyEnd = VerifyStart + VCycles;
+    *SlaveIt = VerifyEnd;
+    const uint64_t Commit = std::max(VerifyEnd + Hop, PrevCommit);
+    PrevCommit = Commit;
+
+    if (stateDigest(Master) != stateDigest(Checker)) {
+      // Task misspeculation: detected when verification completes; the
+      // master restarts from the trailing execution's state.
+      ++Result.TaskSquashes;
+      restoreMasterFromChecker();
+      MasterClock = Commit + Hop + Config.Machine.Leading.PipelineDepth;
+    } else {
+      CommitTimes.push_back(Commit);
+    }
+
+    const bool Done =
+        (MReason == fsim::StopReason::Halted &&
+         CReason == fsim::StopReason::Halted) ||
+        (Config.MaxInstructions != 0 &&
+         Checker.instructionsRetired() >= Config.MaxInstructions);
+    if (Done)
+      break;
+  }
+
+  Result.TotalCycles = std::max(MasterClock, PrevCommit);
+  Result.MasterInstructions = MasterTiming.instructions();
+  Result.CheckerInstructions = TrailTiming.instructions();
+  Result.MasterBranchMispredicts = MasterTiming.branchMispredicts();
+  Result.Controller = Controller.stats();
+  Result.ValueController = ValueCtrl.stats();
+  return Result;
+}
+
+uint64_t mssp::simulateSuperscalarBaseline(
+    const workload::SynthProgram &Program, const MachineConfig &Machine,
+    uint64_t MaxInstructions) {
+  fsim::Interpreter Interp(Program.Mod, Program.InitialMemory);
+  CacheModel L2(Machine.L2);
+  CoreTiming Timing(Machine.Leading, &L2, Machine.L2.LatencyCycles,
+                    Machine.MemoryLatencyCycles);
+
+  /// Plain timing observer (no task boundaries).
+  class BaselineObserver : public fsim::ExecObserver {
+  public:
+    explicit BaselineObserver(CoreTiming &T) : T(T) {}
+    void onInstruction(const ir::Instruction &I,
+                       const fsim::InstLocation &L) override {
+      T.onInstruction(I, L);
+    }
+    void onBranch(ir::SiteId S, bool Taken) override { T.onBranch(S, Taken); }
+    void onLoad(const fsim::InstLocation &L, uint64_t A,
+                uint64_t V) override {
+      T.onLoad(L, A, V);
+    }
+    void onStore(uint64_t A, uint64_t V, uint64_t O) override {
+      T.onStore(A, V, O);
+    }
+    void onCall(uint32_t C) override { T.onCall(C); }
+    void onReturn(uint32_t C) override { T.onReturn(C); }
+
+  private:
+    CoreTiming &T;
+  };
+
+  BaselineObserver Obs(Timing);
+  const uint64_t Fuel =
+      MaxInstructions ? MaxInstructions : (~0ull >> 1);
+  const fsim::StopReason Reason = Interp.run(Fuel, &Obs);
+  assert(Reason != fsim::StopReason::Fault && "baseline program faulted");
+  (void)Reason;
+  return Timing.cycles();
+}

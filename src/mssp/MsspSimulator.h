@@ -1,0 +1,187 @@
+//===- mssp/MsspSimulator.h - MSSP execution-driven simulation --*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Master/Slave Speculative Parallelization timing simulation of
+/// Sec. 4.  A synthesized SimIR program runs twice, in lockstep at task
+/// granularity:
+///
+///  * the MASTER executes the speculative (distilled) code versions on the
+///    leading core's timing model;
+///  * the CHECKER executes the original program on the trailing cores'
+///    timing model, providing ground truth: it feeds the branch and
+///    value-invariance controllers, and its per-task state digest
+///    verifies the master's.
+///
+/// Tasks are fixed iteration windows of the program's main loop.  Each
+/// task is shipped to the earliest-free trailing core for verification
+/// (paying coherence hops); tasks commit in order; the master stalls when
+/// its checkpoint buffer fills.  A digest mismatch is a task
+/// misspeculation: the master's architectural state is restored from the
+/// trailing execution and the master restarts after detection + recovery
+/// latency -- hundreds of cycles, exactly the penalty regime that makes
+/// speculation control matter.
+///
+/// The dynamic optimizer is the distiller: the controller's deploy/revoke
+/// requests complete after a configurable optimization latency, at which
+/// point the affected region is re-distilled under the current assertion
+/// set and swapped into the master's code map.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_MSSP_MSSPSIMULATOR_H
+#define SPECCTRL_MSSP_MSSPSIMULATOR_H
+
+#include "core/ReactiveConfig.h"
+#include "core/ReactiveController.h"
+#include "core/ValueInvariance.h"
+#include "distill/CodeCache.h"
+#include "fsim/Interpreter.h"
+#include "mssp/CoreTiming.h"
+#include "mssp/MachineConfig.h"
+#include "workload/ProgramSynthesizer.h"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace specctrl {
+namespace mssp {
+
+/// MSSP simulation parameters.
+struct MsspConfig {
+  MachineConfig Machine;
+  /// Speculation control policy (latency is handled by the simulator, not
+  /// the controller's built-in model).
+  core::ReactiveConfig Control;
+  /// Cycles from a controller request to the new code version going live.
+  uint64_t OptLatencyCycles = 0;
+  /// Main-loop iterations per task (a task is a few hundred instructions).
+  unsigned TaskIterations = 4;
+  /// Checkpoint-buffer depth: max unverified tasks in flight.
+  unsigned MaxOutstandingTasks = 8;
+  /// Also control load-value speculation reactively: a second instance of
+  /// the Fig. 4(b) FSM watches every region load's value invariance and
+  /// deploys/revokes compiled-in constants through the same distiller
+  /// (Fig. 1's value half, under closed-loop control).
+  bool EnableValueSpeculation = false;
+  /// Policy for the value controller (defaults to Control with a shorter
+  /// monitor; see the constructor).
+  core::ReactiveConfig ValueControl;
+  /// Stop after this many checker (architectural) instructions; 0 = run
+  /// the program to completion.
+  uint64_t MaxInstructions = 0;
+};
+
+/// Simulation outputs.
+struct MsspResult {
+  uint64_t TotalCycles = 0;   ///< end-to-end time (master + commit drain)
+  uint64_t Tasks = 0;
+  uint64_t TaskSquashes = 0;
+  uint64_t MasterInstructions = 0;  ///< distilled instructions executed
+  uint64_t CheckerInstructions = 0; ///< original instructions executed
+  uint64_t OptRequests = 0;      ///< controller deploy+revoke requests
+  uint64_t Regenerations = 0;    ///< region code versions actually built
+  uint64_t MasterBranchMispredicts = 0;
+  core::ControlStats Controller; ///< final branch-controller statistics
+  core::ControlStats ValueController; ///< value-controller statistics
+
+  /// Dynamic code shrinkage: distilled / original instruction counts.
+  double distillationRatio() const {
+    return CheckerInstructions
+               ? static_cast<double>(MasterInstructions) /
+                     static_cast<double>(CheckerInstructions)
+               : 1.0;
+  }
+};
+
+/// Runs one MSSP simulation over a synthesized program.
+class MsspSimulator : private core::OptRequestSink {
+public:
+  MsspSimulator(const workload::SynthProgram &Program,
+                const MsspConfig &Config);
+  ~MsspSimulator() override;
+
+  /// Runs to completion (or the instruction cap) and returns the results.
+  /// Single-shot: construct a new simulator for another run.
+  MsspResult run();
+
+private:
+  struct PendingOpt {
+    core::OptRequest Request;
+    uint64_t ReadyCycle = 0;
+    bool IsValue = false;
+  };
+
+  /// Identifies a load site across the module (function + location).
+  struct ValueSite {
+    uint32_t Func = 0;
+    distill::LocKey Loc;
+  };
+
+  // core::OptRequestSink (branch requests)
+  void onRequest(const core::OptRequest &Request) override;
+  /// Value-controller requests, tagged by the sink adapter.
+  void onValueRequest(const core::OptRequest &Request);
+
+  /// Maps a load location to a dense value-site id (lazily).
+  uint32_t valueSiteId(uint32_t Func, distill::LocKey Loc);
+
+  uint64_t stateDigest(const fsim::Interpreter &Interp) const;
+  void restoreMasterFromChecker();
+  void processOptCompletions();
+  void rebuildRegion(uint32_t FunctionId);
+
+  const workload::SynthProgram &Program;
+  MsspConfig Config;
+
+  fsim::Interpreter Master;
+  fsim::Interpreter Checker;
+  CacheModel SharedL2;
+  CoreTiming MasterTiming;
+  CoreTiming TrailTiming;
+  core::ReactiveController Controller;
+  core::ValueInvarianceController ValueCtrl;
+  distill::CodeCache Cache;
+
+  /// Forwards the value controller's requests with an is-value tag.
+  class ValueSinkAdapter : public core::OptRequestSink {
+  public:
+    explicit ValueSinkAdapter(MsspSimulator &Sim) : Sim(Sim) {}
+    void onRequest(const core::OptRequest &Request) override {
+      Sim.onValueRequest(Request);
+    }
+
+  private:
+    MsspSimulator &Sim;
+  };
+  ValueSinkAdapter ValueSink{*this};
+
+  /// Deployed branch assertions (non-control sites only).
+  std::map<ir::SiteId, bool> Assertions;
+  /// Deployed value constants, per region function.
+  std::map<uint32_t, std::map<distill::LocKey, int64_t>> ValueConstants;
+  /// Dense ids for load sites (for the value controller).
+  std::map<std::pair<uint32_t, distill::LocKey>, uint32_t> ValueSiteIds;
+  std::vector<ValueSite> ValueSites; ///< id -> site
+  std::vector<PendingOpt> Pending;
+  std::vector<uint64_t> WritableAddrs;
+
+  uint64_t MasterClock = 0;
+  MsspResult Result;
+};
+
+/// Baseline: the original program on the leading core alone ("vanilla"
+/// superscalar, the B bars of Figs. 7-8).  Returns total cycles.
+uint64_t simulateSuperscalarBaseline(const workload::SynthProgram &Program,
+                                     const MachineConfig &Machine,
+                                     uint64_t MaxInstructions = 0);
+
+} // namespace mssp
+} // namespace specctrl
+
+#endif // SPECCTRL_MSSP_MSSPSIMULATOR_H

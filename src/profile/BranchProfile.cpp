@@ -1,0 +1,53 @@
+//===- profile/BranchProfile.cpp - Whole-run branch profiles --------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/BranchProfile.h"
+
+#include <istream>
+#include <ostream>
+
+using namespace specctrl;
+using namespace specctrl::profile;
+
+uint64_t BranchProfile::totalExecutions() const {
+  uint64_t Total = 0;
+  for (const SiteCounts &C : Counts)
+    Total += C.Taken + C.NotTaken;
+  return Total;
+}
+
+uint32_t BranchProfile::touchedSites() const {
+  uint32_t Touched = 0;
+  for (const SiteCounts &C : Counts)
+    if (C.Taken + C.NotTaken > 0)
+      ++Touched;
+  return Touched;
+}
+
+void BranchProfile::save(std::ostream &OS) const {
+  OS << "branch-profile v1 " << Counts.size() << '\n';
+  for (uint32_t S = 0; S < Counts.size(); ++S)
+    OS << S << ' ' << Counts[S].Taken << ' ' << Counts[S].NotTaken << '\n';
+}
+
+BranchProfile BranchProfile::load(std::istream &IS) {
+  BranchProfile P;
+  std::string Tag, Version;
+  uint32_t NumSites = 0;
+  IS >> Tag >> Version >> NumSites;
+  if (Tag != "branch-profile" || Version != "v1")
+    return P;
+  P.resize(NumSites);
+  for (uint32_t I = 0; I < NumSites; ++I) {
+    uint32_t Site = 0;
+    uint64_t Taken = 0, NotTaken = 0;
+    if (!(IS >> Site >> Taken >> NotTaken) || Site >= NumSites)
+      break;
+    P.Counts[Site].Taken = Taken;
+    P.Counts[Site].NotTaken = NotTaken;
+  }
+  return P;
+}

@@ -1,0 +1,91 @@
+//===- profile/BranchProfile.h - Whole-run branch profiles ------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-site taken/not-taken counts over a whole run: the raw material of
+/// every offline analysis in the paper (self-training Pareto curves,
+/// prior-run profile selection, and per-benchmark summary statistics).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_PROFILE_BRANCHPROFILE_H
+#define SPECCTRL_PROFILE_BRANCHPROFILE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace specctrl {
+namespace profile {
+
+using SiteId = uint32_t;
+
+/// Taken/not-taken execution counts per static branch site.
+class BranchProfile {
+public:
+  BranchProfile() = default;
+  explicit BranchProfile(uint32_t NumSites) { resize(NumSites); }
+
+  void resize(uint32_t NumSites) { Counts.resize(NumSites); }
+  uint32_t numSites() const { return static_cast<uint32_t>(Counts.size()); }
+
+  /// Records one dynamic execution.
+  void addOutcome(SiteId Site, bool Taken) {
+    if (Site >= Counts.size())
+      Counts.resize(Site + 1);
+    ++(Taken ? Counts[Site].Taken : Counts[Site].NotTaken);
+  }
+
+  uint64_t taken(SiteId Site) const { return Counts[Site].Taken; }
+  uint64_t notTaken(SiteId Site) const { return Counts[Site].NotTaken; }
+  uint64_t executions(SiteId Site) const {
+    return Counts[Site].Taken + Counts[Site].NotTaken;
+  }
+
+  /// True if the majority direction is taken (ties break to taken).
+  bool majorityTaken(SiteId Site) const {
+    return Counts[Site].Taken >= Counts[Site].NotTaken;
+  }
+
+  /// Executions in the majority direction.
+  uint64_t majorityCount(SiteId Site) const {
+    return majorityTaken(Site) ? Counts[Site].Taken : Counts[Site].NotTaken;
+  }
+  /// Executions against the majority direction.
+  uint64_t minorityCount(SiteId Site) const {
+    return majorityTaken(Site) ? Counts[Site].NotTaken : Counts[Site].Taken;
+  }
+
+  /// Bias level in [0.5, 1]: majority fraction.  0 executions -> 0.
+  double bias(SiteId Site) const {
+    const uint64_t Total = executions(Site);
+    return Total ? static_cast<double>(majorityCount(Site)) /
+                       static_cast<double>(Total)
+                 : 0.0;
+  }
+
+  /// Total dynamic branch executions across all sites.
+  uint64_t totalExecutions() const;
+  /// Number of sites executed at least once (the paper's "touch" count).
+  uint32_t touchedSites() const;
+
+  /// Serializes as "site taken nottaken" lines; load() inverts.  Round
+  /// trips exactly.
+  void save(std::ostream &OS) const;
+  static BranchProfile load(std::istream &IS);
+
+private:
+  struct SiteCounts {
+    uint64_t Taken = 0;
+    uint64_t NotTaken = 0;
+  };
+  std::vector<SiteCounts> Counts;
+};
+
+} // namespace profile
+} // namespace specctrl
+
+#endif // SPECCTRL_PROFILE_BRANCHPROFILE_H

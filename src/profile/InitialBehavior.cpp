@@ -1,0 +1,103 @@
+//===- profile/InitialBehavior.cpp - Initial-behavior analysis ------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/InitialBehavior.h"
+
+#include <cassert>
+
+using namespace specctrl;
+using namespace specctrl::profile;
+
+InitialBehaviorProfile::InitialBehaviorProfile(std::vector<uint64_t> Windows)
+    : Windows(std::move(Windows)) {
+  assert(!this->Windows.empty() && "need at least one training window");
+  for (size_t I = 1; I < this->Windows.size(); ++I)
+    assert(this->Windows[I - 1] < this->Windows[I] &&
+           "windows must be sorted ascending");
+}
+
+void InitialBehaviorProfile::addOutcome(SiteId Site, bool Taken) {
+  if (Site >= Sites.size())
+    Sites.resize(Site + 1);
+  SiteState &S = Sites[Site];
+  if (S.PrefixTaken.empty()) {
+    S.PrefixTaken.assign(Windows.size(), 0);
+    S.PostTaken.assign(Windows.size(), 0);
+    S.PostTotal.assign(Windows.size(), 0);
+  }
+
+  for (size_t W = 0; W < Windows.size(); ++W) {
+    if (S.Execs < Windows[W]) {
+      S.PrefixTaken[W] += Taken;
+    } else {
+      S.PostTaken[W] += Taken;
+      ++S.PostTotal[W];
+    }
+  }
+  ++S.Execs;
+  S.TakenTotal += Taken;
+  ++Total;
+}
+
+SelectionResult InitialBehaviorProfile::evaluate(unsigned W,
+                                                 double BiasThreshold) const {
+  assert(W < Windows.size() && "window index out of range");
+  SelectionResult Result;
+  Result.EvalBranches = Total;
+  if (Total == 0)
+    return Result;
+
+  uint64_t Correct = 0, Incorrect = 0;
+  const uint64_t Window = Windows[W];
+  for (const SiteState &S : Sites) {
+    if (S.Execs < Window || S.PrefixTaken.empty())
+      continue; // never finished training
+    const uint64_t PrefixTaken = S.PrefixTaken[W];
+    const uint64_t PrefixNot = Window - PrefixTaken;
+    const bool SpecTaken = PrefixTaken >= PrefixNot;
+    const uint64_t Majority = SpecTaken ? PrefixTaken : PrefixNot;
+    const double PrefixBias =
+        static_cast<double>(Majority) / static_cast<double>(Window);
+    if (PrefixBias < BiasThreshold)
+      continue;
+    ++Result.SelectedSites;
+    const uint64_t PostTaken = S.PostTaken[W];
+    const uint64_t PostNot = S.PostTotal[W] - PostTaken;
+    Correct += SpecTaken ? PostTaken : PostNot;
+    Incorrect += SpecTaken ? PostNot : PostTaken;
+  }
+  const double Denominator = static_cast<double>(Total);
+  Result.Correct = static_cast<double>(Correct) / Denominator;
+  Result.Incorrect = static_cast<double>(Incorrect) / Denominator;
+  return Result;
+}
+
+double InitialBehaviorProfile::falsePositiveFraction(
+    unsigned W, double BiasThreshold, double WholeRunThreshold) const {
+  assert(W < Windows.size() && "window index out of range");
+  const uint64_t Window = Windows[W];
+  uint64_t Selected = 0, FalsePositives = 0;
+  for (const SiteState &S : Sites) {
+    if (S.Execs < Window || S.PrefixTaken.empty())
+      continue;
+    const uint64_t PrefixTaken = S.PrefixTaken[W];
+    const uint64_t PrefixNot = Window - PrefixTaken;
+    const uint64_t Majority = std::max(PrefixTaken, PrefixNot);
+    if (static_cast<double>(Majority) / static_cast<double>(Window) <
+        BiasThreshold)
+      continue;
+    ++Selected;
+    const uint64_t WholeMajority =
+        std::max(S.TakenTotal, S.Execs - S.TakenTotal);
+    const double WholeBias = static_cast<double>(WholeMajority) /
+                             static_cast<double>(S.Execs);
+    if (WholeBias < WholeRunThreshold)
+      ++FalsePositives;
+  }
+  return Selected ? static_cast<double>(FalsePositives) /
+                        static_cast<double>(Selected)
+                  : 0.0;
+}

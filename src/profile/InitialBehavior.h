@@ -1,0 +1,78 @@
+//===- profile/InitialBehavior.h - Initial-behavior analysis ----*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "profiling from initial behavior" baseline of Sec. 2.2: use the
+/// first N executions of each branch to decide whether to speculate on its
+/// remaining executions.  One streaming pass collects, for each site and
+/// each configured training window, the prefix outcome counts and the
+/// post-window outcome counts; evaluation is then analytic (Fig. 2's
+/// crosses for windows of 1k/10k/100k/300k/1M executions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_PROFILE_INITIALBEHAVIOR_H
+#define SPECCTRL_PROFILE_INITIALBEHAVIOR_H
+
+#include "profile/Pareto.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace specctrl {
+namespace profile {
+
+/// Streaming collector of prefix/suffix outcome counts per site for a set
+/// of training-window lengths.
+class InitialBehaviorProfile {
+public:
+  /// \p Windows must be sorted ascending (e.g. {1k,10k,100k,300k,1M}).
+  explicit InitialBehaviorProfile(std::vector<uint64_t> Windows);
+
+  /// The paper's five training windows.
+  static std::vector<uint64_t> paperWindows() {
+    return {1000, 10000, 100000, 300000, 1000000};
+  }
+
+  void addOutcome(SiteId Site, bool Taken);
+
+  const std::vector<uint64_t> &windows() const { return Windows; }
+
+  /// Evaluates the policy for window index \p W: speculate on sites whose
+  /// first Windows[W] executions showed bias >= \p BiasThreshold (sites
+  /// with fewer total executions than the window are never selected, i.e.
+  /// they remain in training).  Correct/incorrect are counted only over
+  /// post-window executions, as fractions of *all* dynamic branches.
+  SelectionResult evaluate(unsigned W, double BiasThreshold) const;
+
+  /// Fraction of sites selected at window \p W whose *whole-run* bias is
+  /// below \p WholeRunThreshold: the paper's false-positive rate (7% of
+  /// statics at 1k executions, Sec. 2.2).
+  double falsePositiveFraction(unsigned W, double BiasThreshold,
+                               double WholeRunThreshold) const;
+
+  uint64_t totalBranches() const { return Total; }
+
+private:
+  struct SiteState {
+    uint64_t Execs = 0;
+    uint64_t TakenTotal = 0;
+    /// Per window: taken count within the prefix.
+    std::vector<uint64_t> PrefixTaken;
+    /// Per window: taken/total counts after the prefix completes.
+    std::vector<uint64_t> PostTaken;
+    std::vector<uint64_t> PostTotal;
+  };
+
+  std::vector<uint64_t> Windows;
+  std::vector<SiteState> Sites;
+  uint64_t Total = 0;
+};
+
+} // namespace profile
+} // namespace specctrl
+
+#endif // SPECCTRL_PROFILE_INITIALBEHAVIOR_H

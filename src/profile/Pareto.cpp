@@ -1,0 +1,68 @@
+//===- profile/Pareto.cpp - Self-training trade-off analysis --------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Pareto.h"
+
+#include <algorithm>
+
+using namespace specctrl;
+using namespace specctrl::profile;
+
+std::vector<TradeoffPoint> profile::paretoCurve(const BranchProfile &Eval) {
+  struct SiteBias {
+    SiteId Site;
+    double Bias;
+  };
+  std::vector<SiteBias> Order;
+  Order.reserve(Eval.numSites());
+  for (SiteId S = 0; S < Eval.numSites(); ++S)
+    if (Eval.executions(S) > 0)
+      Order.push_back({S, Eval.bias(S)});
+  std::stable_sort(Order.begin(), Order.end(),
+                   [](const SiteBias &A, const SiteBias &B) {
+                     return A.Bias > B.Bias;
+                   });
+
+  const double Total = static_cast<double>(Eval.totalExecutions());
+  std::vector<TradeoffPoint> Curve;
+  Curve.reserve(Order.size() + 1);
+  Curve.push_back({0.0, 0.0, 1.0});
+  uint64_t Correct = 0, Incorrect = 0;
+  for (const SiteBias &SB : Order) {
+    Correct += Eval.majorityCount(SB.Site);
+    Incorrect += Eval.minorityCount(SB.Site);
+    Curve.push_back({static_cast<double>(Correct) / Total,
+                     static_cast<double>(Incorrect) / Total, SB.Bias});
+  }
+  return Curve;
+}
+
+SelectionResult profile::evaluateSelection(const BranchProfile &Selection,
+                                           const BranchProfile &Eval,
+                                           double BiasThreshold,
+                                           uint64_t MinExecs) {
+  SelectionResult Result;
+  Result.EvalBranches = Eval.totalExecutions();
+  if (Result.EvalBranches == 0)
+    return Result;
+
+  uint64_t Correct = 0, Incorrect = 0;
+  for (SiteId S = 0; S < Eval.numSites(); ++S) {
+    if (S >= Selection.numSites())
+      break;
+    if (Selection.executions(S) < MinExecs ||
+        Selection.bias(S) < BiasThreshold)
+      continue;
+    ++Result.SelectedSites;
+    const bool SpecTaken = Selection.majorityTaken(S);
+    Correct += SpecTaken ? Eval.taken(S) : Eval.notTaken(S);
+    Incorrect += SpecTaken ? Eval.notTaken(S) : Eval.taken(S);
+  }
+  const double Total = static_cast<double>(Result.EvalBranches);
+  Result.Correct = static_cast<double>(Correct) / Total;
+  Result.Incorrect = static_cast<double>(Incorrect) / Total;
+  return Result;
+}

@@ -1,0 +1,69 @@
+//===- profile/Pareto.h - Self-training trade-off analysis ------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The correct/incorrect speculation trade-off analyses of Fig. 2:
+///
+///  * paretoCurve -- the Pareto-optimal frontier achievable with perfect
+///    knowledge of future outcomes (self-training): sort sites by bias and
+///    sweep the speculation set from most- to least-biased.
+///  * evaluateSelection -- given a *selection* profile (where speculation
+///    decisions come from) and an *evaluation* profile (the run being
+///    predicted), compute the correct/incorrect rates of a fixed-threshold
+///    static policy.  Selection==evaluation reproduces self-training
+///    points; selection=train / evaluation=ref reproduces the paper's
+///    prior-run-profile triangles.
+///
+/// Rates are fractions of the evaluation run's total dynamic branches, the
+/// axes of Figs. 2 and 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_PROFILE_PARETO_H
+#define SPECCTRL_PROFILE_PARETO_H
+
+#include "profile/BranchProfile.h"
+
+#include <vector>
+
+namespace specctrl {
+namespace profile {
+
+/// One point of a speculation trade-off: fractions of all dynamic branches.
+struct TradeoffPoint {
+  double Correct = 0.0;   ///< correctly speculated fraction
+  double Incorrect = 0.0; ///< misspeculated fraction
+  double BiasThreshold = 0.0; ///< the selection bias at this point
+};
+
+/// The self-training Pareto frontier of \p Eval: point k speculates on the
+/// k most-biased sites.  Points are emitted in decreasing-bias order
+/// (increasing correct and incorrect).  Sites with no executions are
+/// skipped.
+std::vector<TradeoffPoint> paretoCurve(const BranchProfile &Eval);
+
+/// Aggregate result of a static selection policy.
+struct SelectionResult {
+  double Correct = 0.0;
+  double Incorrect = 0.0;
+  uint32_t SelectedSites = 0;
+  /// Evaluation-run dynamic branches (rate denominator).
+  uint64_t EvalBranches = 0;
+};
+
+/// Evaluates a fixed-threshold static policy: speculate (in the selection
+/// profile's majority direction) on every site whose selection-profile bias
+/// is >= \p BiasThreshold and which executed at least \p MinExecs times in
+/// the selection profile.  Rates are measured against \p Eval.
+SelectionResult evaluateSelection(const BranchProfile &Selection,
+                                  const BranchProfile &Eval,
+                                  double BiasThreshold,
+                                  uint64_t MinExecs = 1);
+
+} // namespace profile
+} // namespace specctrl
+
+#endif // SPECCTRL_PROFILE_PARETO_H

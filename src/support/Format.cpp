@@ -1,0 +1,58 @@
+//===- support/Format.cpp - Number/string formatting helpers -------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace specctrl;
+
+std::string specctrl::formatDouble(double X, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, X);
+  return Buf;
+}
+
+std::string specctrl::formatPercent(double X, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Digits, X * 100.0);
+  return Buf;
+}
+
+std::string specctrl::formatWithCommas(uint64_t X) {
+  std::string Raw = std::to_string(X);
+  std::string Out;
+  Out.reserve(Raw.size() + Raw.size() / 3);
+  int Count = 0;
+  for (auto It = Raw.rbegin(); It != Raw.rend(); ++It) {
+    if (Count && Count % 3 == 0)
+      Out.push_back(',');
+    Out.push_back(*It);
+    ++Count;
+  }
+  return std::string(Out.rbegin(), Out.rend());
+}
+
+std::string specctrl::formatMagnitude(double X) {
+  const char *Suffix = "";
+  double Scaled = X;
+  if (std::fabs(X) >= 1e9) {
+    Scaled = X / 1e9;
+    Suffix = "G";
+  } else if (std::fabs(X) >= 1e6) {
+    Scaled = X / 1e6;
+    Suffix = "M";
+  } else if (std::fabs(X) >= 1e3) {
+    Scaled = X / 1e3;
+    Suffix = "k";
+  }
+  char Buf[64];
+  // Three significant-ish digits: more precision for small mantissas.
+  const int Digits = std::fabs(Scaled) >= 100 ? 0 : std::fabs(Scaled) >= 10 ? 1 : 2;
+  std::snprintf(Buf, sizeof(Buf), "%.*f%s", Digits, Scaled, Suffix);
+  return Buf;
+}

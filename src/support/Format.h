@@ -1,0 +1,37 @@
+//===- support/Format.h - Number/string formatting helpers -----*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small formatting helpers shared by the table writers, benches, and
+/// examples: fixed-precision doubles, percentages, comma-grouped integers,
+/// and engineering-style magnitudes (1.2M, 65k).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_SUPPORT_FORMAT_H
+#define SPECCTRL_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+
+namespace specctrl {
+
+/// Formats \p X with \p Digits digits after the decimal point.
+std::string formatDouble(double X, int Digits = 3);
+
+/// Formats the ratio \p X (0.5 == 50%) as a percentage string, e.g. "50.0%".
+std::string formatPercent(double X, int Digits = 1);
+
+/// Formats \p X with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string formatWithCommas(uint64_t X);
+
+/// Formats \p X in engineering shorthand, e.g. 65000 -> "65.0k",
+/// 1200000 -> "1.20M".
+std::string formatMagnitude(double X);
+
+} // namespace specctrl
+
+#endif // SPECCTRL_SUPPORT_FORMAT_H

@@ -1,0 +1,58 @@
+//===- support/SaturatingCounter.h - Clamped up/down counter ----*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A saturating counter clamped to [0, Max].  The paper's eviction hysteresis
+/// (Table 2) is exactly such a counter: +50 on a misspeculation, -1 on a
+/// correct speculation, evict when the value reaches 10,000.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_SUPPORT_SATURATINGCOUNTER_H
+#define SPECCTRL_SUPPORT_SATURATINGCOUNTER_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace specctrl {
+
+/// An integer counter that saturates at 0 below and at a configurable
+/// maximum above.
+class SaturatingCounter {
+public:
+  SaturatingCounter() = default;
+
+  /// Creates a counter clamped to [0, Max] starting at \p Initial.
+  explicit SaturatingCounter(uint64_t Max, uint64_t Initial = 0)
+      : Value(Initial), Max(Max) {
+    assert(Initial <= Max && "initial value exceeds the saturation bound");
+  }
+
+  /// Adds \p Amount, saturating at the maximum.  Returns true if the counter
+  /// is saturated (== Max) afterwards.
+  bool add(uint64_t Amount) {
+    Value = (Amount > Max - Value) ? Max : Value + Amount;
+    return Value == Max;
+  }
+
+  /// Subtracts \p Amount, saturating at zero.
+  void sub(uint64_t Amount) { Value = (Amount > Value) ? 0 : Value - Amount; }
+
+  /// Resets the counter to zero.
+  void reset() { Value = 0; }
+
+  uint64_t value() const { return Value; }
+  uint64_t max() const { return Max; }
+  bool isSaturated() const { return Value == Max; }
+
+private:
+  uint64_t Value = 0;
+  uint64_t Max = 0;
+};
+
+} // namespace specctrl
+
+#endif // SPECCTRL_SUPPORT_SATURATINGCOUNTER_H

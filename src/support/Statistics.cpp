@@ -1,0 +1,67 @@
+//===- support/Statistics.cpp - Online summary statistics ----------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace specctrl;
+
+void OnlineStats::merge(const OnlineStats &Other) {
+  if (Other.N == 0)
+    return;
+  if (N == 0) {
+    *this = Other;
+    return;
+  }
+  const double Delta = Other.Mean - Mean;
+  const uint64_t Combined = N + Other.N;
+  Mean += Delta * static_cast<double>(Other.N) / static_cast<double>(Combined);
+  M2 += Other.M2 + Delta * Delta * static_cast<double>(N) *
+                       static_cast<double>(Other.N) /
+                       static_cast<double>(Combined);
+  Total += Other.Total;
+  if (Other.Min < Min)
+    Min = Other.Min;
+  if (Other.Max > Max)
+    Max = Other.Max;
+  N = Combined;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void Log2Histogram::add(uint64_t X, uint64_t Weight) {
+  unsigned K = 0;
+  if (X > 1) {
+    K = 63 - static_cast<unsigned>(__builtin_clzll(X));
+  }
+  Buckets[K] += Weight;
+  N += Weight;
+}
+
+double Log2Histogram::quantile(double Q) const {
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile argument out of range");
+  if (N == 0)
+    return 0.0;
+  const double Target = Q * static_cast<double>(N);
+  double Seen = 0.0;
+  for (unsigned K = 0; K < Buckets.size(); ++K) {
+    if (Buckets[K] == 0)
+      continue;
+    const double Next = Seen + static_cast<double>(Buckets[K]);
+    if (Next >= Target) {
+      const double Frac =
+          Buckets[K] ? (Target - Seen) / static_cast<double>(Buckets[K]) : 0.0;
+      const double Lo = static_cast<double>(bucketLow(K));
+      const double Hi = static_cast<double>(
+          K + 1 < Buckets.size() ? bucketLow(K + 1) : bucketLow(K) * 2);
+      return Lo + Frac * (Hi - Lo);
+    }
+    Seen = Next;
+  }
+  return static_cast<double>(bucketLow(static_cast<unsigned>(Buckets.size()) - 1));
+}

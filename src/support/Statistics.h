@@ -1,0 +1,91 @@
+//===- support/Statistics.h - Online summary statistics --------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming summary statistics (count/mean/variance/min/max via Welford's
+/// algorithm) and a log2-bucketed histogram used for distributions such as
+/// misspeculation distances (Table 3) and transition-vicinity bias (Fig. 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_SUPPORT_STATISTICS_H
+#define SPECCTRL_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace specctrl {
+
+/// Single-pass mean/variance/min/max accumulator (Welford).
+class OnlineStats {
+public:
+  /// Adds one observation.
+  void add(double X) {
+    ++N;
+    const double Delta = X - Mean;
+    Mean += Delta / static_cast<double>(N);
+    M2 += Delta * (X - Mean);
+    if (X < Min)
+      Min = X;
+    if (X > Max)
+      Max = X;
+    Total += X;
+  }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void merge(const OnlineStats &Other);
+
+  uint64_t count() const { return N; }
+  double sum() const { return Total; }
+  double mean() const { return N ? Mean : 0.0; }
+  /// Population variance; zero for fewer than two observations.
+  double variance() const {
+    return N > 1 ? M2 / static_cast<double>(N) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return N ? Min : 0.0; }
+  double max() const { return N ? Max : 0.0; }
+
+private:
+  uint64_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Total = 0.0;
+  double Min = std::numeric_limits<double>::infinity();
+  double Max = -std::numeric_limits<double>::infinity();
+};
+
+/// A histogram over uint64 values with log2-spaced buckets: bucket k holds
+/// values in [2^k, 2^(k+1)) with bucket 0 holding {0, 1}.  Suited for
+/// long-tailed distributions such as misspeculation distances.
+class Log2Histogram {
+public:
+  Log2Histogram() : Buckets(65, 0) {}
+
+  void add(uint64_t X, uint64_t Weight = 1);
+
+  uint64_t count() const { return N; }
+  uint64_t bucketCount(unsigned K) const { return Buckets[K]; }
+  unsigned numBuckets() const { return static_cast<unsigned>(Buckets.size()); }
+
+  /// Returns the lower bound of bucket \p K's value range.
+  static uint64_t bucketLow(unsigned K) {
+    return K == 0 ? 0 : (1ull << K);
+  }
+
+  /// Returns the value below which \p Q (in [0,1]) of the mass lies,
+  /// interpolated linearly within the containing bucket.
+  double quantile(double Q) const;
+
+private:
+  std::vector<uint64_t> Buckets;
+  uint64_t N = 0;
+};
+
+} // namespace specctrl
+
+#endif // SPECCTRL_SUPPORT_STATISTICS_H

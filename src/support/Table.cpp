@@ -1,0 +1,106 @@
+//===- support/Table.cpp - Aligned text table / CSV writer ---------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+using namespace specctrl;
+
+Table::Table(std::vector<std::string> Headers) : Headers(std::move(Headers)) {
+  assert(!this->Headers.empty() && "a table needs at least one column");
+}
+
+Table &Table::row() {
+  assert((Rows.empty() || Rows.back().size() == Headers.size()) &&
+         "previous row is incomplete");
+  Rows.emplace_back();
+  Rows.back().reserve(Headers.size());
+  return *this;
+}
+
+Table &Table::cell(const std::string &Value) {
+  assert(!Rows.empty() && "cell() before row()");
+  assert(Rows.back().size() < Headers.size() && "row has too many cells");
+  Rows.back().push_back(Value);
+  return *this;
+}
+
+Table &Table::cell(const char *Value) { return cell(std::string(Value)); }
+
+Table &Table::cell(uint64_t Value) { return cell(std::to_string(Value)); }
+
+Table &Table::cell(int64_t Value) { return cell(std::to_string(Value)); }
+
+Table &Table::cell(double Value, int Digits) {
+  return cell(formatDouble(Value, Digits));
+}
+
+Table &Table::cellPercent(double Value, int Digits) {
+  return cell(formatPercent(Value, Digits));
+}
+
+void Table::printText(std::ostream &OS) const {
+  std::vector<size_t> Widths(Headers.size());
+  for (unsigned C = 0; C < Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (unsigned C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Cells) {
+    for (unsigned C = 0; C < Headers.size(); ++C) {
+      const std::string &Cell = C < Cells.size() ? Cells[C] : std::string();
+      const size_t Pad = Widths[C] - Cell.size();
+      if (C == 0) {
+        OS << Cell << std::string(Pad, ' ');
+      } else {
+        OS << "  " << std::string(Pad, ' ') << Cell;
+      }
+    }
+    OS << '\n';
+  };
+
+  PrintRow(Headers);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  OS << std::string(Total > 2 ? Total - 2 : Total, '-') << '\n';
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+void Table::printCsv(std::ostream &OS) const {
+  auto Escape = [](const std::string &Cell) {
+    if (Cell.find_first_of(",\"\n") == std::string::npos)
+      return Cell;
+    std::string Out = "\"";
+    for (char Ch : Cell) {
+      if (Ch == '"')
+        Out += '"';
+      Out += Ch;
+    }
+    Out += '"';
+    return Out;
+  };
+
+  auto PrintRow = [&](const std::vector<std::string> &Cells) {
+    for (unsigned C = 0; C < Cells.size(); ++C) {
+      if (C)
+        OS << ',';
+      OS << Escape(Cells[C]);
+    }
+    OS << '\n';
+  };
+
+  PrintRow(Headers);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}

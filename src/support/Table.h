@@ -1,0 +1,68 @@
+//===- support/Table.h - Aligned text table / CSV writer -------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A column-aligned text table writer with an optional CSV mode.  Every
+/// bench binary uses this to print the rows/series the paper reports, so
+/// the two render paths share one data model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_SUPPORT_TABLE_H
+#define SPECCTRL_SUPPORT_TABLE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace specctrl {
+
+/// Accumulates rows of string cells and renders them either as an aligned
+/// text table or as CSV.
+class Table {
+public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> Headers);
+
+  /// Starts a new row.  Subsequent cell() calls fill it left to right.
+  Table &row();
+
+  /// Appends one cell to the current row.
+  Table &cell(const std::string &Value);
+  Table &cell(const char *Value);
+  Table &cell(uint64_t Value);
+  Table &cell(int64_t Value);
+  Table &cell(int Value) { return cell(static_cast<int64_t>(Value)); }
+  Table &cell(unsigned Value) { return cell(static_cast<uint64_t>(Value)); }
+  /// Appends a double formatted with \p Digits decimal places.
+  Table &cell(double Value, int Digits = 3);
+  /// Appends the ratio \p Value as a percentage with \p Digits decimals.
+  Table &cellPercent(double Value, int Digits = 1);
+
+  unsigned numRows() const { return static_cast<unsigned>(Rows.size()); }
+  unsigned numColumns() const { return static_cast<unsigned>(Headers.size()); }
+
+  /// Renders an aligned text table (first column left-aligned, the rest
+  /// right-aligned).
+  void printText(std::ostream &OS) const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void printCsv(std::ostream &OS) const;
+
+  /// Renders in the format selected by \p Csv.
+  void print(std::ostream &OS, bool Csv) const {
+    Csv ? printCsv(OS) : printText(OS);
+  }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace specctrl
+
+#endif // SPECCTRL_SUPPORT_TABLE_H

@@ -1,0 +1,102 @@
+//===- workload/TraceFile.cpp - Binary trace record/replay ----------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/TraceFile.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+using namespace specctrl;
+using namespace specctrl::workload;
+
+namespace {
+
+constexpr char Magic[4] = {'S', 'C', 'T', '1'};
+
+void putU32(std::ostream &OS, uint32_t V) {
+  // Little-endian, explicitly, so traces are portable.
+  const char Bytes[4] = {
+      static_cast<char>(V & 0xFF), static_cast<char>((V >> 8) & 0xFF),
+      static_cast<char>((V >> 16) & 0xFF),
+      static_cast<char>((V >> 24) & 0xFF)};
+  OS.write(Bytes, 4);
+}
+
+void putU64(std::ostream &OS, uint64_t V) {
+  putU32(OS, static_cast<uint32_t>(V & 0xFFFFFFFFu));
+  putU32(OS, static_cast<uint32_t>(V >> 32));
+}
+
+bool getU32(std::istream &IS, uint32_t &V) {
+  unsigned char Bytes[4];
+  if (!IS.read(reinterpret_cast<char *>(Bytes), 4))
+    return false;
+  V = static_cast<uint32_t>(Bytes[0]) |
+      (static_cast<uint32_t>(Bytes[1]) << 8) |
+      (static_cast<uint32_t>(Bytes[2]) << 16) |
+      (static_cast<uint32_t>(Bytes[3]) << 24);
+  return true;
+}
+
+bool getU64(std::istream &IS, uint64_t &V) {
+  uint32_t Lo = 0, Hi = 0;
+  if (!getU32(IS, Lo) || !getU32(IS, Hi))
+    return false;
+  V = static_cast<uint64_t>(Hi) << 32 | Lo;
+  return true;
+}
+
+} // namespace
+
+uint64_t workload::writeTrace(std::ostream &OS, TraceGenerator &Gen) {
+  OS.write(Magic, 4);
+  putU32(OS, Gen.spec().numSites());
+  const uint64_t Remaining = Gen.totalEvents() - Gen.eventsGenerated();
+  putU64(OS, Remaining);
+  putU32(OS, Gen.spec().MinGap);
+  putU32(OS, Gen.spec().MaxGap);
+
+  uint64_t Written = 0;
+  BranchEvent E;
+  while (Gen.next(E)) {
+    if (E.Site > TraceFileLimits::MaxSite || E.Gap > TraceFileLimits::MaxGap)
+      return 0;
+    const uint32_t Word = (E.Site << 8) |
+                          (static_cast<uint32_t>(E.Taken) << 7) | E.Gap;
+    putU32(OS, Word);
+    ++Written;
+  }
+  return OS.good() ? Written : 0;
+}
+
+TraceFileReader::TraceFileReader(std::istream &IS) : IS(IS) {
+  char Header[4];
+  if (!IS.read(Header, 4) || !std::equal(Header, Header + 4, Magic))
+    return;
+  uint32_t MinGap = 0, MaxGap = 0;
+  if (!getU32(IS, NumSites) || !getU64(IS, TotalEvents) ||
+      !getU32(IS, MinGap) || !getU32(IS, MaxGap))
+    return;
+  Valid = true;
+}
+
+bool TraceFileReader::next(BranchEvent &Event) {
+  if (!Valid || NextIndex >= TotalEvents)
+    return false;
+  uint32_t Word = 0;
+  if (!getU32(IS, Word)) {
+    Truncated = true;
+    return false;
+  }
+  Event.Site = Word >> 8;
+  Event.Taken = (Word >> 7) & 1;
+  Event.Gap = Word & 0x7F;
+  Event.Index = NextIndex++;
+  InstRet += Event.Gap + 1;
+  Event.InstRet = InstRet;
+  return true;
+}

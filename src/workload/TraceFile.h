@@ -1,0 +1,72 @@
+//===- workload/TraceFile.h - Binary trace record/replay --------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compact binary recording and replay of branch-event traces, the
+/// real-system workflow of trace-driven studies: record a run once, then
+/// replay it against any number of controller configurations without
+/// paying generation cost (or needing the workload's seeds at all).
+///
+/// Format "SCT1": a 24-byte header (magic, site count, event count,
+/// min/max gap) followed by one 32-bit word per event
+/// (site:24 | taken:1 | gap:7).  Event index and cumulative instruction
+/// counts are reconstructed during replay, so a replayed stream is
+/// bit-identical to the recorded one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_WORKLOAD_TRACEFILE_H
+#define SPECCTRL_WORKLOAD_TRACEFILE_H
+
+#include "workload/TraceGenerator.h"
+
+#include <iosfwd>
+
+namespace specctrl {
+namespace workload {
+
+/// Hard limits of the on-disk format.
+struct TraceFileLimits {
+  static constexpr uint32_t MaxSite = (1u << 24) - 1;
+  static constexpr uint32_t MaxGap = (1u << 7) - 1;
+};
+
+/// Drains \p Gen to \p OS in SCT1 format.  Returns the number of events
+/// written, or 0 on failure (an event exceeded the format limits or the
+/// stream went bad).
+uint64_t writeTrace(std::ostream &OS, TraceGenerator &Gen);
+
+/// Streams a recorded trace back as BranchEvents.
+class TraceFileReader {
+public:
+  /// Binds to \p IS and parses the header; valid() reports success.
+  explicit TraceFileReader(std::istream &IS);
+
+  bool valid() const { return Valid; }
+  uint32_t numSites() const { return NumSites; }
+  uint64_t totalEvents() const { return TotalEvents; }
+
+  /// Produces the next event; false at end (or on a truncated file, which
+  /// truncated() then reports).
+  bool next(BranchEvent &Event);
+
+  /// True if the stream ended before totalEvents() were read.
+  bool truncated() const { return Truncated; }
+
+private:
+  std::istream &IS;
+  bool Valid = false;
+  bool Truncated = false;
+  uint32_t NumSites = 0;
+  uint64_t TotalEvents = 0;
+  uint64_t NextIndex = 0;
+  uint64_t InstRet = 0;
+};
+
+} // namespace workload
+} // namespace specctrl
+
+#endif // SPECCTRL_WORKLOAD_TRACEFILE_H

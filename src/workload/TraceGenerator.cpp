@@ -1,0 +1,98 @@
+//===- workload/TraceGenerator.cpp - Branch-event stream ------------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/TraceGenerator.h"
+
+#include <cassert>
+
+using namespace specctrl;
+using namespace specctrl::workload;
+
+TraceGenerator::TraceGenerator(const WorkloadSpec &Spec,
+                               const InputConfig &In)
+    : Spec(Spec), Input(In), R(0) {
+  assert(Spec.numSites() > 0 && "workload has no branch sites");
+  assert(Spec.NumPhases >= 1 && Spec.NumPhases <= 16 &&
+         "phase count out of range");
+  assert(Spec.MinGap >= 1 && Spec.MinGap <= Spec.MaxGap &&
+         "bad instruction-gap range");
+  buildPhaseTables();
+  reset();
+}
+
+void TraceGenerator::buildPhaseTables() {
+  PhaseSites.assign(Spec.NumPhases, {});
+  PhaseTables.assign(Spec.NumPhases, AliasTable());
+  for (unsigned P = 0; P < Spec.NumPhases; ++P) {
+    std::vector<double> Weights;
+    for (SiteId S = 0; S < Spec.numSites(); ++S) {
+      if (!Spec.siteActive(S, Input, P))
+        continue;
+      PhaseSites[P].push_back(S);
+      Weights.push_back(Spec.Sites[S].Weight);
+    }
+    // A phase with no active sites falls back to the whole site table so a
+    // badly gated input still produces a full-length run.
+    if (PhaseSites[P].empty()) {
+      for (SiteId S = 0; S < Spec.numSites(); ++S) {
+        PhaseSites[P].push_back(S);
+        Weights.push_back(Spec.Sites[S].Weight);
+      }
+    }
+    PhaseTables[P].build(Weights);
+  }
+  EventsPerPhase = Input.Events / Spec.NumPhases;
+  if (EventsPerPhase == 0)
+    EventsPerPhase = Input.Events ? Input.Events : 1;
+}
+
+void TraceGenerator::reset() {
+  // The event stream must be identical across resets and independent of the
+  // input's parameter bits, so seed from (workload, input name length,
+  // input seed).
+  R.reseed(Spec.Seed ^ (Input.Seed * 0x9E3779B97F4A7C15ull));
+  ExecCounts.assign(Spec.numSites(), 0);
+  States.assign(Spec.numSites(), BehaviorState());
+  NextIndex = 0;
+  InstRet = 0;
+}
+
+bool TraceGenerator::next(BranchEvent &Event) {
+  if (NextIndex >= Input.Events)
+    return false;
+
+  unsigned Phase =
+      static_cast<unsigned>(NextIndex / EventsPerPhase);
+  if (Phase >= Spec.NumPhases)
+    Phase = Spec.NumPhases - 1; // remainder events stay in the last phase
+
+  const uint32_t Pick = PhaseTables[Phase].sample(R);
+  const SiteId Site = PhaseSites[Phase][Pick];
+  const SiteSpec &SS = Spec.Sites[Site];
+
+  const uint64_t Exec = ExecCounts[Site]++;
+  const bool GroupOn =
+      SS.Behavior.Kind == BehaviorKind::PhaseGroup
+          ? Spec.groupOnInPhase(SS.Behavior.GroupId, Phase)
+          : true;
+  const bool InputFlip = SS.Behavior.Kind == BehaviorKind::InputDependent &&
+                         Input.parameterBit(Site);
+  const bool Taken =
+      drawOutcome(SS.Behavior, Exec, GroupOn, InputFlip, States[Site], R);
+
+  const uint32_t Gap =
+      Spec.MinGap == Spec.MaxGap
+          ? Spec.MinGap
+          : static_cast<uint32_t>(R.nextInRange(Spec.MinGap, Spec.MaxGap));
+  InstRet += Gap + 1;
+
+  Event.Site = Site;
+  Event.Taken = Taken;
+  Event.Gap = Gap;
+  Event.Index = NextIndex++;
+  Event.InstRet = InstRet;
+  return true;
+}

@@ -1,0 +1,80 @@
+//===- workload/TraceGenerator.h - Branch-event stream ----------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates the dynamic branch-event stream of a synthetic workload under
+/// a chosen input.  This is the trace the paper's functional simulator
+/// produces from whole SPEC runs: a sequence of (static site, outcome)
+/// pairs separated by non-branch instructions.  Generation is deterministic
+/// in (WorkloadSpec, InputConfig).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_WORKLOAD_TRACEGENERATOR_H
+#define SPECCTRL_WORKLOAD_TRACEGENERATOR_H
+
+#include "support/AliasTable.h"
+#include "workload/Workload.h"
+
+#include <vector>
+
+namespace specctrl {
+namespace workload {
+
+/// One dynamic execution of a static branch site.
+struct BranchEvent {
+  SiteId Site = 0;
+  bool Taken = false;
+  /// Non-branch instructions retired since the previous branch.
+  uint32_t Gap = 0;
+  /// 0-based index of this event in the run.
+  uint64_t Index = 0;
+  /// Dynamic instructions retired up to and including this branch.
+  uint64_t InstRet = 0;
+};
+
+/// Streams the branch events of one (workload, input) run.
+class TraceGenerator {
+public:
+  TraceGenerator(const WorkloadSpec &Spec, const InputConfig &In);
+
+  /// Produces the next event.  Returns false when the run is complete.
+  bool next(BranchEvent &Event);
+
+  /// Restarts the run from the beginning (identical stream).
+  void reset();
+
+  uint64_t totalEvents() const { return Input.Events; }
+  uint64_t eventsGenerated() const { return NextIndex; }
+  uint64_t instructionsRetired() const { return InstRet; }
+  const WorkloadSpec &spec() const { return Spec; }
+  const InputConfig &input() const { return Input; }
+
+  /// Per-site execution counts so far (for tests and analyses).
+  const std::vector<uint64_t> &siteExecCounts() const { return ExecCounts; }
+
+private:
+  void buildPhaseTables();
+
+  const WorkloadSpec &Spec;
+  InputConfig Input;
+  Rng R;
+
+  /// Per phase: the active site list and an alias table over its weights.
+  std::vector<std::vector<SiteId>> PhaseSites;
+  std::vector<AliasTable> PhaseTables;
+  uint64_t EventsPerPhase = 0;
+
+  std::vector<uint64_t> ExecCounts;
+  std::vector<BehaviorState> States;
+  uint64_t NextIndex = 0;
+  uint64_t InstRet = 0;
+};
+
+} // namespace workload
+} // namespace specctrl
+
+#endif // SPECCTRL_WORKLOAD_TRACEGENERATOR_H

@@ -1,0 +1,55 @@
+//===- tests/core/ControlStatsTest.cpp ------------------------------------===//
+
+#include "core/ControlStats.h"
+
+#include <gtest/gtest.h>
+
+using namespace specctrl;
+using namespace specctrl::core;
+
+TEST(ControlStatsTest, EmptyStatsAreZero) {
+  ControlStats S;
+  EXPECT_DOUBLE_EQ(S.correctRate(), 0.0);
+  EXPECT_DOUBLE_EQ(S.incorrectRate(), 0.0);
+  EXPECT_DOUBLE_EQ(S.misspecDistance(), 0.0);
+  EXPECT_EQ(S.touchedCount(), 0u);
+  EXPECT_EQ(S.everBiasedCount(), 0u);
+  EXPECT_EQ(S.evictedSiteCount(), 0u);
+}
+
+TEST(ControlStatsTest, RatesAndDistance) {
+  ControlStats S;
+  S.Branches = 1000;
+  S.CorrectSpecs = 400;
+  S.IncorrectSpecs = 10;
+  S.LastInstRet = 65000;
+  EXPECT_DOUBLE_EQ(S.correctRate(), 0.4);
+  EXPECT_DOUBLE_EQ(S.incorrectRate(), 0.01);
+  EXPECT_DOUBLE_EQ(S.misspecDistance(), 6500.0);
+}
+
+TEST(ControlStatsTest, TouchGrowsAllPerSiteVectors) {
+  ControlStats S;
+  S.touch(5);
+  ASSERT_EQ(S.Touched.size(), 6u);
+  ASSERT_EQ(S.EverBiased.size(), 6u);
+  ASSERT_EQ(S.SiteEvictions.size(), 6u);
+  EXPECT_EQ(S.touchedCount(), 1u);
+  S.touch(2);
+  EXPECT_EQ(S.touchedCount(), 2u);
+  EXPECT_EQ(S.Touched.size(), 6u); // no shrink
+  S.touch(5);                      // idempotent
+  EXPECT_EQ(S.touchedCount(), 2u);
+}
+
+TEST(ControlStatsTest, PerSiteCounters) {
+  ControlStats S;
+  S.touch(0);
+  S.touch(1);
+  S.touch(2);
+  S.EverBiased[0] = 1;
+  S.EverBiased[2] = 1;
+  S.SiteEvictions[2] = 3;
+  EXPECT_EQ(S.everBiasedCount(), 2u);
+  EXPECT_EQ(S.evictedSiteCount(), 1u);
+}

@@ -1,0 +1,75 @@
+//===- tests/core/DriverTest.cpp ------------------------------------------===//
+
+#include "core/Driver.h"
+
+#include "core/ReactiveController.h"
+
+#include <gtest/gtest.h>
+
+using namespace specctrl;
+using namespace specctrl::core;
+using namespace specctrl::workload;
+
+namespace {
+
+WorkloadSpec twoSiteSpec() {
+  WorkloadSpec Spec;
+  Spec.Name = "drv";
+  Spec.Seed = 5;
+  Spec.RefEvents = 100000;
+  Spec.NumPhases = 1;
+  SiteSpec Biased;
+  Biased.Behavior = BehaviorSpec::fixed(0.9995);
+  Biased.Weight = 3.0;
+  SiteSpec Noise;
+  Noise.Behavior = BehaviorSpec::fixed(0.5);
+  Noise.Weight = 1.0;
+  Spec.Sites = {Biased, Noise};
+  return Spec;
+}
+
+} // namespace
+
+TEST(DriverTest, RunsWholeTrace) {
+  const WorkloadSpec Spec = twoSiteSpec();
+  ReactiveConfig Cfg;
+  Cfg.MonitorPeriod = 1000;
+  Cfg.OptLatency = 0;
+  ReactiveController C(Cfg);
+  const ControlStats &S = runWorkload(C, Spec, Spec.refInput());
+  EXPECT_EQ(S.Branches, Spec.RefEvents);
+  EXPECT_EQ(S.touchedCount(), 2u);
+  // The biased site gets selected and speculated at ~75% of events.
+  EXPECT_GT(S.correctRate(), 0.5);
+  EXPECT_LT(S.incorrectRate(), 0.01);
+}
+
+TEST(DriverTest, HookSeesEveryEventAndVerdict) {
+  const WorkloadSpec Spec = twoSiteSpec();
+  ReactiveConfig Cfg;
+  Cfg.MonitorPeriod = 1000;
+  Cfg.OptLatency = 0;
+  ReactiveController C(Cfg);
+
+  uint64_t Events = 0, Speculated = 0;
+  workload::TraceGenerator Gen(Spec, Spec.refInput());
+  const ControlStats &S = runTrace(
+      C, Gen, [&](const BranchEvent &E, const BranchVerdict &V) {
+        ++Events;
+        Speculated += V.Speculated;
+        EXPECT_LT(E.Site, 2u);
+      });
+  EXPECT_EQ(Events, Spec.RefEvents);
+  EXPECT_EQ(Speculated, S.CorrectSpecs + S.IncorrectSpecs);
+}
+
+TEST(DriverTest, PartiallyConsumedGeneratorFinishes) {
+  const WorkloadSpec Spec = twoSiteSpec();
+  workload::TraceGenerator Gen(Spec, Spec.refInput());
+  BranchEvent E;
+  for (int I = 0; I < 1000; ++I)
+    ASSERT_TRUE(Gen.next(E));
+  ReactiveController C(ReactiveConfig{});
+  const ControlStats &S = runTrace(C, Gen);
+  EXPECT_EQ(S.Branches, Spec.RefEvents - 1000);
+}

@@ -1,0 +1,114 @@
+//===- tests/core/ValueInvarianceTest.cpp ---------------------------------===//
+
+#include "core/ValueInvariance.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace specctrl;
+using namespace specctrl::core;
+
+namespace {
+
+ReactiveConfig fastConfig() {
+  ReactiveConfig C;
+  C.MonitorPeriod = 1000;
+  C.WaitPeriod = 10000;
+  C.OptLatency = 0;
+  return C;
+}
+
+} // namespace
+
+TEST(ValueInvarianceTest, DeploysInvariantLoad) {
+  ValueInvarianceController C(fastConfig());
+  uint64_t InstRet = 0;
+  for (int I = 0; I < 1000; ++I)
+    C.onLoad(0, 32, InstRet += 5);
+  ASSERT_TRUE(C.isDeployed(0));
+  EXPECT_EQ(C.deployedValue(0), 32u);
+  const auto V = C.onLoad(0, 32, InstRet += 5);
+  EXPECT_TRUE(V.Speculated);
+  EXPECT_TRUE(V.Correct);
+}
+
+TEST(ValueInvarianceTest, NeverDeploysVaryingLoad) {
+  ValueInvarianceController C(fastConfig());
+  uint64_t InstRet = 0;
+  Rng R(3);
+  for (int I = 0; I < 20000; ++I)
+    C.onLoad(0, R.nextBelow(7), InstRet += 5);
+  EXPECT_FALSE(C.isDeployed(0));
+  EXPECT_EQ(C.stats().DeployRequests, 0u);
+}
+
+TEST(ValueInvarianceTest, EvictsWhenConstantChanges) {
+  // "x.d is frequently 32" ... until the program phase changes and it is
+  // frequently 48: the compiled-in constant must be ripped out and the
+  // new one learned.
+  ValueInvarianceController C(fastConfig());
+  uint64_t InstRet = 0;
+  for (int I = 0; I < 1000; ++I)
+    C.onLoad(0, 32, InstRet += 5);
+  ASSERT_TRUE(C.isDeployed(0));
+
+  // The constant changes: misspeculations accumulate, eviction fires.
+  for (int I = 0; I < 200; ++I)
+    C.onLoad(0, 48, InstRet += 5);
+  EXPECT_EQ(C.stats().Evictions, 1u);
+  EXPECT_FALSE(C.isDeployed(0));
+
+  // After re-monitoring, the NEW constant is deployed.
+  for (int I = 0; I < 1200; ++I)
+    C.onLoad(0, 48, InstRet += 5);
+  ASSERT_TRUE(C.isDeployed(0));
+  EXPECT_EQ(C.deployedValue(0), 48u);
+}
+
+TEST(ValueInvarianceTest, CandidateFrozenWhileDeployed) {
+  ValueInvarianceController C(fastConfig());
+  uint64_t InstRet = 0;
+  for (int I = 0; I < 1000; ++I)
+    C.onLoad(0, 7, InstRet += 5);
+  ASSERT_TRUE(C.isDeployed(0));
+  // A burst of different values must not silently rebind the compiled-in
+  // constant (it must misspeculate instead).
+  for (int I = 0; I < 100; ++I) {
+    const auto V = C.onLoad(0, 9, InstRet += 5);
+    EXPECT_TRUE(V.Speculated);
+    EXPECT_FALSE(V.Correct);
+    EXPECT_EQ(V.SpeculatedValue, 7u);
+  }
+  EXPECT_EQ(C.deployedValue(0), 7u);
+}
+
+TEST(ValueInvarianceTest, NearInvariantLoadTolerated) {
+  // 99.9%-invariant: deployed, with the 0.1% counted as misspeculations
+  // and no eviction (hysteresis).
+  ValueInvarianceController C(fastConfig());
+  uint64_t InstRet = 0;
+  Rng R(11);
+  uint64_t Wrong = 0;
+  for (int I = 0; I < 50000; ++I) {
+    const uint64_t Value = R.nextBool(0.999) ? 5 : R.nextBelow(100) + 10;
+    const auto V = C.onLoad(0, Value, InstRet += 5);
+    Wrong += V.Speculated && !V.Correct;
+  }
+  EXPECT_TRUE(C.isDeployed(0));
+  EXPECT_EQ(C.stats().Evictions, 0u);
+  EXPECT_GT(Wrong, 0u);
+  EXPECT_LT(C.stats().incorrectRate(), 0.002);
+}
+
+TEST(ValueInvarianceTest, IndependentSites) {
+  ValueInvarianceController C(fastConfig());
+  uint64_t InstRet = 0;
+  Rng R(5);
+  for (int I = 0; I < 2000; ++I) {
+    C.onLoad(0, 1, InstRet += 5);
+    C.onLoad(1, R.nextBelow(16), InstRet += 5);
+  }
+  EXPECT_TRUE(C.isDeployed(0));
+  EXPECT_FALSE(C.isDeployed(1));
+}

@@ -1,0 +1,56 @@
+//===- tests/distill/CodeCacheTest.cpp ------------------------------------===//
+
+#include "distill/CodeCache.h"
+
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace specctrl;
+using namespace specctrl::distill;
+using namespace specctrl::ir;
+
+namespace {
+
+Function makeVersion(const char *Name, uint32_t Id) {
+  Function F(Name, Id, 4);
+  IRBuilder B(F);
+  B.setBlock(B.makeBlock());
+  B.ret();
+  return F;
+}
+
+} // namespace
+
+TEST(CodeCacheTest, EmptyHasNoVersions) {
+  CodeCache Cache;
+  EXPECT_EQ(Cache.current(0), nullptr);
+  EXPECT_EQ(Cache.versionCount(0), 0u);
+  EXPECT_EQ(Cache.totalVersions(), 0u);
+}
+
+TEST(CodeCacheTest, InstallAndCurrent) {
+  CodeCache Cache;
+  const Function *V1 = Cache.install(5, makeVersion("v1", 5));
+  EXPECT_EQ(Cache.current(5), V1);
+  EXPECT_EQ(Cache.versionCount(5), 1u);
+
+  const Function *V2 = Cache.install(5, makeVersion("v2", 5));
+  EXPECT_EQ(Cache.current(5), V2);
+  EXPECT_NE(V1, V2);
+  EXPECT_EQ(Cache.versionCount(5), 2u);
+  EXPECT_EQ(Cache.totalVersions(), 2u);
+}
+
+TEST(CodeCacheTest, PointersStableAcrossInstalls) {
+  CodeCache Cache;
+  const Function *First = Cache.install(1, makeVersion("a", 1));
+  const std::string NameBefore = First->name();
+  for (int I = 0; I < 100; ++I)
+    Cache.install(1, makeVersion("x", 1));
+  Cache.install(2, makeVersion("other", 2));
+  // The first pointer still dereferences to the same function.
+  EXPECT_EQ(First->name(), NameBefore);
+  EXPECT_EQ(Cache.versionCount(1), 101u);
+  EXPECT_EQ(Cache.totalVersions(), 102u);
+}

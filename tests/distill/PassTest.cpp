@@ -1,0 +1,254 @@
+//===- tests/distill/PassTest.cpp -----------------------------------------===//
+//
+// Unit tests for the distiller's individual passes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "distill/Distiller.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace specctrl;
+using namespace specctrl::distill;
+using namespace specctrl::ir;
+
+namespace {
+
+/// entry: load outcome; br -> then/else; both store to acc; join: ret.
+Function makeGadget() {
+  Function F("g", 0, 8);
+  IRBuilder B(F);
+  const uint32_t Entry = B.makeBlock();
+  const uint32_t Then = B.makeBlock();
+  const uint32_t Else = B.makeBlock();
+  const uint32_t Join = B.makeBlock();
+  B.setBlock(Entry);
+  B.load(1, 0, 100); // outcome
+  B.br(1, Then, Else, 7);
+  B.setBlock(Then);
+  B.movImm(2, 1);
+  B.store(0, 50, 2);
+  B.jmp(Join);
+  B.setBlock(Else);
+  B.movImm(2, 2);
+  B.store(0, 50, 2);
+  B.jmp(Join);
+  B.setBlock(Join);
+  B.ret();
+  return F;
+}
+
+} // namespace
+
+TEST(PassTest, BranchAssertionRewritesToJump) {
+  Function F = makeGadget();
+  std::vector<SiteId> Removed;
+  applyBranchAssertions(F, {{7, true}}, Removed);
+  ASSERT_EQ(Removed.size(), 1u);
+  EXPECT_EQ(Removed[0], 7u);
+  const Instruction &Term = F.block(0).terminator();
+  EXPECT_EQ(Term.Op, Opcode::Jmp);
+  EXPECT_EQ(Term.ThenTarget, 1u); // then-target for a taken assertion
+}
+
+TEST(PassTest, BranchAssertionUnknownSiteUntouched) {
+  Function F = makeGadget();
+  std::vector<SiteId> Removed;
+  applyBranchAssertions(F, {{99, true}}, Removed);
+  EXPECT_TRUE(Removed.empty());
+  EXPECT_EQ(F.block(0).terminator().Op, Opcode::Br);
+}
+
+TEST(PassTest, StraightenRemovesDeadArm) {
+  Function F = makeGadget();
+  std::vector<SiteId> Removed;
+  applyBranchAssertions(F, {{7, false}}, Removed);
+  EXPECT_TRUE(straightenFunction(F));
+  std::string Error;
+  ASSERT_TRUE(verifyFunction(F, &Error)) << Error;
+  // then-arm is unreachable and gone; everything merges into one block.
+  EXPECT_EQ(F.numBlocks(), 1u);
+  // The surviving code stores 2 (the else arm's constant).
+  bool SawMov2 = false;
+  for (const Instruction &I : F.block(0).Insts)
+    SawMov2 |= I.Op == Opcode::MovImm && I.Imm == 2;
+  EXPECT_TRUE(SawMov2);
+}
+
+TEST(PassTest, ValueSpeculationReplacesLoad) {
+  Function F = makeGadget();
+  const uint32_t N = applyValueSpeculation(F, {{{0, 0}, 32}});
+  EXPECT_EQ(N, 1u);
+  EXPECT_EQ(F.block(0).Insts[0].Op, Opcode::MovImm);
+  EXPECT_EQ(F.block(0).Insts[0].Imm, 32);
+  // Non-load locations are not rewritten.
+  Function G = makeGadget();
+  EXPECT_EQ(applyValueSpeculation(G, {{{0, 1}, 32}}), 0u);
+}
+
+TEST(PassTest, ConstantFoldingThroughAlu) {
+  Function F("cf", 0, 8);
+  IRBuilder B(F);
+  B.setBlock(B.makeBlock());
+  B.movImm(1, 10);
+  B.movImm(2, 3);
+  B.binary(Opcode::Add, 3, 1, 2); // 13
+  B.cmpLtImm(4, 3, 20);           // 1
+  B.store(0, 50, 3);
+  B.store(0, 51, 4);
+  B.ret();
+
+  EXPECT_TRUE(foldConstants(F));
+  EXPECT_EQ(F.block(0).Insts[2].Op, Opcode::MovImm);
+  EXPECT_EQ(F.block(0).Insts[2].Imm, 13);
+  EXPECT_EQ(F.block(0).Insts[3].Op, Opcode::MovImm);
+  EXPECT_EQ(F.block(0).Insts[3].Imm, 1);
+}
+
+TEST(PassTest, ConstantBranchBecomesJump) {
+  Function F("cb", 0, 4);
+  IRBuilder B(F);
+  const uint32_t Entry = B.makeBlock();
+  const uint32_t T = B.makeBlock();
+  const uint32_t E = B.makeBlock();
+  B.setBlock(Entry);
+  B.movImm(1, 0);
+  B.br(1, T, E, 3);
+  B.setBlock(T);
+  B.ret();
+  B.setBlock(E);
+  B.ret();
+
+  EXPECT_TRUE(foldConstants(F));
+  const Instruction &Term = F.block(0).terminator();
+  EXPECT_EQ(Term.Op, Opcode::Jmp);
+  EXPECT_EQ(Term.ThenTarget, E);
+}
+
+TEST(PassTest, FoldingMatchesInterpreterSemantics) {
+  // Signed comparison and wrapping arithmetic must fold exactly as the
+  // interpreter computes them.
+  Function F("sem", 0, 8);
+  IRBuilder B(F);
+  B.setBlock(B.makeBlock());
+  B.movImm(1, -1);
+  B.movImm(2, 1);
+  B.binary(Opcode::CmpLt, 3, 1, 2); // -1 < 1 (signed) -> 1
+  B.store(0, 60, 3);
+  B.movImm(4, INT64_MAX);
+  B.binary(Opcode::Add, 5, 4, 2); // wraps to INT64_MIN bit pattern
+  B.store(0, 61, 5);
+  B.ret();
+  EXPECT_TRUE(foldConstants(F));
+  EXPECT_EQ(F.block(0).Insts[2].Imm, 1);
+  EXPECT_EQ(static_cast<uint64_t>(F.block(0).Insts[5].Imm),
+            static_cast<uint64_t>(INT64_MAX) + 1);
+}
+
+TEST(PassTest, StrengthReductionWithOneConstant) {
+  Function F("sr", 0, 8);
+  IRBuilder B(F);
+  B.setBlock(B.makeBlock());
+  B.movImm(1, 32);                      // becomes dead after reduction
+  B.load(2, 0, 100);
+  B.binary(Opcode::CmpLt, 3, 2, 1);     // -> cmpltimm r2, 32
+  B.binary(Opcode::Add, 4, 1, 2);       // -> addimm r2, 32 (commutative)
+  B.binary(Opcode::CmpEq, 5, 1, 2);     // -> cmpeqimm r2, 32
+  B.binary(Opcode::CmpLt, 6, 1, 2);     // imm < reg: NOT expressible
+  B.store(0, 50, 3);
+  B.store(0, 51, 4);
+  B.store(0, 52, 5);
+  B.store(0, 53, 6);
+  B.ret();
+
+  EXPECT_TRUE(foldConstants(F));
+  EXPECT_EQ(F.block(0).Insts[2].Op, Opcode::CmpLtImm);
+  EXPECT_EQ(F.block(0).Insts[2].Imm, 32);
+  EXPECT_EQ(F.block(0).Insts[3].Op, Opcode::AddImm);
+  EXPECT_EQ(F.block(0).Insts[4].Op, Opcode::CmpEqImm);
+  EXPECT_EQ(F.block(0).Insts[5].Op, Opcode::CmpLt); // untouched
+  // The constant producer dies once nothing reads r1.
+  EXPECT_FALSE(eliminateDeadCode(F)); // r1 still read by the raw CmpLt
+}
+
+TEST(PassTest, StrengthReductionRetiresConstantProducer) {
+  Function F("srd", 0, 8);
+  IRBuilder B(F);
+  B.setBlock(B.makeBlock());
+  B.movImm(1, 32);
+  B.load(2, 0, 100);
+  B.binary(Opcode::CmpLt, 3, 2, 1);
+  B.store(0, 50, 3);
+  B.ret();
+  EXPECT_TRUE(foldConstants(F));
+  EXPECT_TRUE(eliminateDeadCode(F)); // movimm r1 is now dead
+  EXPECT_EQ(F.block(0).size(), 4u);
+}
+
+TEST(PassTest, DeadCodeEliminationDropsUnusedLoads) {
+  Function F("dce", 0, 8);
+  IRBuilder B(F);
+  B.setBlock(B.makeBlock());
+  B.load(1, 0, 100); // dead: r1 never used
+  B.movImm(2, 5);    // live: stored
+  B.movImm(3, 6);    // dead: overwritten
+  B.movImm(3, 7);    // live: stored
+  B.store(0, 50, 2);
+  B.store(0, 51, 3);
+  B.ret();
+
+  EXPECT_TRUE(eliminateDeadCode(F));
+  std::string Error;
+  ASSERT_TRUE(verifyFunction(F, &Error)) << Error;
+  EXPECT_EQ(F.block(0).size(), 5u); // two movs, two stores, ret
+  for (const Instruction &I : F.block(0).Insts)
+    EXPECT_NE(I.Op, Opcode::Load);
+}
+
+TEST(PassTest, DceKeepsValuesLiveAcrossBlocks) {
+  Function F("live", 0, 8);
+  IRBuilder B(F);
+  const uint32_t Entry = B.makeBlock();
+  const uint32_t Next = B.makeBlock();
+  B.setBlock(Entry);
+  B.load(1, 0, 100); // live in Next
+  B.jmp(Next);
+  B.setBlock(Next);
+  B.store(0, 50, 1);
+  B.ret();
+
+  EXPECT_FALSE(eliminateDeadCode(F));
+  EXPECT_EQ(F.block(0).Insts[0].Op, Opcode::Load);
+}
+
+TEST(PassTest, DceKeepsBranchConditions) {
+  Function F = makeGadget();
+  EXPECT_FALSE(eliminateDeadCode(F));
+  EXPECT_EQ(F.block(0).Insts[0].Op, Opcode::Load);
+}
+
+TEST(PassTest, DceHandlesLoopLiveness) {
+  // r1 accumulates across loop iterations; it must stay.
+  Function F("loop", 0, 8);
+  IRBuilder B(F);
+  const uint32_t Header = B.makeBlock();
+  const uint32_t Body = B.makeBlock();
+  const uint32_t Exit = B.makeBlock();
+  B.setBlock(Header);
+  B.load(2, 0, 100);
+  B.br(2, Body, Exit, 4);
+  B.setBlock(Body);
+  B.addImm(1, 1, 1);
+  B.jmp(Header);
+  B.setBlock(Exit);
+  B.store(0, 50, 1);
+  B.ret();
+  EXPECT_FALSE(eliminateDeadCode(F));
+  bool SawAdd = false;
+  for (const Instruction &I : F.block(Body).Insts)
+    SawAdd |= I.Op == Opcode::AddImm;
+  EXPECT_TRUE(SawAdd);
+}

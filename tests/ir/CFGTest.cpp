@@ -1,0 +1,90 @@
+//===- tests/ir/CFGTest.cpp -----------------------------------------------===//
+
+#include "ir/CFG.h"
+
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace specctrl;
+using namespace specctrl::ir;
+
+namespace {
+
+/// entry -> then/else -> join -> exit, plus one unreachable block.
+Function makeDiamondWithDeadBlock() {
+  Function F("f", 0, 4);
+  const uint32_t Entry = F.addBlock();
+  const uint32_t Then = F.addBlock();
+  const uint32_t Else = F.addBlock();
+  const uint32_t Join = F.addBlock();
+  const uint32_t Dead = F.addBlock();
+  F.block(Entry).Insts.push_back(Instruction::makeBr(0, Then, Else, 1));
+  F.block(Then).Insts.push_back(Instruction::makeJmp(Join));
+  F.block(Else).Insts.push_back(Instruction::makeJmp(Join));
+  F.block(Join).Insts.push_back(Instruction::makeHalt());
+  F.block(Dead).Insts.push_back(Instruction::makeJmp(Join));
+  return F;
+}
+
+} // namespace
+
+TEST(CFGTest, Successors) {
+  EXPECT_EQ(successors(Instruction::makeJmp(3)),
+            (std::vector<uint32_t>{3}));
+  EXPECT_EQ(successors(Instruction::makeBr(0, 1, 2, 5)),
+            (std::vector<uint32_t>{1, 2}));
+  // A degenerate branch with equal targets has one successor.
+  EXPECT_EQ(successors(Instruction::makeBr(0, 4, 4, 5)),
+            (std::vector<uint32_t>{4}));
+  EXPECT_TRUE(successors(Instruction::makeHalt()).empty());
+  EXPECT_TRUE(successors(Instruction::makeRet()).empty());
+}
+
+TEST(CFGTest, Predecessors) {
+  const Function F = makeDiamondWithDeadBlock();
+  const auto Preds = predecessors(F);
+  EXPECT_TRUE(Preds[0].empty());
+  EXPECT_EQ(Preds[1], (std::vector<uint32_t>{0}));
+  EXPECT_EQ(Preds[2], (std::vector<uint32_t>{0}));
+  // Join has then, else, and the dead block as predecessors.
+  EXPECT_EQ(Preds[3].size(), 3u);
+}
+
+TEST(CFGTest, Reachability) {
+  const Function F = makeDiamondWithDeadBlock();
+  const auto Reach = reachableBlocks(F);
+  EXPECT_TRUE(Reach[0]);
+  EXPECT_TRUE(Reach[1]);
+  EXPECT_TRUE(Reach[2]);
+  EXPECT_TRUE(Reach[3]);
+  EXPECT_FALSE(Reach[4]);
+}
+
+TEST(CFGTest, ReversePostOrderProperties) {
+  const Function F = makeDiamondWithDeadBlock();
+  const auto RPO = reversePostOrder(F);
+  ASSERT_EQ(RPO.size(), 4u); // dead block omitted
+  EXPECT_EQ(RPO.front(), 0u);
+  // Join must come after both then and else.
+  const auto Pos = [&](uint32_t B) {
+    return std::find(RPO.begin(), RPO.end(), B) - RPO.begin();
+  };
+  EXPECT_GT(Pos(3), Pos(1));
+  EXPECT_GT(Pos(3), Pos(2));
+}
+
+TEST(CFGTest, RPOHandlesLoops) {
+  Function F("loop", 0, 2);
+  const uint32_t Header = F.addBlock();
+  const uint32_t Body = F.addBlock();
+  const uint32_t Exit = F.addBlock();
+  F.block(Header).Insts.push_back(Instruction::makeBr(0, Body, Exit, 1));
+  F.block(Body).Insts.push_back(Instruction::makeJmp(Header));
+  F.block(Exit).Insts.push_back(Instruction::makeHalt());
+  const auto RPO = reversePostOrder(F);
+  ASSERT_EQ(RPO.size(), 3u);
+  EXPECT_EQ(RPO.front(), Header);
+}

@@ -1,0 +1,96 @@
+//===- tests/ir/IRBuilderTest.cpp -----------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace specctrl;
+using namespace specctrl::ir;
+
+TEST(IRBuilderTest, BuildsVerifiableDiamond) {
+  Module M;
+  Function &F = M.createFunction("diamond", 8);
+  IRBuilder B(F);
+  const uint32_t Entry = B.makeBlock();
+  const uint32_t Then = B.makeBlock();
+  const uint32_t Else = B.makeBlock();
+  const uint32_t Join = B.makeBlock();
+
+  B.setBlock(Entry);
+  B.load(1, 0, 16);
+  B.cmpLtImm(2, 1, 32);
+  B.br(2, Then, Else, /*Site=*/7);
+
+  B.setBlock(Then);
+  B.movImm(3, 1);
+  B.jmp(Join);
+
+  B.setBlock(Else);
+  B.movImm(3, 2);
+  B.jmp(Join);
+
+  B.setBlock(Join);
+  B.store(0, 8, 3);
+  B.ret();
+
+  std::string Error;
+  EXPECT_TRUE(verifyFunction(F, &Error)) << Error;
+  EXPECT_EQ(F.numBlocks(), 4u);
+  EXPECT_EQ(F.staticSize(), 9u);
+}
+
+TEST(IRBuilderTest, InstructionShapes) {
+  const Instruction MovI = Instruction::makeMovImm(3, -42);
+  EXPECT_EQ(MovI.Op, Opcode::MovImm);
+  EXPECT_EQ(MovI.Dest, 3);
+  EXPECT_EQ(MovI.Imm, -42);
+  EXPECT_TRUE(MovI.writesRegister());
+  EXPECT_FALSE(MovI.isTerminator());
+
+  const Instruction Br = Instruction::makeBr(1, 2, 3, 99);
+  EXPECT_TRUE(Br.isTerminator());
+  EXPECT_TRUE(Br.isConditionalBranch());
+  EXPECT_EQ(Br.Site, 99u);
+
+  const Instruction St = Instruction::makeStore(0, 8, 4);
+  EXPECT_TRUE(St.hasSideEffects());
+  EXPECT_FALSE(St.writesRegister());
+
+  const Instruction Ld = Instruction::makeLoad(2, 0, 100);
+  EXPECT_TRUE(Ld.writesRegister());
+  EXPECT_FALSE(Ld.hasSideEffects());
+}
+
+TEST(IRBuilderTest, ModuleEntryAndCallees) {
+  Module M;
+  Function &Callee = M.createFunction("callee", 2);
+  {
+    IRBuilder B(Callee);
+    B.setBlock(B.makeBlock());
+    B.ret();
+  }
+  Function &Main = M.createFunction("main", 2);
+  {
+    IRBuilder B(Main);
+    B.setBlock(B.makeBlock());
+    B.call(Callee.id());
+    B.halt();
+  }
+  M.setEntry(Main.id());
+  EXPECT_EQ(M.entry(), Main.id());
+  std::string Error;
+  EXPECT_TRUE(verifyModule(M, &Error)) << Error;
+}
+
+TEST(IRBuilderTest, OpcodePredicates) {
+  EXPECT_TRUE(isTerminator(Opcode::Halt));
+  EXPECT_TRUE(isTerminator(Opcode::Ret));
+  EXPECT_TRUE(isTerminator(Opcode::Jmp));
+  EXPECT_FALSE(isTerminator(Opcode::Add));
+  EXPECT_TRUE(hasSideEffects(Opcode::Call));
+  EXPECT_EQ(numRegSources(Opcode::Store), 2u);
+  EXPECT_EQ(numRegSources(Opcode::MovImm), 0u);
+  EXPECT_EQ(numRegSources(Opcode::Load), 1u);
+}

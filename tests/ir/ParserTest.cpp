@@ -1,0 +1,198 @@
+//===- tests/ir/ParserTest.cpp --------------------------------------------===//
+//
+// SimIR parser tests, including printer round trips on synthesized and
+// distilled code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "distill/Distiller.h"
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "workload/ProgramSynthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace specctrl;
+using namespace specctrl::ir;
+
+namespace {
+
+/// Structural equality of two functions.
+void expectFunctionsEqual(const Function &A, const Function &B) {
+  ASSERT_EQ(A.numBlocks(), B.numBlocks());
+  EXPECT_EQ(A.name(), B.name());
+  EXPECT_EQ(A.id(), B.id());
+  EXPECT_EQ(A.numRegs(), B.numRegs());
+  for (uint32_t Blk = 0; Blk < A.numBlocks(); ++Blk) {
+    ASSERT_EQ(A.block(Blk).size(), B.block(Blk).size()) << "bb" << Blk;
+    for (size_t I = 0; I < A.block(Blk).size(); ++I)
+      EXPECT_EQ(instructionToString(A.block(Blk).Insts[I]),
+                instructionToString(B.block(Blk).Insts[I]))
+          << "bb" << Blk << " inst " << I;
+  }
+}
+
+} // namespace
+
+TEST(ParserTest, EveryInstructionFormRoundTrips) {
+  const Instruction Forms[] = {
+      Instruction::makeNop(),
+      Instruction::makeMovImm(3, -42),
+      Instruction::makeMov(2, 1),
+      Instruction::makeBinary(Opcode::Add, 1, 2, 3),
+      Instruction::makeBinary(Opcode::Sub, 1, 2, 3),
+      Instruction::makeBinary(Opcode::Mul, 1, 2, 3),
+      Instruction::makeBinary(Opcode::And, 1, 2, 3),
+      Instruction::makeBinary(Opcode::Or, 1, 2, 3),
+      Instruction::makeBinary(Opcode::Xor, 1, 2, 3),
+      Instruction::makeBinary(Opcode::Shl, 1, 2, 3),
+      Instruction::makeBinary(Opcode::Shr, 1, 2, 3),
+      Instruction::makeBinary(Opcode::CmpLt, 1, 2, 3),
+      Instruction::makeBinary(Opcode::CmpEq, 1, 2, 3),
+      Instruction::makeBinaryImm(Opcode::AddImm, 1, 2, -7),
+      Instruction::makeBinaryImm(Opcode::CmpLtImm, 1, 2, 32),
+      Instruction::makeBinaryImm(Opcode::CmpEqImm, 1, 2, 0),
+      Instruction::makeLoad(4, 0, 12345),
+      Instruction::makeStore(0, -8, 5),
+      Instruction::makeBr(3, 1, 2, 17),
+      Instruction::makeJmp(9),
+      Instruction::makeCall(4),
+      Instruction::makeRet(),
+      Instruction::makeHalt(),
+  };
+  for (const Instruction &I : Forms) {
+    const std::string Text = instructionToString(I);
+    ParseError Error;
+    const auto Parsed = parseInstruction(Text, &Error);
+    ASSERT_TRUE(Parsed.has_value()) << Text << ": " << Error.Message;
+    EXPECT_EQ(instructionToString(*Parsed), Text);
+  }
+}
+
+TEST(ParserTest, RejectsMalformedInstructions) {
+  for (const char *Bad : {
+           "frobnicate r1",
+           "r1 = ",
+           "r1 = add r2",
+           "r99 = movimm 3",             // register out of range
+           "br r1, bb2, bb3",            // missing site annotation
+           "store [r0 + 4] r2",          // missing comma
+           "r1 = load [r0 - 4]",         // '-' only valid inside the number
+           "jmp 7",                      // missing bb prefix
+           "r1 = movimm 3 extra",        // trailing junk
+       }) {
+    ParseError Error;
+    EXPECT_FALSE(parseInstruction(Bad, &Error).has_value()) << Bad;
+    EXPECT_FALSE(Error.Message.empty()) << Bad;
+  }
+}
+
+TEST(ParserTest, NegativeOffsetsRoundTrip) {
+  const auto I = parseInstruction("r1 = load [r0 + -16]");
+  ASSERT_TRUE(I.has_value());
+  EXPECT_EQ(I->Imm, -16);
+}
+
+TEST(ParserTest, FunctionRoundTrip) {
+  Module M;
+  Function &F = M.createFunction("roundtrip", 8);
+  IRBuilder B(F);
+  const uint32_t Entry = B.makeBlock();
+  const uint32_t Then = B.makeBlock();
+  const uint32_t Else = B.makeBlock();
+  B.setBlock(Entry);
+  B.load(1, 0, 100);
+  B.cmpLtImm(2, 1, 32);
+  B.br(2, Then, Else, 7);
+  B.setBlock(Then);
+  B.movImm(3, 1);
+  B.store(0, 50, 3);
+  B.ret();
+  B.setBlock(Else);
+  B.halt();
+
+  std::ostringstream OS;
+  printFunction(F, OS);
+  ParseError Error;
+  const auto Parsed = parseFunction(OS.str(), &Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error.Message << " (line "
+                                  << Error.Line << ")";
+  expectFunctionsEqual(F, *Parsed);
+  std::string VerifyError;
+  EXPECT_TRUE(verifyFunction(*Parsed, &VerifyError)) << VerifyError;
+}
+
+TEST(ParserTest, SynthesizedModuleRoundTrips) {
+  using namespace specctrl::workload;
+  const SynthSpec Spec = makeDefaultSynthSpec("rt", 77, 500, 3, 0.6);
+  SynthProgram P = synthesize(Spec);
+
+  std::ostringstream OS;
+  printModule(P.Mod, OS);
+  ParseError Error;
+  const auto Parsed = parseModule(OS.str(), &Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error.Message << " (line "
+                                  << Error.Line << ")";
+  ASSERT_EQ(Parsed->numFunctions(), P.Mod.numFunctions());
+  EXPECT_EQ(Parsed->entry(), P.Mod.entry());
+  for (uint32_t FId = 0; FId < P.Mod.numFunctions(); ++FId)
+    expectFunctionsEqual(P.Mod.function(FId), Parsed->function(FId));
+  std::string VerifyError;
+  EXPECT_TRUE(verifyModule(*Parsed, &VerifyError)) << VerifyError;
+}
+
+TEST(ParserTest, DistilledFunctionRoundTrips) {
+  using namespace specctrl::workload;
+  const SynthSpec Spec = makeDefaultSynthSpec("rtd", 99, 500, 2, 0.9);
+  SynthProgram P = synthesize(Spec);
+  distill::DistillRequest Request;
+  for (const SynthSiteInfo &Info : P.Sites)
+    if (!Info.IsControlSite)
+      Request.BranchAssertions[Info.Site] = true;
+  const distill::DistillResult R = distill::distillFunction(
+      P.Mod.function(P.RegionFunctions[0]), Request);
+
+  std::ostringstream OS;
+  printFunction(R.Distilled, OS);
+  ParseError Error;
+  const auto Parsed = parseFunction(OS.str(), &Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error.Message;
+  expectFunctionsEqual(R.Distilled, *Parsed);
+}
+
+TEST(ParserTest, DiagnosticsCarryLineNumbers) {
+  const std::string Bad = "func @f (id=0, regs=4) {\nbb0:\n  bogus op\n}\n";
+  ParseError Error;
+  EXPECT_FALSE(parseFunction(Bad, &Error).has_value());
+  EXPECT_EQ(Error.Line, 3u);
+  EXPECT_NE(Error.Message.find("unrecognized"), std::string::npos);
+}
+
+TEST(ParserTest, ModuleHeaderValidation) {
+  ParseError Error;
+  EXPECT_FALSE(parseModule("", &Error).has_value());
+  EXPECT_FALSE(parseModule("module (entry @5)\n"
+                           "func @f (id=0, regs=2) {\nbb0:\n  halt\n}\n",
+                           &Error)
+                   .has_value());
+  EXPECT_NE(Error.Message.find("entry"), std::string::npos);
+}
+
+TEST(ParserTest, CommentsAndBlankLinesIgnored)
+{
+  const std::string Text = "; a comment\n\nmodule (entry @0)\n\n"
+                           "func @f (id=0, regs=2) {\n"
+                           "bb0:\n"
+                           "  r1 = movimm 5 ; trailing comment\n"
+                           "  halt\n"
+                           "}\n";
+  ParseError Error;
+  const auto Parsed = parseModule(Text, &Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error.Message;
+  EXPECT_EQ(Parsed->function(0).block(0).size(), 2u);
+}

@@ -1,0 +1,68 @@
+//===- tests/ir/PrinterTest.cpp -------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace specctrl;
+using namespace specctrl::ir;
+
+TEST(PrinterTest, InstructionForms) {
+  EXPECT_EQ(instructionToString(Instruction::makeMovImm(1, 42)),
+            "r1 = movimm 42");
+  EXPECT_EQ(instructionToString(Instruction::makeMov(2, 1)), "r2 = mov r1");
+  EXPECT_EQ(instructionToString(
+                Instruction::makeBinary(Opcode::CmpLt, 4, 1, 3)),
+            "r4 = cmplt r1, r3");
+  EXPECT_EQ(instructionToString(
+                Instruction::makeBinaryImm(Opcode::AddImm, 1, 1, -2)),
+            "r1 = addimm r1, -2");
+  EXPECT_EQ(instructionToString(Instruction::makeLoad(1, 0, 16)),
+            "r1 = load [r0 + 16]");
+  EXPECT_EQ(instructionToString(Instruction::makeStore(0, 8, 2)),
+            "store [r0 + 8], r2");
+  EXPECT_EQ(instructionToString(Instruction::makeBr(4, 1, 2, 17)),
+            "br r4, bb1, bb2  ; site 17");
+  EXPECT_EQ(instructionToString(Instruction::makeJmp(3)), "jmp bb3");
+  EXPECT_EQ(instructionToString(Instruction::makeCall(5)), "call @5");
+  EXPECT_EQ(instructionToString(Instruction::makeRet()), "ret");
+  EXPECT_EQ(instructionToString(Instruction::makeHalt()), "halt");
+  EXPECT_EQ(instructionToString(Instruction::makeNop()), "nop");
+}
+
+TEST(PrinterTest, FunctionLayout) {
+  Module M;
+  Function &F = M.createFunction("demo", 4);
+  IRBuilder B(F);
+  B.setBlock(B.makeBlock());
+  B.movImm(1, 7);
+  B.halt();
+
+  std::ostringstream OS;
+  printFunction(F, OS);
+  const std::string Out = OS.str();
+  EXPECT_NE(Out.find("func @demo"), std::string::npos);
+  EXPECT_NE(Out.find("bb0:"), std::string::npos);
+  EXPECT_NE(Out.find("  r1 = movimm 7"), std::string::npos);
+  EXPECT_NE(Out.find("  halt"), std::string::npos);
+}
+
+TEST(PrinterTest, ModuleListsAllFunctions) {
+  Module M;
+  for (const char *Name : {"a", "b"}) {
+    Function &F = M.createFunction(Name, 2);
+    IRBuilder B(F);
+    B.setBlock(B.makeBlock());
+    B.ret();
+  }
+  std::ostringstream OS;
+  printModule(M, OS);
+  const std::string Out = OS.str();
+  EXPECT_NE(Out.find("func @a"), std::string::npos);
+  EXPECT_NE(Out.find("func @b"), std::string::npos);
+  EXPECT_NE(Out.find("module (entry @0)"), std::string::npos);
+}

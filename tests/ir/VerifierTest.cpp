@@ -1,0 +1,102 @@
+//===- tests/ir/VerifierTest.cpp ------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Function.h"
+
+#include <gtest/gtest.h>
+
+using namespace specctrl;
+using namespace specctrl::ir;
+
+namespace {
+
+Function makeTrivial() {
+  Function F("f", 0, 4);
+  F.addBlock();
+  F.block(0).Insts.push_back(Instruction::makeHalt());
+  return F;
+}
+
+} // namespace
+
+TEST(VerifierTest, AcceptsTrivial) {
+  const Function F = makeTrivial();
+  std::string Error;
+  EXPECT_TRUE(verifyFunction(F, &Error)) << Error;
+}
+
+TEST(VerifierTest, RejectsEmptyBlock) {
+  Function F("f", 0, 4);
+  F.addBlock();
+  std::string Error;
+  EXPECT_FALSE(verifyFunction(F, &Error));
+  EXPECT_NE(Error.find("terminator"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsMissingTerminator) {
+  Function F("f", 0, 4);
+  F.addBlock();
+  F.block(0).Insts.push_back(Instruction::makeMovImm(0, 1));
+  std::string Error;
+  EXPECT_FALSE(verifyFunction(F, &Error));
+}
+
+TEST(VerifierTest, RejectsInteriorTerminator) {
+  Function F("f", 0, 4);
+  F.addBlock();
+  F.block(0).Insts.push_back(Instruction::makeHalt());
+  F.block(0).Insts.push_back(Instruction::makeHalt());
+  std::string Error;
+  EXPECT_FALSE(verifyFunction(F, &Error));
+  EXPECT_NE(Error.find("interior"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsRegisterOutOfRange) {
+  Function F("f", 0, 2);
+  F.addBlock();
+  F.block(0).Insts.push_back(Instruction::makeMovImm(5, 1)); // r5 >= 2
+  F.block(0).Insts.push_back(Instruction::makeHalt());
+  std::string Error;
+  EXPECT_FALSE(verifyFunction(F, &Error));
+  EXPECT_NE(Error.find("register"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsBadBranchTarget) {
+  Function F("f", 0, 4);
+  F.addBlock();
+  F.block(0).Insts.push_back(Instruction::makeBr(0, 7, 0, 1));
+  std::string Error;
+  EXPECT_FALSE(verifyFunction(F, &Error));
+  EXPECT_NE(Error.find("target"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsBranchWithoutSite) {
+  Function F("f", 0, 4);
+  F.addBlock();
+  F.addBlock();
+  Instruction Br = Instruction::makeBr(0, 1, 1, 0);
+  Br.Site = InvalidSite;
+  F.block(0).Insts.push_back(Br);
+  F.block(1).Insts.push_back(Instruction::makeHalt());
+  std::string Error;
+  EXPECT_FALSE(verifyFunction(F, &Error));
+  EXPECT_NE(Error.find("site"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsUnknownCallee) {
+  Module M;
+  Function &F = M.createFunction("f", 2);
+  F.addBlock();
+  F.block(0).Insts.push_back(Instruction::makeCall(9));
+  F.block(0).Insts.push_back(Instruction::makeHalt());
+  std::string Error;
+  EXPECT_FALSE(verifyModule(M, &Error));
+  EXPECT_NE(Error.find("unknown function"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsEmptyModule) {
+  Module M;
+  std::string Error;
+  EXPECT_FALSE(verifyModule(M, &Error));
+}

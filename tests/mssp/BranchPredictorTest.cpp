@@ -1,0 +1,82 @@
+//===- tests/mssp/BranchPredictorTest.cpp ---------------------------------===//
+
+#include "mssp/BranchPredictor.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace specctrl;
+using namespace specctrl::mssp;
+
+TEST(GsharePredictorTest, LearnsAlwaysTaken) {
+  GsharePredictor P(10);
+  for (int I = 0; I < 1000; ++I)
+    P.predictAndUpdate(42, true);
+  uint64_t Before = P.mispredicts();
+  for (int I = 0; I < 1000; ++I)
+    P.predictAndUpdate(42, true);
+  EXPECT_EQ(P.mispredicts(), Before); // perfectly predicted now
+  EXPECT_EQ(P.lookups(), 2000u);
+}
+
+TEST(GsharePredictorTest, LearnsAlternatingViaHistory) {
+  // gshare's global history disambiguates a strict alternation.
+  GsharePredictor P(12);
+  bool Taken = false;
+  for (int I = 0; I < 4000; ++I) {
+    Taken = !Taken;
+    P.predictAndUpdate(7, Taken);
+  }
+  const uint64_t Warm = P.mispredicts();
+  for (int I = 0; I < 4000; ++I) {
+    Taken = !Taken;
+    P.predictAndUpdate(7, Taken);
+  }
+  // Nearly no new mispredicts after warmup.
+  EXPECT_LT(P.mispredicts() - Warm, 50u);
+}
+
+TEST(GsharePredictorTest, RandomBranchMispredictsHalf) {
+  GsharePredictor P(12);
+  Rng R(5);
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    P.predictAndUpdate(3, R.nextBool(0.5));
+  EXPECT_NEAR(static_cast<double>(P.mispredicts()) / N, 0.5, 0.05);
+}
+
+TEST(GsharePredictorTest, BiasedBranchMostlyCorrect) {
+  GsharePredictor P(12);
+  Rng R(6);
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    P.predictAndUpdate(9, R.nextBool(0.99));
+  EXPECT_LT(static_cast<double>(P.mispredicts()) / N, 0.05);
+}
+
+TEST(ReturnAddressStackTest, MatchedCallsReturnCorrectly) {
+  ReturnAddressStack Ras(8);
+  for (int Depth = 0; Depth < 5; ++Depth)
+    Ras.pushCall(100 + Depth);
+  for (int Depth = 4; Depth >= 0; --Depth)
+    EXPECT_TRUE(Ras.popAndCheck(100 + Depth));
+  EXPECT_EQ(Ras.mispredicts(), 0u);
+  EXPECT_EQ(Ras.returns(), 5u);
+}
+
+TEST(ReturnAddressStackTest, UnderflowMispredicts) {
+  ReturnAddressStack Ras(4);
+  EXPECT_FALSE(Ras.popAndCheck(1));
+  EXPECT_EQ(Ras.mispredicts(), 1u);
+}
+
+TEST(ReturnAddressStackTest, OverflowLosesOldEntries) {
+  ReturnAddressStack Ras(2);
+  Ras.pushCall(1);
+  Ras.pushCall(2);
+  Ras.pushCall(3); // evicts 1
+  EXPECT_TRUE(Ras.popAndCheck(3));
+  EXPECT_TRUE(Ras.popAndCheck(2));
+  EXPECT_FALSE(Ras.popAndCheck(1)); // lost
+}

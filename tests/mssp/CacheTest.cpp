@@ -1,0 +1,67 @@
+//===- tests/mssp/CacheTest.cpp -------------------------------------------===//
+
+#include "mssp/Cache.h"
+
+#include <gtest/gtest.h>
+
+using namespace specctrl;
+using namespace specctrl::mssp;
+
+TEST(CacheModelTest, ColdMissThenHit) {
+  CacheModel C({1024, 2, 64, 3});
+  EXPECT_FALSE(C.access(0));
+  EXPECT_TRUE(C.access(0));
+  EXPECT_TRUE(C.access(7)); // same 8-word block
+  EXPECT_FALSE(C.access(8)); // next block
+  EXPECT_EQ(C.misses(), 2u);
+  EXPECT_EQ(C.accesses(), 4u);
+}
+
+TEST(CacheModelTest, GeometryFromConfig) {
+  // 64KB, 2-way, 64B blocks -> 1024 blocks -> 512 sets.
+  CacheModel C({64 * 1024, 2, 64, 3});
+  EXPECT_EQ(C.numSets(), 512u);
+}
+
+TEST(CacheModelTest, LruEviction) {
+  // 2-way set: A, B fill the set; touching A keeps it; C evicts B.
+  CacheModel C({2 * 64 * 2, 2, 64, 1}); // 2 sets, 2 ways
+  const uint64_t SetStride = 2 * 8;     // words per set round
+  const uint64_t A = 0, B = SetStride, X = 2 * SetStride;
+  EXPECT_FALSE(C.access(A));
+  EXPECT_FALSE(C.access(B));
+  EXPECT_TRUE(C.access(A));  // A is MRU
+  EXPECT_FALSE(C.access(X)); // evicts B (LRU)
+  EXPECT_TRUE(C.access(A));
+  EXPECT_FALSE(C.access(B)); // B was evicted
+}
+
+TEST(CacheModelTest, WorkingSetFitsNoCapacityMisses) {
+  CacheModel C({8 * 1024, 8, 64, 3}); // the trailing-core L1
+  // 512 words = 4KB working set; after warmup everything hits.
+  for (uint64_t W = 0; W < 512; ++W)
+    C.access(W);
+  const uint64_t WarmMisses = C.misses();
+  for (int Round = 0; Round < 10; ++Round)
+    for (uint64_t W = 0; W < 512; ++W)
+      C.access(W);
+  EXPECT_EQ(C.misses(), WarmMisses);
+}
+
+TEST(CacheModelTest, StreamingThrashesSmallCache) {
+  CacheModel C({1024, 2, 64, 3}); // 16 blocks
+  uint64_t Misses = 0;
+  for (int Round = 0; Round < 4; ++Round)
+    for (uint64_t Block = 0; Block < 64; ++Block)
+      Misses += !C.access(Block * 8);
+  // 64-block stream >> 16-block cache: essentially all miss.
+  EXPECT_GT(Misses, 250u);
+}
+
+TEST(CacheModelTest, ResetClearsState) {
+  CacheModel C({1024, 2, 64, 3});
+  C.access(0);
+  C.reset();
+  EXPECT_EQ(C.accesses(), 0u);
+  EXPECT_FALSE(C.access(0)); // cold again
+}

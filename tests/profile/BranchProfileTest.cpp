@@ -1,0 +1,71 @@
+//===- tests/profile/BranchProfileTest.cpp --------------------------------===//
+
+#include "profile/BranchProfile.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace specctrl;
+using namespace specctrl::profile;
+
+TEST(BranchProfileTest, CountsAndBias) {
+  BranchProfile P(3);
+  for (int I = 0; I < 99; ++I)
+    P.addOutcome(0, true);
+  P.addOutcome(0, false);
+  for (int I = 0; I < 10; ++I)
+    P.addOutcome(1, false);
+
+  EXPECT_EQ(P.executions(0), 100u);
+  EXPECT_EQ(P.taken(0), 99u);
+  EXPECT_TRUE(P.majorityTaken(0));
+  EXPECT_DOUBLE_EQ(P.bias(0), 0.99);
+  EXPECT_EQ(P.majorityCount(0), 99u);
+  EXPECT_EQ(P.minorityCount(0), 1u);
+
+  EXPECT_FALSE(P.majorityTaken(1));
+  EXPECT_DOUBLE_EQ(P.bias(1), 1.0);
+  EXPECT_DOUBLE_EQ(P.bias(2), 0.0);
+
+  EXPECT_EQ(P.totalExecutions(), 110u);
+  EXPECT_EQ(P.touchedSites(), 2u);
+}
+
+TEST(BranchProfileTest, GrowsOnDemand) {
+  BranchProfile P;
+  P.addOutcome(41, true);
+  EXPECT_EQ(P.numSites(), 42u);
+  EXPECT_EQ(P.executions(41), 1u);
+}
+
+TEST(BranchProfileTest, TieBreaksToTaken) {
+  BranchProfile P(1);
+  P.addOutcome(0, true);
+  P.addOutcome(0, false);
+  EXPECT_TRUE(P.majorityTaken(0));
+  EXPECT_DOUBLE_EQ(P.bias(0), 0.5);
+}
+
+TEST(BranchProfileTest, SaveLoadRoundTrip) {
+  BranchProfile P(4);
+  P.addOutcome(0, true);
+  P.addOutcome(2, false);
+  P.addOutcome(2, false);
+  P.addOutcome(3, true);
+
+  std::stringstream SS;
+  P.save(SS);
+  const BranchProfile Q = BranchProfile::load(SS);
+  ASSERT_EQ(Q.numSites(), 4u);
+  for (SiteId S = 0; S < 4; ++S) {
+    EXPECT_EQ(Q.taken(S), P.taken(S)) << S;
+    EXPECT_EQ(Q.notTaken(S), P.notTaken(S)) << S;
+  }
+}
+
+TEST(BranchProfileTest, LoadRejectsGarbage) {
+  std::stringstream SS("not a profile");
+  const BranchProfile Q = BranchProfile::load(SS);
+  EXPECT_EQ(Q.numSites(), 0u);
+}

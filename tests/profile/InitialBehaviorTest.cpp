@@ -1,0 +1,91 @@
+//===- tests/profile/InitialBehaviorTest.cpp ------------------------------===//
+
+#include "profile/InitialBehavior.h"
+
+#include <gtest/gtest.h>
+
+using namespace specctrl;
+using namespace specctrl::profile;
+
+TEST(InitialBehaviorTest, SelectsInitiallyBiasedSite) {
+  InitialBehaviorProfile P({100});
+  // Site 0: perfectly biased for 100 execs, then 400 more biased execs.
+  for (int I = 0; I < 500; ++I)
+    P.addOutcome(0, true);
+  // Site 1: unbiased noise, same volume.
+  for (int I = 0; I < 500; ++I)
+    P.addOutcome(1, I % 2 == 0);
+
+  const SelectionResult R = P.evaluate(0, 0.99);
+  EXPECT_EQ(R.SelectedSites, 1u);
+  // Benefit counts only post-window executions: 400 of 1000 total.
+  EXPECT_NEAR(R.Correct, 0.4, 1e-12);
+  EXPECT_NEAR(R.Incorrect, 0.0, 1e-12);
+}
+
+TEST(InitialBehaviorTest, FalsePositiveMisspeculates) {
+  InitialBehaviorProfile P({100});
+  // Initially biased taken, then fully reversed (the Fig. 3 hazard).
+  for (int I = 0; I < 100; ++I)
+    P.addOutcome(0, true);
+  for (int I = 0; I < 900; ++I)
+    P.addOutcome(0, false);
+
+  const SelectionResult R = P.evaluate(0, 0.99);
+  EXPECT_EQ(R.SelectedSites, 1u);
+  EXPECT_NEAR(R.Correct, 0.0, 1e-12);
+  EXPECT_NEAR(R.Incorrect, 0.9, 1e-12);
+  EXPECT_DOUBLE_EQ(P.falsePositiveFraction(0, 0.99, 0.99), 1.0);
+}
+
+TEST(InitialBehaviorTest, LongerWindowAvoidsFalsePositive) {
+  InitialBehaviorProfile P({100, 1000});
+  for (int I = 0; I < 100; ++I)
+    P.addOutcome(0, true);
+  for (int I = 0; I < 900; ++I)
+    P.addOutcome(0, false);
+
+  // Over the first 1000 executions the bias is only 90%.
+  const SelectionResult R = P.evaluate(1, 0.99);
+  EXPECT_EQ(R.SelectedSites, 0u);
+  EXPECT_DOUBLE_EQ(R.Incorrect, 0.0);
+}
+
+TEST(InitialBehaviorTest, LongerWindowLosesBenefit) {
+  InitialBehaviorProfile P({100, 1000});
+  for (int I = 0; I < 2000; ++I)
+    P.addOutcome(0, true);
+  const SelectionResult Short = P.evaluate(0, 0.99);
+  const SelectionResult Long = P.evaluate(1, 0.99);
+  EXPECT_GT(Short.Correct, Long.Correct);
+  EXPECT_NEAR(Short.Correct, 1900 / 2000.0, 1e-12);
+  EXPECT_NEAR(Long.Correct, 1000 / 2000.0, 1e-12);
+}
+
+TEST(InitialBehaviorTest, SitesBelowWindowNeverSelected) {
+  InitialBehaviorProfile P({1000});
+  for (int I = 0; I < 999; ++I)
+    P.addOutcome(0, true);
+  const SelectionResult R = P.evaluate(0, 0.99);
+  EXPECT_EQ(R.SelectedSites, 0u);
+}
+
+TEST(InitialBehaviorTest, PaperWindows) {
+  const auto W = InitialBehaviorProfile::paperWindows();
+  ASSERT_EQ(W.size(), 5u);
+  EXPECT_EQ(W.front(), 1000u);
+  EXPECT_EQ(W.back(), 1000000u);
+}
+
+TEST(InitialBehaviorTest, DirectionFromPrefixNotWholeRun) {
+  InitialBehaviorProfile P({10});
+  // Prefix not-taken-biased, suffix taken-heavy: speculation follows the
+  // prefix direction and eats the suffix as misspeculations.
+  for (int I = 0; I < 10; ++I)
+    P.addOutcome(0, false);
+  for (int I = 0; I < 30; ++I)
+    P.addOutcome(0, true);
+  const SelectionResult R = P.evaluate(0, 0.99);
+  ASSERT_EQ(R.SelectedSites, 1u);
+  EXPECT_NEAR(R.Incorrect, 30 / 40.0, 1e-12);
+}

@@ -1,0 +1,103 @@
+//===- tests/profile/ParetoTest.cpp ---------------------------------------===//
+
+#include "profile/Pareto.h"
+
+#include <gtest/gtest.h>
+
+using namespace specctrl;
+using namespace specctrl::profile;
+
+namespace {
+
+/// Three sites: 99% biased (1000 execs), 90% biased (500), 50% (500).
+BranchProfile makeProfile() {
+  BranchProfile P(3);
+  for (int I = 0; I < 990; ++I)
+    P.addOutcome(0, true);
+  for (int I = 0; I < 10; ++I)
+    P.addOutcome(0, false);
+  for (int I = 0; I < 450; ++I)
+    P.addOutcome(1, false);
+  for (int I = 0; I < 50; ++I)
+    P.addOutcome(1, true);
+  for (int I = 0; I < 250; ++I)
+    P.addOutcome(2, true);
+  for (int I = 0; I < 250; ++I)
+    P.addOutcome(2, false);
+  return P;
+}
+
+} // namespace
+
+TEST(ParetoTest, CurveIsMonotone) {
+  const BranchProfile P = makeProfile();
+  const auto Curve = paretoCurve(P);
+  ASSERT_EQ(Curve.size(), 4u); // origin + 3 sites
+  EXPECT_DOUBLE_EQ(Curve[0].Correct, 0.0);
+  for (size_t I = 1; I < Curve.size(); ++I) {
+    EXPECT_GE(Curve[I].Correct, Curve[I - 1].Correct);
+    EXPECT_GE(Curve[I].Incorrect, Curve[I - 1].Incorrect);
+    EXPECT_LE(Curve[I].BiasThreshold, Curve[I - 1].BiasThreshold);
+  }
+  // Speculating on everything: correct = sum of majorities / total.
+  const double Total = 2000.0;
+  EXPECT_NEAR(Curve.back().Correct, (990 + 450 + 250) / Total, 1e-12);
+  EXPECT_NEAR(Curve.back().Incorrect, (10 + 50 + 250) / Total, 1e-12);
+}
+
+TEST(ParetoTest, CurveOrdersByBias) {
+  const BranchProfile P = makeProfile();
+  const auto Curve = paretoCurve(P);
+  // First selected site is the most biased one (site 0, 99%).
+  EXPECT_NEAR(Curve[1].Correct, 990 / 2000.0, 1e-12);
+  EXPECT_NEAR(Curve[1].Incorrect, 10 / 2000.0, 1e-12);
+  EXPECT_NEAR(Curve[1].BiasThreshold, 0.99, 1e-12);
+}
+
+TEST(ParetoTest, SelfTrainingSelection) {
+  const BranchProfile P = makeProfile();
+  const SelectionResult R = evaluateSelection(P, P, 0.95);
+  EXPECT_EQ(R.SelectedSites, 1u);
+  EXPECT_NEAR(R.Correct, 990 / 2000.0, 1e-12);
+  EXPECT_NEAR(R.Incorrect, 10 / 2000.0, 1e-12);
+  EXPECT_EQ(R.EvalBranches, 2000u);
+}
+
+TEST(ParetoTest, CrossInputSelectionUsesSelectionDirection) {
+  // Selection profile says site 0 is taken-biased; the evaluation run
+  // reverses it (input-dependent site).
+  BranchProfile Train(1), Eval(1);
+  for (int I = 0; I < 100; ++I)
+    Train.addOutcome(0, true);
+  for (int I = 0; I < 100; ++I)
+    Eval.addOutcome(0, false);
+  const SelectionResult R = evaluateSelection(Train, Eval, 0.99);
+  EXPECT_EQ(R.SelectedSites, 1u);
+  EXPECT_DOUBLE_EQ(R.Correct, 0.0);
+  EXPECT_DOUBLE_EQ(R.Incorrect, 1.0);
+}
+
+TEST(ParetoTest, MinExecsFiltersColdSites) {
+  BranchProfile Train(1), Eval(1);
+  for (int I = 0; I < 5; ++I)
+    Train.addOutcome(0, true);
+  for (int I = 0; I < 100; ++I)
+    Eval.addOutcome(0, true);
+  EXPECT_EQ(evaluateSelection(Train, Eval, 0.99, 10).SelectedSites, 0u);
+  EXPECT_EQ(evaluateSelection(Train, Eval, 0.99, 1).SelectedSites, 1u);
+}
+
+TEST(ParetoTest, SitesOnlyInEvalAreNotSelected) {
+  // The paper: code regions the training input never reaches cannot be
+  // selected for speculation.
+  BranchProfile Train(1), Eval(2);
+  for (int I = 0; I < 100; ++I)
+    Train.addOutcome(0, true);
+  for (int I = 0; I < 100; ++I)
+    Eval.addOutcome(0, true);
+  for (int I = 0; I < 100; ++I)
+    Eval.addOutcome(1, true); // never profiled
+  const SelectionResult R = evaluateSelection(Train, Eval, 0.99);
+  EXPECT_EQ(R.SelectedSites, 1u);
+  EXPECT_NEAR(R.Correct, 0.5, 1e-12);
+}

@@ -1,0 +1,34 @@
+//===- tests/support/FormatTest.cpp ---------------------------------------===//
+
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace specctrl;
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(formatDouble(-0.5, 1), "-0.5");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(FormatTest, FormatPercent) {
+  EXPECT_EQ(formatPercent(0.448), "44.8%");
+  EXPECT_EQ(formatPercent(0.00023, 3), "0.023%");
+  EXPECT_EQ(formatPercent(1.0, 0), "100%");
+}
+
+TEST(FormatTest, FormatWithCommas) {
+  EXPECT_EQ(formatWithCommas(0), "0");
+  EXPECT_EQ(formatWithCommas(999), "999");
+  EXPECT_EQ(formatWithCommas(1000), "1,000");
+  EXPECT_EQ(formatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(formatWithCommas(65000), "65,000");
+}
+
+TEST(FormatTest, FormatMagnitude) {
+  EXPECT_EQ(formatMagnitude(950), "950");
+  EXPECT_EQ(formatMagnitude(65000), "65.0k");
+  EXPECT_EQ(formatMagnitude(1200000), "1.20M");
+  EXPECT_EQ(formatMagnitude(2.5e9), "2.50G");
+}

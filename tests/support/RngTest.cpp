@@ -1,0 +1,110 @@
+//===- tests/support/RngTest.cpp - Rng unit tests -------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace specctrl;
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Equal = 0;
+  for (int I = 0; I < 100; ++I)
+    Equal += A.next() == B.next();
+  EXPECT_LT(Equal, 3);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng A(7);
+  std::vector<uint64_t> First;
+  for (int I = 0; I < 16; ++I)
+    First.push_back(A.next());
+  A.reseed(7);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(A.next(), First[I]);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng R(3);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng R(5);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I)
+    Seen.insert(R.nextBelow(7));
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 5000; ++I) {
+    const uint64_t V = R.nextInRange(3, 6);
+    ASSERT_GE(V, 3u);
+    ASSERT_LE(V, 6u);
+    SawLo |= V == 3;
+    SawHi |= V == 6;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, NextDoubleUnitInterval) {
+  Rng R(11);
+  double Sum = 0.0;
+  for (int I = 0; I < 10000; ++I) {
+    const double D = R.nextDouble();
+    ASSERT_GE(D, 0.0);
+    ASSERT_LT(D, 1.0);
+    Sum += D;
+  }
+  EXPECT_NEAR(Sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng R(13);
+  int True990 = 0;
+  for (int I = 0; I < 100000; ++I)
+    True990 += R.nextBool(0.99);
+  EXPECT_NEAR(True990 / 100000.0, 0.99, 0.005);
+  EXPECT_FALSE(R.nextBool(0.0));
+  EXPECT_TRUE(R.nextBool(1.0));
+}
+
+TEST(RngTest, GeometricMeanMatches) {
+  Rng R(17);
+  double Sum = 0.0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Sum += static_cast<double>(R.nextGeometric(0.2));
+  EXPECT_NEAR(Sum / N, 5.0, 0.2);
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  Rng Parent(21);
+  Rng C1 = Parent.fork(1);
+  Rng C2 = Parent.fork(2);
+  Rng C1Again = Parent.fork(1);
+  EXPECT_EQ(C1.next(), C1Again.next());
+  // Forking does not advance the parent.
+  Rng Parent2(21);
+  (void)Parent2.fork(99);
+  Rng ParentRef(21);
+  EXPECT_EQ(Parent2.next(), ParentRef.next());
+  // Adjacent stream ids decorrelate.
+  int Equal = 0;
+  for (int I = 0; I < 100; ++I)
+    Equal += C1.next() == C2.next();
+  EXPECT_LT(Equal, 3);
+}

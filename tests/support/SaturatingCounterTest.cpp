@@ -1,0 +1,56 @@
+//===- tests/support/SaturatingCounterTest.cpp ----------------------------===//
+
+#include "support/SaturatingCounter.h"
+
+#include <gtest/gtest.h>
+
+using namespace specctrl;
+
+TEST(SaturatingCounterTest, StartsAtInitial) {
+  SaturatingCounter C(100, 5);
+  EXPECT_EQ(C.value(), 5u);
+  EXPECT_EQ(C.max(), 100u);
+  EXPECT_FALSE(C.isSaturated());
+}
+
+TEST(SaturatingCounterTest, AddSaturatesAtMax) {
+  SaturatingCounter C(10);
+  EXPECT_FALSE(C.add(9));
+  EXPECT_TRUE(C.add(5));
+  EXPECT_EQ(C.value(), 10u);
+  EXPECT_TRUE(C.isSaturated());
+}
+
+TEST(SaturatingCounterTest, SubSaturatesAtZero) {
+  SaturatingCounter C(10, 3);
+  C.sub(100);
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST(SaturatingCounterTest, PaperEvictionPattern) {
+  // Table 2: +50 on misspeculation, -1 otherwise, saturate at 10,000.
+  // Requires at least 200 misspeculations to evict.
+  SaturatingCounter C(10000);
+  int Misspecs = 0;
+  while (!C.add(50))
+    ++Misspecs;
+  EXPECT_EQ(Misspecs + 1, 200);
+}
+
+TEST(SaturatingCounterTest, HysteresisToleratesBursts) {
+  // A short burst of misspeculations followed by correct runs drains back.
+  SaturatingCounter C(10000);
+  for (int I = 0; I < 100; ++I)
+    C.add(50); // 5000
+  EXPECT_FALSE(C.isSaturated());
+  for (int I = 0; I < 5000; ++I)
+    C.sub(1);
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST(SaturatingCounterTest, ResetClears) {
+  SaturatingCounter C(10, 10);
+  EXPECT_TRUE(C.isSaturated());
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+}

@@ -1,0 +1,87 @@
+//===- tests/support/StatisticsTest.cpp -----------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+using namespace specctrl;
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, MeanVarianceMinMax) {
+  OnlineStats S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  EXPECT_EQ(S.count(), 8u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+  EXPECT_DOUBLE_EQ(S.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, MergeMatchesSequential) {
+  OnlineStats A, B, All;
+  for (int I = 0; I < 100; ++I) {
+    const double X = I * 0.37 - 5;
+    (I < 40 ? A : B).add(X);
+    All.add(X);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), All.count());
+  EXPECT_NEAR(A.mean(), All.mean(), 1e-9);
+  EXPECT_NEAR(A.variance(), All.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(A.min(), All.min());
+  EXPECT_DOUBLE_EQ(A.max(), All.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmpty) {
+  OnlineStats A, Empty;
+  A.add(3.0);
+  A.merge(Empty);
+  EXPECT_EQ(A.count(), 1u);
+  Empty.merge(A);
+  EXPECT_EQ(Empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(Empty.mean(), 3.0);
+}
+
+TEST(Log2HistogramTest, BucketBoundaries) {
+  Log2Histogram H;
+  H.add(0);
+  H.add(1);
+  H.add(2);
+  H.add(3);
+  H.add(4);
+  EXPECT_EQ(H.bucketCount(0), 2u); // {0, 1}
+  EXPECT_EQ(H.bucketCount(1), 2u); // [2, 4)
+  EXPECT_EQ(H.bucketCount(2), 1u); // [4, 8)
+  EXPECT_EQ(H.count(), 5u);
+}
+
+TEST(Log2HistogramTest, WeightedAdd) {
+  Log2Histogram H;
+  H.add(100, 7);
+  EXPECT_EQ(H.count(), 7u);
+  EXPECT_EQ(H.bucketCount(6), 7u); // [64, 128)
+}
+
+TEST(Log2HistogramTest, QuantileMonotone) {
+  Log2Histogram H;
+  for (uint64_t X = 1; X <= 1024; ++X)
+    H.add(X);
+  const double Q25 = H.quantile(0.25);
+  const double Q50 = H.quantile(0.5);
+  const double Q90 = H.quantile(0.9);
+  EXPECT_LE(Q25, Q50);
+  EXPECT_LE(Q50, Q90);
+  // The median of 1..1024 is ~512; log-bucket interpolation is coarse but
+  // must land within the right bucket's decade.
+  EXPECT_GE(Q50, 256.0);
+  EXPECT_LE(Q50, 1024.0);
+}

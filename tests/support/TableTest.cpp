@@ -1,0 +1,61 @@
+//===- tests/support/TableTest.cpp ----------------------------------------===//
+
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace specctrl;
+
+TEST(TableTest, TextAlignment) {
+  Table T({"name", "value"});
+  T.row().cell("alpha").cell(uint64_t(7));
+  T.row().cell("b").cell(uint64_t(12345));
+  std::ostringstream OS;
+  T.printText(OS);
+  const std::string Out = OS.str();
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("alpha"), std::string::npos);
+  EXPECT_NE(Out.find("12345"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(Out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvBasic) {
+  Table T({"a", "b"});
+  T.row().cell("x").cell(int64_t(-3));
+  std::ostringstream OS;
+  T.printCsv(OS);
+  EXPECT_EQ(OS.str(), "a,b\nx,-3\n");
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table T({"a"});
+  T.row().cell("has,comma");
+  std::ostringstream OS;
+  T.printCsv(OS);
+  EXPECT_EQ(OS.str(), "a\n\"has,comma\"\n");
+
+  Table Q({"a"});
+  Q.row().cell("say \"hi\"");
+  std::ostringstream OS2;
+  Q.printCsv(OS2);
+  EXPECT_EQ(OS2.str(), "a\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TableTest, NumericCells) {
+  Table T({"d", "p"});
+  T.row().cell(3.14159, 2).cellPercent(0.448);
+  std::ostringstream OS;
+  T.printCsv(OS);
+  EXPECT_EQ(OS.str(), "d,p\n3.14,44.8%\n");
+}
+
+TEST(TableTest, RowAndColumnCounts) {
+  Table T({"a", "b", "c"});
+  EXPECT_EQ(T.numColumns(), 3u);
+  EXPECT_EQ(T.numRows(), 0u);
+  T.row().cell("1").cell("2").cell("3");
+  EXPECT_EQ(T.numRows(), 1u);
+}

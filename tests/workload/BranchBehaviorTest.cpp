@@ -1,0 +1,117 @@
+//===- tests/workload/BranchBehaviorTest.cpp ------------------------------===//
+
+#include "workload/BranchBehavior.h"
+
+#include <gtest/gtest.h>
+
+using namespace specctrl;
+using namespace specctrl::workload;
+
+namespace {
+
+/// Empirical taken-rate of \p Spec over executions [From, To).
+double takenRate(const BehaviorSpec &Spec, uint64_t From, uint64_t To,
+                 bool GroupOn = true, bool InputFlip = false,
+                 uint64_t Seed = 1) {
+  Rng R(Seed);
+  BehaviorState State;
+  uint64_t Taken = 0;
+  // Advance hidden state through the skipped prefix (matters for
+  // RandomWalk only, but harmless elsewhere).
+  for (uint64_t E = 0; E < From; ++E)
+    (void)drawOutcome(Spec, E, GroupOn, InputFlip, State, R);
+  for (uint64_t E = From; E < To; ++E)
+    Taken += drawOutcome(Spec, E, GroupOn, InputFlip, State, R);
+  return static_cast<double>(Taken) / static_cast<double>(To - From);
+}
+
+} // namespace
+
+TEST(BranchBehaviorTest, FixedBiasRate) {
+  EXPECT_NEAR(takenRate(BehaviorSpec::fixed(0.999), 0, 50000), 0.999, 0.001);
+  EXPECT_NEAR(takenRate(BehaviorSpec::fixed(0.30), 0, 50000), 0.30, 0.01);
+}
+
+TEST(BranchBehaviorTest, FlipAtSwitchesRegimes) {
+  const BehaviorSpec S = BehaviorSpec::flipAt(0.999, 0.01, 10000);
+  EXPECT_NEAR(takenRate(S, 0, 10000), 0.999, 0.002);
+  EXPECT_NEAR(takenRate(S, 10000, 20000), 0.01, 0.005);
+}
+
+TEST(BranchBehaviorTest, SoftenDecaysGradually) {
+  const BehaviorSpec S = BehaviorSpec::soften(1.0, 0.5, 1000, 2000);
+  EXPECT_NEAR(takenRate(S, 0, 1000), 1.0, 1e-9);
+  // Right after the change the bias is still strong...
+  const double Early = takenRate(S, 1000, 1500);
+  // ...and far after it has decayed to the target.
+  const double Late = takenRate(S, 20000, 40000);
+  EXPECT_GT(Early, 0.85);
+  EXPECT_NEAR(Late, 0.5, 0.02);
+}
+
+TEST(BranchBehaviorTest, InductionFlipDeterministic) {
+  const BehaviorSpec S = BehaviorSpec::inductionFlip(32768);
+  Rng R(1);
+  BehaviorState State;
+  EXPECT_FALSE(drawOutcome(S, 0, true, false, State, R));
+  EXPECT_FALSE(drawOutcome(S, 32767, true, false, State, R));
+  EXPECT_TRUE(drawOutcome(S, 32768, true, false, State, R));
+  EXPECT_TRUE(drawOutcome(S, 1000000, true, false, State, R));
+}
+
+TEST(BranchBehaviorTest, PeriodicAlternates) {
+  const BehaviorSpec S = BehaviorSpec::periodic(0.99, 0.01, 5000);
+  EXPECT_NEAR(takenRate(S, 0, 5000), 0.99, 0.01);
+  EXPECT_NEAR(takenRate(S, 5000, 10000), 0.01, 0.01);
+  EXPECT_NEAR(takenRate(S, 10000, 15000), 0.99, 0.01);
+}
+
+TEST(BranchBehaviorTest, RandomWalkStaysUnbiased) {
+  const BehaviorSpec S = BehaviorSpec::randomWalk(0.5, 1000);
+  const double Rate = takenRate(S, 0, 100000);
+  EXPECT_GT(Rate, 0.15);
+  EXPECT_LT(Rate, 0.85);
+}
+
+TEST(BranchBehaviorTest, PhaseGroupFollowsSchedule) {
+  const BehaviorSpec S = BehaviorSpec::phaseGroup(0, 0.998, 0.03);
+  EXPECT_NEAR(takenRate(S, 0, 20000, /*GroupOn=*/true), 0.998, 0.003);
+  EXPECT_NEAR(takenRate(S, 0, 20000, /*GroupOn=*/false), 0.03, 0.005);
+}
+
+TEST(BranchBehaviorTest, InputDependentFlips) {
+  const BehaviorSpec S = BehaviorSpec::inputDependent(0.999);
+  EXPECT_NEAR(takenRate(S, 0, 20000, true, /*InputFlip=*/false), 0.999,
+              0.002);
+  EXPECT_NEAR(takenRate(S, 0, 20000, true, /*InputFlip=*/true), 0.001,
+              0.002);
+  const BehaviorSpec Soft = BehaviorSpec::inputDependent(0.999, 0.55);
+  EXPECT_NEAR(takenRate(Soft, 0, 20000, true, /*InputFlip=*/true), 0.55,
+              0.02);
+}
+
+TEST(BranchBehaviorTest, ExpectedTakenRateMatchesEmpirical) {
+  const struct {
+    BehaviorSpec Spec;
+    uint64_t Execs;
+  } Cases[] = {
+      {BehaviorSpec::fixed(0.97), 40000},
+      {BehaviorSpec::flipAt(1.0, 0.0, 20000), 40000},
+      {BehaviorSpec::periodic(0.9, 0.1, 1000), 40000},
+      {BehaviorSpec::inductionFlip(10000), 40000},
+  };
+  for (const auto &C : Cases) {
+    const double Analytic = expectedTakenRate(C.Spec, C.Execs, false);
+    const double Empirical = takenRate(C.Spec, 0, C.Execs);
+    EXPECT_NEAR(Analytic, Empirical, 0.02)
+        << behaviorKindName(C.Spec.Kind);
+  }
+}
+
+TEST(BranchBehaviorTest, KindNamesAreStable) {
+  EXPECT_STREQ(behaviorKindName(BehaviorKind::FixedBias), "fixed");
+  EXPECT_STREQ(behaviorKindName(BehaviorKind::InductionFlip),
+               "induction-flip");
+  EXPECT_STREQ(behaviorKindName(BehaviorKind::InputDependent),
+               "input-dependent");
+}

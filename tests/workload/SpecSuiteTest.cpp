@@ -1,0 +1,135 @@
+//===- tests/workload/SpecSuiteTest.cpp -----------------------------------===//
+
+#include "workload/SpecSuite.h"
+
+#include <gtest/gtest.h>
+
+using namespace specctrl;
+using namespace specctrl::workload;
+
+TEST(SpecSuiteTest, TwelveBenchmarksInPaperOrder) {
+  const auto &Profiles = suiteProfiles();
+  ASSERT_EQ(Profiles.size(), 12u);
+  EXPECT_EQ(Profiles.front().Name, "bzip2");
+  EXPECT_EQ(Profiles.back().Name, "vpr");
+  EXPECT_EQ(profileByName("gcc").PaperTouch, 7943u);
+  EXPECT_EQ(profileByName("mcf").PaperBias, 210u);
+}
+
+TEST(SpecSuiteTest, ConstructionIsDeterministic) {
+  const WorkloadSpec A = makeBenchmark("gap");
+  const WorkloadSpec B = makeBenchmark("gap");
+  ASSERT_EQ(A.numSites(), B.numSites());
+  for (SiteId S = 0; S < A.numSites(); ++S) {
+    EXPECT_EQ(A.Sites[S].Weight, B.Sites[S].Weight);
+    EXPECT_EQ(static_cast<int>(A.Sites[S].Behavior.Kind),
+              static_cast<int>(B.Sites[S].Behavior.Kind));
+    EXPECT_EQ(A.Sites[S].Behavior.BiasA, B.Sites[S].Behavior.BiasA);
+  }
+}
+
+TEST(SpecSuiteTest, SiteCountsScaleWithProfile) {
+  const SuiteScale Scale; // default 0.25
+  for (const BenchmarkProfile &P : suiteProfiles()) {
+    const WorkloadSpec Spec = makeBenchmark(P, Scale);
+    const double Expected = P.PaperTouch * Scale.SiteScale;
+    EXPECT_NEAR(Spec.numSites(), Expected, Expected * 0.1 + 41)
+        << P.Name;
+    EXPECT_GT(Spec.RefEvents, 1000000u) << P.Name;
+  }
+}
+
+TEST(SpecSuiteTest, BiasedShareCalibratedToPaperSpecShare) {
+  // Calibration targets the *reactive model's achieved* "% spec", which
+  // sits below the analytic whole-run-biased share (monitor burn) and
+  // excludes changing-site phases; here we check the analytic share is in
+  // a sane band around the paper value and preserves the suite ordering.
+  std::vector<double> Shares;
+  for (const char *Name : {"crafty", "bzip2", "gcc", "vortex"}) {
+    const BenchmarkProfile &P = profileByName(Name);
+    const WorkloadSpec Spec = makeBenchmark(P);
+    const double Share = Spec.expectedBiasedShare(Spec.refInput(), 0.99);
+    EXPECT_GT(Share, P.PaperSpecShare * 0.3) << Name;
+    EXPECT_LT(Share, std::min(0.95, P.PaperSpecShare * 1.6)) << Name;
+    Shares.push_back(Share);
+  }
+  // Paper ordering: crafty < bzip2 < gcc <= vortex-ish.
+  EXPECT_LT(Shares[0], Shares[1]);
+  EXPECT_LT(Shares[1], Shares[2]);
+}
+
+TEST(SpecSuiteTest, ChangingSitesArePresent) {
+  const WorkloadSpec Spec = makeBenchmark("gap");
+  unsigned Flips = 0, Periodic = 0, Induction = 0;
+  for (const SiteSpec &S : Spec.Sites) {
+    Flips += S.Behavior.Kind == BehaviorKind::FlipAt ||
+             S.Behavior.Kind == BehaviorKind::Soften;
+    Periodic += S.Behavior.Kind == BehaviorKind::Periodic;
+    Induction += S.Behavior.Kind == BehaviorKind::InductionFlip;
+  }
+  // gap: Table 3 reports 167 evicted statics; at 1/4 scale ~42.
+  EXPECT_NEAR(Flips, 42, 6);
+  EXPECT_GE(Periodic, 1u);
+  EXPECT_GE(Induction, 1u);
+  // Fig. 3 needs changing sites that stay biased >= 20k executions.
+  unsigned LateChangers = 0;
+  for (const SiteSpec &S : Spec.Sites)
+    if ((S.Behavior.Kind == BehaviorKind::FlipAt ||
+         S.Behavior.Kind == BehaviorKind::Soften) &&
+        S.Behavior.ChangeAt >= 20000)
+      ++LateChangers;
+  EXPECT_GE(LateChangers, 5u);
+}
+
+TEST(SpecSuiteTest, VortexHasCorrelatedGroups) {
+  const WorkloadSpec Spec = makeBenchmark("vortex");
+  EXPECT_EQ(Spec.numGroups(), 8u);
+  unsigned GroupSites = 0;
+  for (const SiteSpec &S : Spec.Sites)
+    GroupSites += S.Behavior.Kind == BehaviorKind::PhaseGroup;
+  EXPECT_GE(GroupSites, 20u);
+  // Every group schedule has both regimes.
+  for (unsigned G = 0; G < Spec.numGroups(); ++G) {
+    bool SawOn = false, SawOff = false;
+    for (unsigned P = 0; P < Spec.NumPhases; ++P)
+      (Spec.groupOnInPhase(G, P) ? SawOn : SawOff) = true;
+    EXPECT_TRUE(SawOn) << "group " << G;
+    EXPECT_TRUE(SawOff) << "group " << G;
+  }
+}
+
+TEST(SpecSuiteTest, FragileBenchmarksHaveInputDependence) {
+  unsigned CraftyInputDep = 0, EonInputDep = 0;
+  for (const SiteSpec &S : makeBenchmark("crafty").Sites)
+    CraftyInputDep += S.Behavior.Kind == BehaviorKind::InputDependent;
+  for (const SiteSpec &S : makeBenchmark("eon").Sites)
+    EonInputDep += S.Behavior.Kind == BehaviorKind::InputDependent;
+  EXPECT_GT(CraftyInputDep, EonInputDep * 3);
+}
+
+TEST(SpecSuiteTest, TrainAndRefInputsDiverge) {
+  const WorkloadSpec Spec = makeBenchmark("crafty");
+  const InputConfig Ref = Spec.refInput();
+  const InputConfig Train = Spec.trainInput();
+  unsigned DifferentBits = 0, GatedDiffs = 0, Gated = 0;
+  for (SiteId S = 0; S < Spec.numSites(); ++S) {
+    DifferentBits += Ref.parameterBit(S) != Train.parameterBit(S);
+    if (Spec.Sites[S].InputGated) {
+      ++Gated;
+      GatedDiffs += Ref.covers(S) != Train.covers(S);
+    }
+  }
+  // Parameter bits are independent bits: ~half differ.
+  EXPECT_NEAR(DifferentBits, Spec.numSites() / 2.0, Spec.numSites() * 0.1);
+  EXPECT_GT(Gated, 10u);
+  EXPECT_GT(GatedDiffs, 0u);
+}
+
+TEST(SpecSuiteTest, MakeSuiteBuildsAll) {
+  SuiteScale Small;
+  Small.EventsPerBillion = 1e4; // keep the test fast
+  const auto Suite = makeSuite(Small);
+  ASSERT_EQ(Suite.size(), 12u);
+  for (const WorkloadSpec &Spec : Suite)
+    EXPECT_GT(Spec.numSites(), 30u) << Spec.Name;
+}

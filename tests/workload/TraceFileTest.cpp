@@ -1,0 +1,108 @@
+//===- tests/workload/TraceFileTest.cpp -----------------------------------===//
+
+#include "workload/TraceFile.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace specctrl;
+using namespace specctrl::workload;
+
+namespace {
+
+WorkloadSpec tinySpec() {
+  WorkloadSpec Spec;
+  Spec.Name = "tf";
+  Spec.Seed = 4;
+  Spec.RefEvents = 20000;
+  Spec.NumPhases = 2;
+  SiteSpec A, B;
+  A.Behavior = BehaviorSpec::fixed(0.99);
+  A.Weight = 3;
+  B.Behavior = BehaviorSpec::fixed(0.4);
+  B.Weight = 1;
+  Spec.Sites = {A, B};
+  return Spec;
+}
+
+} // namespace
+
+TEST(TraceFileTest, RoundTripsBitExactly) {
+  const WorkloadSpec Spec = tinySpec();
+  std::stringstream File;
+  {
+    TraceGenerator Gen(Spec, Spec.refInput());
+    ASSERT_EQ(writeTrace(File, Gen), Spec.RefEvents);
+  }
+
+  TraceGenerator Reference(Spec, Spec.refInput());
+  TraceFileReader Reader(File);
+  ASSERT_TRUE(Reader.valid());
+  EXPECT_EQ(Reader.numSites(), Spec.numSites());
+  EXPECT_EQ(Reader.totalEvents(), Spec.RefEvents);
+
+  BranchEvent FromFile, FromGen;
+  uint64_t Count = 0;
+  while (Reader.next(FromFile)) {
+    ASSERT_TRUE(Reference.next(FromGen));
+    ASSERT_EQ(FromFile.Site, FromGen.Site);
+    ASSERT_EQ(FromFile.Taken, FromGen.Taken);
+    ASSERT_EQ(FromFile.Gap, FromGen.Gap);
+    ASSERT_EQ(FromFile.Index, FromGen.Index);
+    ASSERT_EQ(FromFile.InstRet, FromGen.InstRet);
+    ++Count;
+  }
+  EXPECT_EQ(Count, Spec.RefEvents);
+  EXPECT_FALSE(Reader.truncated());
+  EXPECT_FALSE(Reference.next(FromGen));
+}
+
+TEST(TraceFileTest, PartiallyConsumedGeneratorRecordsRemainder) {
+  const WorkloadSpec Spec = tinySpec();
+  TraceGenerator Gen(Spec, Spec.refInput());
+  BranchEvent E;
+  for (int I = 0; I < 5000; ++I)
+    ASSERT_TRUE(Gen.next(E));
+
+  std::stringstream File;
+  ASSERT_EQ(writeTrace(File, Gen), Spec.RefEvents - 5000);
+  TraceFileReader Reader(File);
+  ASSERT_TRUE(Reader.valid());
+  EXPECT_EQ(Reader.totalEvents(), Spec.RefEvents - 5000);
+}
+
+TEST(TraceFileTest, RejectsGarbageHeader) {
+  std::stringstream File("this is not a trace");
+  TraceFileReader Reader(File);
+  EXPECT_FALSE(Reader.valid());
+  BranchEvent E;
+  EXPECT_FALSE(Reader.next(E));
+}
+
+TEST(TraceFileTest, DetectsTruncation) {
+  const WorkloadSpec Spec = tinySpec();
+  std::stringstream File;
+  {
+    TraceGenerator Gen(Spec, Spec.refInput());
+    writeTrace(File, Gen);
+  }
+  // Chop the last few bytes off.
+  std::string Bytes = File.str();
+  Bytes.resize(Bytes.size() - 6);
+  std::stringstream Chopped(Bytes);
+
+  TraceFileReader Reader(Chopped);
+  ASSERT_TRUE(Reader.valid());
+  BranchEvent E;
+  uint64_t Count = 0;
+  while (Reader.next(E))
+    ++Count;
+  EXPECT_LT(Count, Spec.RefEvents);
+  EXPECT_TRUE(Reader.truncated());
+}
+
+TEST(TraceFileTest, FormatLimitsDocumented) {
+  EXPECT_EQ(TraceFileLimits::MaxSite, (1u << 24) - 1);
+  EXPECT_EQ(TraceFileLimits::MaxGap, 127u);
+}

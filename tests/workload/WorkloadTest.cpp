@@ -1,0 +1,110 @@
+//===- tests/workload/WorkloadTest.cpp ------------------------------------===//
+//
+// Unit tests for the workload-spec layer itself: input-configuration
+// determinism, activity gating, and the analytic execution estimates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace specctrl;
+using namespace specctrl::workload;
+
+TEST(InputConfigTest, ParameterBitsDeterministic) {
+  InputConfig A;
+  A.Seed = 42;
+  InputConfig B;
+  B.Seed = 42;
+  for (SiteId S = 0; S < 256; ++S)
+    EXPECT_EQ(A.parameterBit(S), B.parameterBit(S));
+}
+
+TEST(InputConfigTest, DifferentSeedsFlipAboutHalf) {
+  InputConfig A, B;
+  A.Seed = 1;
+  B.Seed = 2;
+  unsigned Diff = 0;
+  const unsigned N = 4096;
+  for (SiteId S = 0; S < N; ++S)
+    Diff += A.parameterBit(S) != B.parameterBit(S);
+  EXPECT_NEAR(Diff, N / 2.0, N * 0.06);
+}
+
+TEST(InputConfigTest, CoverageFollowsProbability) {
+  InputConfig In;
+  In.Seed = 7;
+  In.CoverProb = 0.75;
+  unsigned Covered = 0;
+  const unsigned N = 4096;
+  for (SiteId S = 0; S < N; ++S)
+    Covered += In.covers(S);
+  EXPECT_NEAR(Covered / static_cast<double>(N), 0.75, 0.04);
+
+  In.CoverProb = 1.0;
+  for (SiteId S = 0; S < 64; ++S)
+    EXPECT_TRUE(In.covers(S));
+}
+
+TEST(WorkloadSpecTest, SiteActivityRespectsPhaseMaskAndGating) {
+  WorkloadSpec Spec;
+  Spec.Seed = 5;
+  Spec.RefEvents = 1000;
+  Spec.NumPhases = 4;
+  SiteSpec Open;            // all phases
+  SiteSpec PhaseLimited;    // phase 2 only
+  PhaseLimited.PhaseMask = 1u << 2;
+  SiteSpec Gated;
+  Gated.InputGated = true;
+  Spec.Sites = {Open, PhaseLimited, Gated};
+  const InputConfig Ref = Spec.refInput();
+
+  for (unsigned P = 0; P < 4; ++P) {
+    EXPECT_TRUE(Spec.siteActive(0, Ref, P));
+    EXPECT_EQ(Spec.siteActive(1, Ref, P), P == 2);
+    EXPECT_EQ(Spec.siteActive(2, Ref, P), Ref.covers(2));
+  }
+}
+
+TEST(WorkloadSpecTest, ExpectedExecsSumToRunLength) {
+  WorkloadSpec Spec;
+  Spec.Seed = 9;
+  Spec.RefEvents = 80000;
+  Spec.NumPhases = 8;
+  for (int I = 0; I < 20; ++I) {
+    SiteSpec S;
+    S.Weight = 1.0 + I;
+    if (I % 5 == 0)
+      S.PhaseMask = 0x0F;
+    Spec.Sites.push_back(S);
+  }
+  const std::vector<double> Execs =
+      Spec.expectedSiteExecs(Spec.refInput());
+  double Sum = 0;
+  for (double E : Execs)
+    Sum += E;
+  EXPECT_NEAR(Sum, static_cast<double>(Spec.RefEvents), 1.0);
+}
+
+TEST(WorkloadSpecTest, GroupScheduleDefaultsOn) {
+  WorkloadSpec Spec;
+  // No schedules registered: every group reads as "on" (biased regime).
+  EXPECT_TRUE(Spec.groupOnInPhase(0, 0));
+  EXPECT_TRUE(Spec.groupOnInPhase(7, 3));
+  Spec.GroupOn = {{true, false}};
+  EXPECT_TRUE(Spec.groupOnInPhase(0, 0));
+  EXPECT_FALSE(Spec.groupOnInPhase(0, 1));
+  // Phases wrap around the schedule row.
+  EXPECT_TRUE(Spec.groupOnInPhase(0, 2));
+}
+
+TEST(WorkloadSpecTest, TrainInputDefaultsToHalfOfRef) {
+  WorkloadSpec Spec;
+  Spec.Seed = 3;
+  Spec.RefEvents = 100000;
+  Spec.TrainEvents = 0; // unset -> half of ref
+  EXPECT_EQ(Spec.trainInput().Events, 50000u);
+  Spec.TrainEvents = 12345;
+  EXPECT_EQ(Spec.trainInput().Events, 12345u);
+}

@@ -1,0 +1,159 @@
+//===- tools/specctrl-trace.cpp - Workload/trace inspection tool ----------===//
+//
+// Inspection tooling for the workload substrate:
+//
+//   specctrl-trace --bench=NAME [--input=ref|train] ...
+//     --list-sites            dump the static site table (behavior, weight)
+//     --dump-profile[=FILE]   run and save the whole-run branch profile
+//     --synthesize            print the benchmark-like SimIR program
+//     --head=N                print the first N branch events
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+#include "profile/BranchProfile.h"
+#include "support/Format.h"
+#include "support/Options.h"
+#include "support/Table.h"
+#include "workload/ProgramSynthesizer.h"
+#include "workload/SpecSuite.h"
+#include "workload/TraceFile.h"
+#include "workload/TraceGenerator.h"
+
+#include <fstream>
+#include <iostream>
+
+using namespace specctrl;
+using namespace specctrl::workload;
+
+int main(int Argc, char **Argv) {
+  OptionSet Opts("specctrl-trace: inspect the synthetic workloads");
+  Opts.addString("bench", "gzip", "benchmark name");
+  Opts.addString("input", "ref", "input data set: ref or train");
+  Opts.addFlag("list-sites", "dump the static site table");
+  Opts.addString("dump-profile", "", "run fully and save the profile here");
+  Opts.addString("record", "", "record the run as a binary trace file");
+  Opts.addString("replay", "", "summarize a recorded binary trace file");
+  Opts.addFlag("synthesize", "print the benchmark-like SimIR program");
+  Opts.addInt("head", 0, "print the first N branch events");
+  Opts.addDouble("events-per-billion", 6.0e5, "run-length scale");
+  Opts.addDouble("site-scale", 0.25, "static-population scale");
+  if (!Opts.parse(Argc, Argv))
+    return Opts.wasError() ? 1 : 0;
+
+  SuiteScale Scale;
+  Scale.EventsPerBillion = Opts.getDouble("events-per-billion");
+  Scale.SiteScale = Opts.getDouble("site-scale");
+  const WorkloadSpec Spec = makeBenchmark(Opts.getString("bench"), Scale);
+  const InputConfig Input = Opts.getString("input") == "train"
+                                ? Spec.trainInput()
+                                : Spec.refInput();
+
+  if (Opts.getFlag("synthesize")) {
+    SynthProgram P = synthesize(makeSynthSpecFor(
+        profileByName(Spec.Name), /*Iterations=*/1000));
+    ir::printModule(P.Mod, std::cout);
+    return 0;
+  }
+
+  if (Opts.getFlag("list-sites")) {
+    const std::vector<double> Execs = Spec.expectedSiteExecs(Input);
+    Table Out({"site", "behavior", "P(taken)", "expected execs", "gated",
+               "phases"});
+    for (SiteId S = 0; S < Spec.numSites(); ++S) {
+      const SiteSpec &Site = Spec.Sites[S];
+      std::string Phases;
+      for (unsigned P = 0; P < Spec.NumPhases; ++P)
+        Phases += (Site.PhaseMask >> P) & 1 ? '#' : '.';
+      Out.row()
+          .cell(static_cast<uint64_t>(S))
+          .cell(behaviorKindName(Site.Behavior.Kind))
+          .cell(Site.Behavior.BiasA, 4)
+          .cell(formatMagnitude(Execs[S]))
+          .cell(Site.InputGated ? "yes" : "")
+          .cell(Phases);
+    }
+    Out.printText(std::cout);
+    return 0;
+  }
+
+  if (!Opts.getString("replay").empty()) {
+    std::ifstream In(Opts.getString("replay"), std::ios::binary);
+    TraceFileReader Reader(In);
+    if (!Reader.valid()) {
+      std::cerr << "error: not a trace file\n";
+      return 1;
+    }
+    profile::BranchProfile P(Reader.numSites());
+    BranchEvent E;
+    while (Reader.next(E))
+      P.addOutcome(E.Site, E.Taken);
+    std::cout << "replayed " << formatMagnitude(static_cast<double>(
+                     P.totalExecutions()))
+              << " events over " << P.touchedSites() << " sites"
+              << (Reader.truncated() ? " (TRUNCATED FILE)" : "") << '\n';
+    return Reader.truncated() ? 1 : 0;
+  }
+
+  if (!Opts.getString("record").empty()) {
+    std::ofstream OutFile(Opts.getString("record"), std::ios::binary);
+    if (!OutFile) {
+      std::cerr << "error: cannot write trace file\n";
+      return 1;
+    }
+    TraceGenerator Gen(Spec, Input);
+    const uint64_t N = writeTrace(OutFile, Gen);
+    if (N == 0) {
+      std::cerr << "error: trace write failed\n";
+      return 1;
+    }
+    std::cout << "recorded " << formatMagnitude(static_cast<double>(N))
+              << " events to " << Opts.getString("record") << '\n';
+    return 0;
+  }
+
+  const int64_t Head = Opts.getInt("head");
+  if (Head > 0) {
+    TraceGenerator Gen(Spec, Input);
+    BranchEvent E;
+    Table Out({"index", "site", "taken", "instret"});
+    for (int64_t I = 0; I < Head && Gen.next(E); ++I)
+      Out.row()
+          .cell(E.Index)
+          .cell(static_cast<uint64_t>(E.Site))
+          .cell(E.Taken ? "T" : "N")
+          .cell(E.InstRet);
+    Out.printText(std::cout);
+    return 0;
+  }
+
+  // Default / --dump-profile: run fully and report.
+  profile::BranchProfile P(Spec.numSites());
+  TraceGenerator Gen(Spec, Input);
+  BranchEvent E;
+  while (Gen.next(E))
+    P.addOutcome(E.Site, E.Taken);
+
+  const std::string &File = Opts.getString("dump-profile");
+  if (!File.empty()) {
+    std::ofstream OS(File);
+    if (!OS) {
+      std::cerr << "error: cannot write '" << File << "'\n";
+      return 1;
+    }
+    P.save(OS);
+    std::cout << "wrote profile for " << Spec.Name << "/" << Input.Name
+              << " (" << P.touchedSites() << " sites, "
+              << formatMagnitude(static_cast<double>(P.totalExecutions()))
+              << " events) to " << File << '\n';
+    return 0;
+  }
+
+  std::cout << Spec.Name << "/" << Input.Name << ": "
+            << formatMagnitude(static_cast<double>(P.totalExecutions()))
+            << " events over " << P.touchedSites() << " touched sites, "
+            << formatMagnitude(
+                   static_cast<double>(Gen.instructionsRetired()))
+            << " instructions\n";
+  return 0;
+}
