@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_task_size.dir/BenchCommon.cpp.o"
+  "CMakeFiles/ablation_task_size.dir/BenchCommon.cpp.o.d"
+  "CMakeFiles/ablation_task_size.dir/ablation_task_size.cpp.o"
+  "CMakeFiles/ablation_task_size.dir/ablation_task_size.cpp.o.d"
+  "ablation_task_size"
+  "ablation_task_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_task_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

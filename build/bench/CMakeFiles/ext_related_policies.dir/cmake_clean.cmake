@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_related_policies.dir/BenchCommon.cpp.o"
+  "CMakeFiles/ext_related_policies.dir/BenchCommon.cpp.o.d"
+  "CMakeFiles/ext_related_policies.dir/ext_related_policies.cpp.o"
+  "CMakeFiles/ext_related_policies.dir/ext_related_policies.cpp.o.d"
+  "ext_related_policies"
+  "ext_related_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_related_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

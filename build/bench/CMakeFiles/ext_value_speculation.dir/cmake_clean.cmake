@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_value_speculation.dir/BenchCommon.cpp.o"
+  "CMakeFiles/ext_value_speculation.dir/BenchCommon.cpp.o.d"
+  "CMakeFiles/ext_value_speculation.dir/ext_value_speculation.cpp.o"
+  "CMakeFiles/ext_value_speculation.dir/ext_value_speculation.cpp.o.d"
+  "ext_value_speculation"
+  "ext_value_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_value_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

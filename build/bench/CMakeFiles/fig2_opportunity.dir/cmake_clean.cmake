@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_opportunity.dir/BenchCommon.cpp.o"
+  "CMakeFiles/fig2_opportunity.dir/BenchCommon.cpp.o.d"
+  "CMakeFiles/fig2_opportunity.dir/fig2_opportunity.cpp.o"
+  "CMakeFiles/fig2_opportunity.dir/fig2_opportunity.cpp.o.d"
+  "fig2_opportunity"
+  "fig2_opportunity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_opportunity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

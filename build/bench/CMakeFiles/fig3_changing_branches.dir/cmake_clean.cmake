@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_changing_branches.dir/BenchCommon.cpp.o"
+  "CMakeFiles/fig3_changing_branches.dir/BenchCommon.cpp.o.d"
+  "CMakeFiles/fig3_changing_branches.dir/fig3_changing_branches.cpp.o"
+  "CMakeFiles/fig3_changing_branches.dir/fig3_changing_branches.cpp.o.d"
+  "fig3_changing_branches"
+  "fig3_changing_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_changing_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

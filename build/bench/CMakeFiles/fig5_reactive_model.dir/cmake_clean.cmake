@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_reactive_model.dir/BenchCommon.cpp.o"
+  "CMakeFiles/fig5_reactive_model.dir/BenchCommon.cpp.o.d"
+  "CMakeFiles/fig5_reactive_model.dir/fig5_reactive_model.cpp.o"
+  "CMakeFiles/fig5_reactive_model.dir/fig5_reactive_model.cpp.o.d"
+  "fig5_reactive_model"
+  "fig5_reactive_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_reactive_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

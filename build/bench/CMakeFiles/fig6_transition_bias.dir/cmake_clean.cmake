@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_transition_bias.dir/BenchCommon.cpp.o"
+  "CMakeFiles/fig6_transition_bias.dir/BenchCommon.cpp.o.d"
+  "CMakeFiles/fig6_transition_bias.dir/fig6_transition_bias.cpp.o"
+  "CMakeFiles/fig6_transition_bias.dir/fig6_transition_bias.cpp.o.d"
+  "fig6_transition_bias"
+  "fig6_transition_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_transition_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mssp_reactivity.dir/BenchCommon.cpp.o"
+  "CMakeFiles/fig7_mssp_reactivity.dir/BenchCommon.cpp.o.d"
+  "CMakeFiles/fig7_mssp_reactivity.dir/fig7_mssp_reactivity.cpp.o"
+  "CMakeFiles/fig7_mssp_reactivity.dir/fig7_mssp_reactivity.cpp.o.d"
+  "fig7_mssp_reactivity"
+  "fig7_mssp_reactivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mssp_reactivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

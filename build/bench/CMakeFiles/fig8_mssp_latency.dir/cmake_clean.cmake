@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_mssp_latency.dir/BenchCommon.cpp.o"
+  "CMakeFiles/fig8_mssp_latency.dir/BenchCommon.cpp.o.d"
+  "CMakeFiles/fig8_mssp_latency.dir/fig8_mssp_latency.cpp.o"
+  "CMakeFiles/fig8_mssp_latency.dir/fig8_mssp_latency.cpp.o.d"
+  "fig8_mssp_latency"
+  "fig8_mssp_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_mssp_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

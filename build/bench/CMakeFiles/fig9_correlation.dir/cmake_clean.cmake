@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_correlation.dir/BenchCommon.cpp.o"
+  "CMakeFiles/fig9_correlation.dir/BenchCommon.cpp.o.d"
+  "CMakeFiles/fig9_correlation.dir/fig9_correlation.cpp.o"
+  "CMakeFiles/fig9_correlation.dir/fig9_correlation.cpp.o.d"
+  "fig9_correlation"
+  "fig9_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_sensitivity.dir/BenchCommon.cpp.o"
+  "CMakeFiles/table4_sensitivity.dir/BenchCommon.cpp.o.d"
+  "CMakeFiles/table4_sensitivity.dir/table4_sensitivity.cpp.o"
+  "CMakeFiles/table4_sensitivity.dir/table4_sensitivity.cpp.o.d"
+  "table4_sensitivity"
+  "table4_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_machine.dir/BenchCommon.cpp.o"
+  "CMakeFiles/table5_machine.dir/BenchCommon.cpp.o.d"
+  "CMakeFiles/table5_machine.dir/table5_machine.cpp.o"
+  "CMakeFiles/table5_machine.dir/table5_machine.cpp.o.d"
+  "table5_machine"
+  "table5_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

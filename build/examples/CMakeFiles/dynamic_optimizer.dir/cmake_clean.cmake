@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_optimizer.dir/dynamic_optimizer.cpp.o"
+  "CMakeFiles/dynamic_optimizer.dir/dynamic_optimizer.cpp.o.d"
+  "dynamic_optimizer"
+  "dynamic_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

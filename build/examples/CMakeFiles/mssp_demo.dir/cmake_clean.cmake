@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mssp_demo.dir/mssp_demo.cpp.o"
+  "CMakeFiles/mssp_demo.dir/mssp_demo.cpp.o.d"
+  "mssp_demo"
+  "mssp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mssp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

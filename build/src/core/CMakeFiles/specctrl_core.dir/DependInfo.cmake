@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AlternativeControllers.cpp" "src/core/CMakeFiles/specctrl_core.dir/AlternativeControllers.cpp.o" "gcc" "src/core/CMakeFiles/specctrl_core.dir/AlternativeControllers.cpp.o.d"
+  "/root/repo/src/core/Driver.cpp" "src/core/CMakeFiles/specctrl_core.dir/Driver.cpp.o" "gcc" "src/core/CMakeFiles/specctrl_core.dir/Driver.cpp.o.d"
+  "/root/repo/src/core/ReactiveController.cpp" "src/core/CMakeFiles/specctrl_core.dir/ReactiveController.cpp.o" "gcc" "src/core/CMakeFiles/specctrl_core.dir/ReactiveController.cpp.o.d"
+  "/root/repo/src/core/StaticControllers.cpp" "src/core/CMakeFiles/specctrl_core.dir/StaticControllers.cpp.o" "gcc" "src/core/CMakeFiles/specctrl_core.dir/StaticControllers.cpp.o.d"
+  "/root/repo/src/core/ValueInvariance.cpp" "src/core/CMakeFiles/specctrl_core.dir/ValueInvariance.cpp.o" "gcc" "src/core/CMakeFiles/specctrl_core.dir/ValueInvariance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profile/CMakeFiles/specctrl_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/specctrl_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/specctrl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/specctrl_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specctrl_core.dir/AlternativeControllers.cpp.o"
+  "CMakeFiles/specctrl_core.dir/AlternativeControllers.cpp.o.d"
+  "CMakeFiles/specctrl_core.dir/Driver.cpp.o"
+  "CMakeFiles/specctrl_core.dir/Driver.cpp.o.d"
+  "CMakeFiles/specctrl_core.dir/ReactiveController.cpp.o"
+  "CMakeFiles/specctrl_core.dir/ReactiveController.cpp.o.d"
+  "CMakeFiles/specctrl_core.dir/StaticControllers.cpp.o"
+  "CMakeFiles/specctrl_core.dir/StaticControllers.cpp.o.d"
+  "CMakeFiles/specctrl_core.dir/ValueInvariance.cpp.o"
+  "CMakeFiles/specctrl_core.dir/ValueInvariance.cpp.o.d"
+  "libspecctrl_core.a"
+  "libspecctrl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specctrl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

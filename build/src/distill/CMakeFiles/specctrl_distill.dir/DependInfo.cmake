@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/distill/Distiller.cpp" "src/distill/CMakeFiles/specctrl_distill.dir/Distiller.cpp.o" "gcc" "src/distill/CMakeFiles/specctrl_distill.dir/Distiller.cpp.o.d"
+  "/root/repo/src/distill/ValueProfiler.cpp" "src/distill/CMakeFiles/specctrl_distill.dir/ValueProfiler.cpp.o" "gcc" "src/distill/CMakeFiles/specctrl_distill.dir/ValueProfiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/specctrl_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsim/CMakeFiles/specctrl_fsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/specctrl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specctrl_distill.dir/Distiller.cpp.o"
+  "CMakeFiles/specctrl_distill.dir/Distiller.cpp.o.d"
+  "CMakeFiles/specctrl_distill.dir/ValueProfiler.cpp.o"
+  "CMakeFiles/specctrl_distill.dir/ValueProfiler.cpp.o.d"
+  "libspecctrl_distill.a"
+  "libspecctrl_distill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specctrl_distill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspecctrl_distill.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specctrl_fsim.dir/Interpreter.cpp.o"
+  "CMakeFiles/specctrl_fsim.dir/Interpreter.cpp.o.d"
+  "libspecctrl_fsim.a"
+  "libspecctrl_fsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specctrl_fsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specctrl_ir.dir/CFG.cpp.o"
+  "CMakeFiles/specctrl_ir.dir/CFG.cpp.o.d"
+  "CMakeFiles/specctrl_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/specctrl_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/specctrl_ir.dir/Parser.cpp.o"
+  "CMakeFiles/specctrl_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/specctrl_ir.dir/Printer.cpp.o"
+  "CMakeFiles/specctrl_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/specctrl_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/specctrl_ir.dir/Verifier.cpp.o.d"
+  "libspecctrl_ir.a"
+  "libspecctrl_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specctrl_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specctrl_mssp.dir/BranchPredictor.cpp.o"
+  "CMakeFiles/specctrl_mssp.dir/BranchPredictor.cpp.o.d"
+  "CMakeFiles/specctrl_mssp.dir/Cache.cpp.o"
+  "CMakeFiles/specctrl_mssp.dir/Cache.cpp.o.d"
+  "CMakeFiles/specctrl_mssp.dir/CoreTiming.cpp.o"
+  "CMakeFiles/specctrl_mssp.dir/CoreTiming.cpp.o.d"
+  "CMakeFiles/specctrl_mssp.dir/MsspSimulator.cpp.o"
+  "CMakeFiles/specctrl_mssp.dir/MsspSimulator.cpp.o.d"
+  "libspecctrl_mssp.a"
+  "libspecctrl_mssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specctrl_mssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for specctrl_mssp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for specctrl_mssp.
+# This may be replaced when dependencies are built.

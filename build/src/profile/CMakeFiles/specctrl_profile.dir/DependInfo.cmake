@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/BiasSeries.cpp" "src/profile/CMakeFiles/specctrl_profile.dir/BiasSeries.cpp.o" "gcc" "src/profile/CMakeFiles/specctrl_profile.dir/BiasSeries.cpp.o.d"
+  "/root/repo/src/profile/BranchProfile.cpp" "src/profile/CMakeFiles/specctrl_profile.dir/BranchProfile.cpp.o" "gcc" "src/profile/CMakeFiles/specctrl_profile.dir/BranchProfile.cpp.o.d"
+  "/root/repo/src/profile/InitialBehavior.cpp" "src/profile/CMakeFiles/specctrl_profile.dir/InitialBehavior.cpp.o" "gcc" "src/profile/CMakeFiles/specctrl_profile.dir/InitialBehavior.cpp.o.d"
+  "/root/repo/src/profile/Pareto.cpp" "src/profile/CMakeFiles/specctrl_profile.dir/Pareto.cpp.o" "gcc" "src/profile/CMakeFiles/specctrl_profile.dir/Pareto.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/specctrl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

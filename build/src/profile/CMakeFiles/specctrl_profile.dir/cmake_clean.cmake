@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specctrl_profile.dir/BiasSeries.cpp.o"
+  "CMakeFiles/specctrl_profile.dir/BiasSeries.cpp.o.d"
+  "CMakeFiles/specctrl_profile.dir/BranchProfile.cpp.o"
+  "CMakeFiles/specctrl_profile.dir/BranchProfile.cpp.o.d"
+  "CMakeFiles/specctrl_profile.dir/InitialBehavior.cpp.o"
+  "CMakeFiles/specctrl_profile.dir/InitialBehavior.cpp.o.d"
+  "CMakeFiles/specctrl_profile.dir/Pareto.cpp.o"
+  "CMakeFiles/specctrl_profile.dir/Pareto.cpp.o.d"
+  "libspecctrl_profile.a"
+  "libspecctrl_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specctrl_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specctrl_support.dir/AliasTable.cpp.o"
+  "CMakeFiles/specctrl_support.dir/AliasTable.cpp.o.d"
+  "CMakeFiles/specctrl_support.dir/Format.cpp.o"
+  "CMakeFiles/specctrl_support.dir/Format.cpp.o.d"
+  "CMakeFiles/specctrl_support.dir/Options.cpp.o"
+  "CMakeFiles/specctrl_support.dir/Options.cpp.o.d"
+  "CMakeFiles/specctrl_support.dir/Statistics.cpp.o"
+  "CMakeFiles/specctrl_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/specctrl_support.dir/Table.cpp.o"
+  "CMakeFiles/specctrl_support.dir/Table.cpp.o.d"
+  "libspecctrl_support.a"
+  "libspecctrl_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specctrl_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

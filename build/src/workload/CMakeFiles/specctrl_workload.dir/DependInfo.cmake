@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/BranchBehavior.cpp" "src/workload/CMakeFiles/specctrl_workload.dir/BranchBehavior.cpp.o" "gcc" "src/workload/CMakeFiles/specctrl_workload.dir/BranchBehavior.cpp.o.d"
+  "/root/repo/src/workload/ProgramSynthesizer.cpp" "src/workload/CMakeFiles/specctrl_workload.dir/ProgramSynthesizer.cpp.o" "gcc" "src/workload/CMakeFiles/specctrl_workload.dir/ProgramSynthesizer.cpp.o.d"
+  "/root/repo/src/workload/SpecSuite.cpp" "src/workload/CMakeFiles/specctrl_workload.dir/SpecSuite.cpp.o" "gcc" "src/workload/CMakeFiles/specctrl_workload.dir/SpecSuite.cpp.o.d"
+  "/root/repo/src/workload/TraceFile.cpp" "src/workload/CMakeFiles/specctrl_workload.dir/TraceFile.cpp.o" "gcc" "src/workload/CMakeFiles/specctrl_workload.dir/TraceFile.cpp.o.d"
+  "/root/repo/src/workload/TraceGenerator.cpp" "src/workload/CMakeFiles/specctrl_workload.dir/TraceGenerator.cpp.o" "gcc" "src/workload/CMakeFiles/specctrl_workload.dir/TraceGenerator.cpp.o.d"
+  "/root/repo/src/workload/Workload.cpp" "src/workload/CMakeFiles/specctrl_workload.dir/Workload.cpp.o" "gcc" "src/workload/CMakeFiles/specctrl_workload.dir/Workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/specctrl_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/specctrl_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specctrl_workload.dir/BranchBehavior.cpp.o"
+  "CMakeFiles/specctrl_workload.dir/BranchBehavior.cpp.o.d"
+  "CMakeFiles/specctrl_workload.dir/ProgramSynthesizer.cpp.o"
+  "CMakeFiles/specctrl_workload.dir/ProgramSynthesizer.cpp.o.d"
+  "CMakeFiles/specctrl_workload.dir/SpecSuite.cpp.o"
+  "CMakeFiles/specctrl_workload.dir/SpecSuite.cpp.o.d"
+  "CMakeFiles/specctrl_workload.dir/TraceFile.cpp.o"
+  "CMakeFiles/specctrl_workload.dir/TraceFile.cpp.o.d"
+  "CMakeFiles/specctrl_workload.dir/TraceGenerator.cpp.o"
+  "CMakeFiles/specctrl_workload.dir/TraceGenerator.cpp.o.d"
+  "CMakeFiles/specctrl_workload.dir/Workload.cpp.o"
+  "CMakeFiles/specctrl_workload.dir/Workload.cpp.o.d"
+  "libspecctrl_workload.a"
+  "libspecctrl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specctrl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/AlternativeControllersTest.cpp" "tests/CMakeFiles/core_test.dir/core/AlternativeControllersTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/AlternativeControllersTest.cpp.o.d"
+  "/root/repo/tests/core/ControlStatsTest.cpp" "tests/CMakeFiles/core_test.dir/core/ControlStatsTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ControlStatsTest.cpp.o.d"
+  "/root/repo/tests/core/DriverTest.cpp" "tests/CMakeFiles/core_test.dir/core/DriverTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/DriverTest.cpp.o.d"
+  "/root/repo/tests/core/ReactiveControllerTest.cpp" "tests/CMakeFiles/core_test.dir/core/ReactiveControllerTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ReactiveControllerTest.cpp.o.d"
+  "/root/repo/tests/core/ReactivePropertyTest.cpp" "tests/CMakeFiles/core_test.dir/core/ReactivePropertyTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ReactivePropertyTest.cpp.o.d"
+  "/root/repo/tests/core/StaticControllersTest.cpp" "tests/CMakeFiles/core_test.dir/core/StaticControllersTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/StaticControllersTest.cpp.o.d"
+  "/root/repo/tests/core/ValueInvarianceTest.cpp" "tests/CMakeFiles/core_test.dir/core/ValueInvarianceTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ValueInvarianceTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mssp/CMakeFiles/specctrl_mssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/distill/CMakeFiles/specctrl_distill.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/specctrl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/specctrl_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsim/CMakeFiles/specctrl_fsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/specctrl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/specctrl_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/specctrl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

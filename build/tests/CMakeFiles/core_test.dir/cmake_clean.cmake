@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/AlternativeControllersTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/AlternativeControllersTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/ControlStatsTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/ControlStatsTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/DriverTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/DriverTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/ReactiveControllerTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/ReactiveControllerTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/ReactivePropertyTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/ReactivePropertyTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/StaticControllersTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/StaticControllersTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/ValueInvarianceTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/ValueInvarianceTest.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

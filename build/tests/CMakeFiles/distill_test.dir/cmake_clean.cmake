@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distill_test.dir/distill/CodeCacheTest.cpp.o"
+  "CMakeFiles/distill_test.dir/distill/CodeCacheTest.cpp.o.d"
+  "CMakeFiles/distill_test.dir/distill/DistillerFuzzTest.cpp.o"
+  "CMakeFiles/distill_test.dir/distill/DistillerFuzzTest.cpp.o.d"
+  "CMakeFiles/distill_test.dir/distill/DistillerTest.cpp.o"
+  "CMakeFiles/distill_test.dir/distill/DistillerTest.cpp.o.d"
+  "CMakeFiles/distill_test.dir/distill/PassTest.cpp.o"
+  "CMakeFiles/distill_test.dir/distill/PassTest.cpp.o.d"
+  "CMakeFiles/distill_test.dir/distill/ValueProfilerTest.cpp.o"
+  "CMakeFiles/distill_test.dir/distill/ValueProfilerTest.cpp.o.d"
+  "distill_test"
+  "distill_test.pdb"
+  "distill_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distill_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

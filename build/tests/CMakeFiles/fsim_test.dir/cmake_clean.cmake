@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_test.dir/fsim/InterpreterSemanticsTest.cpp.o"
+  "CMakeFiles/fsim_test.dir/fsim/InterpreterSemanticsTest.cpp.o.d"
+  "CMakeFiles/fsim_test.dir/fsim/InterpreterTest.cpp.o"
+  "CMakeFiles/fsim_test.dir/fsim/InterpreterTest.cpp.o.d"
+  "CMakeFiles/fsim_test.dir/fsim/SynthesizedProgramTest.cpp.o"
+  "CMakeFiles/fsim_test.dir/fsim/SynthesizedProgramTest.cpp.o.d"
+  "fsim_test"
+  "fsim_test.pdb"
+  "fsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

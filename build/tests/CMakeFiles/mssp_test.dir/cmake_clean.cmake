@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mssp_test.dir/mssp/BranchPredictorTest.cpp.o"
+  "CMakeFiles/mssp_test.dir/mssp/BranchPredictorTest.cpp.o.d"
+  "CMakeFiles/mssp_test.dir/mssp/CacheTest.cpp.o"
+  "CMakeFiles/mssp_test.dir/mssp/CacheTest.cpp.o.d"
+  "CMakeFiles/mssp_test.dir/mssp/CoreTimingTest.cpp.o"
+  "CMakeFiles/mssp_test.dir/mssp/CoreTimingTest.cpp.o.d"
+  "CMakeFiles/mssp_test.dir/mssp/MsspProtocolTest.cpp.o"
+  "CMakeFiles/mssp_test.dir/mssp/MsspProtocolTest.cpp.o.d"
+  "CMakeFiles/mssp_test.dir/mssp/MsspSimulatorTest.cpp.o"
+  "CMakeFiles/mssp_test.dir/mssp/MsspSimulatorTest.cpp.o.d"
+  "mssp_test"
+  "mssp_test.pdb"
+  "mssp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mssp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

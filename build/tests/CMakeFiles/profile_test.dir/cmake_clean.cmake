@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_test.dir/profile/BiasSeriesTest.cpp.o"
+  "CMakeFiles/profile_test.dir/profile/BiasSeriesTest.cpp.o.d"
+  "CMakeFiles/profile_test.dir/profile/BranchProfileTest.cpp.o"
+  "CMakeFiles/profile_test.dir/profile/BranchProfileTest.cpp.o.d"
+  "CMakeFiles/profile_test.dir/profile/InitialBehaviorTest.cpp.o"
+  "CMakeFiles/profile_test.dir/profile/InitialBehaviorTest.cpp.o.d"
+  "CMakeFiles/profile_test.dir/profile/ParetoTest.cpp.o"
+  "CMakeFiles/profile_test.dir/profile/ParetoTest.cpp.o.d"
+  "profile_test"
+  "profile_test.pdb"
+  "profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

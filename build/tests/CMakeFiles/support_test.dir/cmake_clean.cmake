@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_test.dir/support/AliasTableTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/AliasTableTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/FormatTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/FormatTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/OptionsTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/OptionsTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/RngTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/RngTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/SaturatingCounterTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/SaturatingCounterTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/StatisticsTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/StatisticsTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/TableTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/TableTest.cpp.o.d"
+  "support_test"
+  "support_test.pdb"
+  "support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specctrl-opt.dir/specctrl-opt.cpp.o"
+  "CMakeFiles/specctrl-opt.dir/specctrl-opt.cpp.o.d"
+  "specctrl-opt"
+  "specctrl-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specctrl-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

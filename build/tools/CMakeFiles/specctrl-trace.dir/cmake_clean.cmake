@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specctrl-trace.dir/specctrl-trace.cpp.o"
+  "CMakeFiles/specctrl-trace.dir/specctrl-trace.cpp.o.d"
+  "specctrl-trace"
+  "specctrl-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specctrl-trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
