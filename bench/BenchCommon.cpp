@@ -11,6 +11,21 @@
 using namespace specctrl;
 using namespace specctrl::bench;
 
+void bench::addScaleOptions(OptionSet &Opts) {
+  Opts.addDouble("events-per-billion", 6.0e5,
+                 "branch events generated per billion paper-run "
+                 "instructions (run-length scale)");
+  Opts.addDouble("site-scale", 0.25,
+                 "fraction of the paper's static branch population");
+}
+
+workload::SuiteScale bench::readScale(const OptionSet &Opts) {
+  workload::SuiteScale Scale;
+  Scale.EventsPerBillion = Opts.getDouble("events-per-billion");
+  Scale.SiteScale = Opts.getDouble("site-scale");
+  return Scale;
+}
+
 void bench::addStandardOptions(OptionSet &Opts) {
   Opts.addFlag("csv", "emit CSV instead of aligned text tables");
   Opts.addInt("opt-latency", 10000,
@@ -20,11 +35,11 @@ void bench::addStandardOptions(OptionSet &Opts) {
               "unbiased-state wait period in executions (Table 2's 1M "
               "rescaled: at paper scale hot sites execute billions of "
               "times, here hundreds of thousands)");
-  Opts.addDouble("events-per-billion", 6.0e5,
-                 "branch events generated per billion paper-run "
-                 "instructions (run-length scale)");
-  Opts.addDouble("site-scale", 0.25,
-                 "fraction of the paper's static branch population");
+  Opts.addInt("jobs", 0,
+              "worker threads for experiment cells (0 = hardware "
+              "concurrency; results are identical at any value)");
+  Opts.addInt("seed", 0, "base seed mixed into every experiment cell");
+  addScaleOptions(Opts);
   Opts.addString("benchmarks", "",
                  "comma-separated benchmark subset (default: all twelve)");
 }
@@ -32,17 +47,10 @@ void bench::addStandardOptions(OptionSet &Opts) {
 SuiteOptions bench::readSuiteOptions(const OptionSet &Opts) {
   SuiteOptions Out;
   Out.Csv = Opts.getFlag("csv");
-  Out.Scale.EventsPerBillion = Opts.getDouble("events-per-billion");
-  Out.Scale.SiteScale = Opts.getDouble("site-scale");
-  const std::string &List = Opts.getString("benchmarks");
-  size_t Pos = 0;
-  while (Pos < List.size()) {
-    const size_t Comma = List.find(',', Pos);
-    const size_t End = Comma == std::string::npos ? List.size() : Comma;
-    if (End > Pos)
-      Out.Benchmarks.push_back(List.substr(Pos, End - Pos));
-    Pos = End + 1;
-  }
+  Out.Scale = readScale(Opts);
+  Out.Benchmarks = splitList(Opts.getString("benchmarks"));
+  Out.Jobs = static_cast<unsigned>(Opts.getInt("jobs"));
+  Out.Seed = static_cast<uint64_t>(Opts.getInt("seed"));
   return Out;
 }
 
@@ -69,6 +77,33 @@ bench::selectedSuite(const SuiteOptions &Opt) {
   for (const workload::BenchmarkProfile &P : selectedProfiles(Opt))
     Suite.push_back(workload::makeBenchmark(P, Opt.Scale));
   return Suite;
+}
+
+engine::ExperimentPlan bench::suitePlan(const SuiteOptions &Opt) {
+  engine::ExperimentPlan Plan;
+  Plan.setBaseSeed(Opt.Seed);
+  for (workload::WorkloadSpec &Spec : selectedSuite(Opt))
+    Plan.addBenchmark(std::move(Spec));
+  return Plan;
+}
+
+engine::RunReport bench::runSuite(const engine::ExperimentPlan &Plan,
+                                  const SuiteOptions &Opt) {
+  engine::RunOptions Run;
+  Run.Jobs = Opt.Jobs;
+  return engine::runPlan(Plan, Run);
+}
+
+bool bench::checkReport(const engine::RunReport &Report) {
+  bool Ok = true;
+  for (const engine::CellResult &Cell : Report.Cells)
+    if (Cell.Failed) {
+      std::fprintf(stderr, "error: cell %s/%s/%s failed: %s\n",
+                   Cell.Benchmark.c_str(), Cell.Input.c_str(),
+                   Cell.Config.c_str(), Cell.Error.c_str());
+      Ok = false;
+    }
+  return Ok;
 }
 
 profile::BranchProfile

@@ -7,8 +7,14 @@
 /// \file
 /// Shared plumbing for the per-table/per-figure bench binaries: standard
 /// command-line options (output format, run-length scaling, benchmark
-/// selection), suite construction, and the profile-collection passes that
-/// several experiments share.
+/// selection, parallelism), suite construction, experiment-plan helpers,
+/// and the profile-collection passes that several experiments share.
+///
+/// Multi-run benches should describe their grid as an
+/// engine::ExperimentPlan (see suitePlan) and execute it with runSuite
+/// rather than hand-rolling nested benchmark/config loops; the engine
+/// parallelizes cells across --jobs workers with results bit-identical to
+/// a serial run.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +22,7 @@
 #define SPECCTRL_BENCH_BENCHCOMMON_H
 
 #include "core/ReactiveConfig.h"
+#include "engine/ExperimentRunner.h"
 #include "profile/BranchProfile.h"
 #include "support/Options.h"
 #include "workload/SpecSuite.h"
@@ -33,9 +40,20 @@ struct SuiteOptions {
   bool Csv = false;
   /// Benchmarks to run; empty = the full twelve.
   std::vector<std::string> Benchmarks;
+  /// Worker threads for engine-backed benches (0 = hardware concurrency).
+  unsigned Jobs = 0;
+  /// Base seed mixed into every experiment cell's seed.
+  uint64_t Seed = 0;
 };
 
-/// Registers the standard options on \p Opts.
+/// Registers the workload-scaling options (--events-per-billion,
+/// --site-scale) shared with the inspection tools.
+void addScaleOptions(OptionSet &Opts);
+
+/// Reads the scale options back.
+workload::SuiteScale readScale(const OptionSet &Opts);
+
+/// Registers the standard bench options (includes addScaleOptions).
 void addStandardOptions(OptionSet &Opts);
 
 /// Table 2's configuration with the optimization latency rescaled to the
@@ -55,6 +73,20 @@ std::vector<workload::WorkloadSpec> selectedSuite(const SuiteOptions &Opt);
 /// rather than workload specs).
 std::vector<workload::BenchmarkProfile>
 selectedProfiles(const SuiteOptions &Opt);
+
+/// Starts an experiment plan over the selected suite: one benchmark axis
+/// per selected workload (reference input), base seed from --seed.  The
+/// bench adds its controller configs and runs it with runSuite.
+engine::ExperimentPlan suitePlan(const SuiteOptions &Opt);
+
+/// Executes \p Plan with --jobs workers.
+engine::RunReport runSuite(const engine::ExperimentPlan &Plan,
+                           const SuiteOptions &Opt);
+
+/// Prints any failed cells to stderr.  Returns true when every cell
+/// succeeded (bench mains typically `return checkReport(R) ? 0 : 1`
+/// after printing).
+bool checkReport(const engine::RunReport &Report);
 
 /// One full run collecting whole-run per-site outcome counts.
 profile::BranchProfile collectProfile(const workload::WorkloadSpec &Spec,

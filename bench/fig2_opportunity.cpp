@@ -12,20 +12,53 @@
 //
 // Axes are fractions of the evaluation run's dynamic branches.
 //
+// There are no controllers here, only profile collection: each
+// (benchmark, input) run is an engine cell whose observer streams the
+// whole-run profile (and, for the evaluation input, the initial-behavior
+// prefix statistics).  All series are computed analytically afterwards.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
+#include "core/Driver.h"
+#include "core/StaticControllers.h"
 #include "profile/InitialBehavior.h"
 #include "profile/Pareto.h"
 #include "support/Table.h"
 
 #include <iostream>
+#include <memory>
+#include <optional>
 
 using namespace specctrl;
 using namespace specctrl::bench;
 using namespace specctrl::profile;
 using namespace specctrl::workload;
+
+namespace {
+
+/// Collects the whole-run profile and, for the evaluation input, the
+/// initial-behavior prefix statistics, in one streaming pass.
+class Fig2Observer final : public core::TraceObserver {
+public:
+  Fig2Observer(uint32_t NumSites, bool CollectInitial) : Profile(NumSites) {
+    if (CollectInitial)
+      Initial.emplace(InitialBehaviorProfile::paperWindows());
+  }
+
+  void onEvent(const BranchEvent &Event,
+               const core::BranchVerdict &) override {
+    Profile.addOutcome(Event.Site, Event.Taken);
+    if (Initial)
+      Initial->addOutcome(Event.Site, Event.Taken);
+  }
+
+  BranchProfile Profile;
+  std::optional<InitialBehaviorProfile> Initial;
+};
+
+} // namespace
 
 int main(int Argc, char **Argv) {
   OptionSet Opts("fig2_opportunity: Figure 2, the opportunity for software "
@@ -41,32 +74,48 @@ int main(int Argc, char **Argv) {
               "correct vs incorrect speculation: self-training frontier, "
               "99% knee, differing-input profile, initial-behavior windows");
 
+  // One profile-collection cell per (benchmark, input): ref first, then
+  // the differing training input.
+  engine::ExperimentPlan Plan;
+  Plan.setBaseSeed(Opt.Seed);
+  for (WorkloadSpec &Spec : selectedSuite(Opt)) {
+    std::vector<InputConfig> Inputs = {Spec.refInput(), Spec.trainInput()};
+    Plan.addBenchmark(std::move(Spec), std::move(Inputs));
+  }
+  Plan.addConfig("profile", [](const engine::CellContext &) {
+    return std::make_unique<core::StaticSelectionController>(
+        std::vector<bool>{}, std::vector<bool>{}, "none");
+  });
+  Plan.setObserverFactory(
+      [](const engine::CellContext &Ctx) -> std::unique_ptr<core::TraceObserver> {
+        return std::make_unique<Fig2Observer>(
+            Ctx.Spec.numSites(), /*CollectInitial=*/Ctx.Input.Name == "ref");
+      });
+
+  const engine::RunReport Report = runSuite(Plan, Opt);
+  if (!checkReport(Report))
+    return 1;
+
   Table Out({"bench", "series", "param", "correct", "incorrect",
              "selected sites"});
 
   const double Ladder[] = {0.9999, 0.999, 0.998, 0.995, 0.99, 0.98,
                            0.95,   0.90,  0.80,  0.70,  0.60, 0.51};
 
-  for (const WorkloadSpec &Spec : selectedSuite(Opt)) {
-    const InputConfig Ref = Spec.refInput();
-
-    // One streaming pass over the evaluation input collects both the
-    // whole-run profile and the initial-behavior prefix statistics.
-    BranchProfile RefProfile(Spec.numSites());
-    InitialBehaviorProfile Initial(InitialBehaviorProfile::paperWindows());
-    {
-      TraceGenerator Gen(Spec, Ref);
-      BranchEvent E;
-      while (Gen.next(E)) {
-        RefProfile.addOutcome(E.Site, E.Taken);
-        Initial.addOutcome(E.Site, E.Taken);
-      }
-    }
+  const std::vector<engine::BenchmarkAxis> &Benchmarks = Plan.benchmarks();
+  for (uint32_t B = 0; B < Benchmarks.size(); ++B) {
+    const std::string &Bench = Benchmarks[B].Spec.Name;
+    const auto &Ref =
+        static_cast<const Fig2Observer &>(*Report.cell(B, 0, 0).Observer);
+    const auto &Train =
+        static_cast<const Fig2Observer &>(*Report.cell(B, 1, 0).Observer);
+    const BranchProfile &RefProfile = Ref.Profile;
+    const InitialBehaviorProfile &Initial = *Ref.Initial;
 
     for (double T : Ladder) {
       const SelectionResult R = evaluateSelection(RefProfile, RefProfile, T);
       Out.row()
-          .cell(Spec.Name)
+          .cell(Bench)
           .cell("pareto")
           .cell(T, 4)
           .cellPercent(R.Correct)
@@ -77,19 +126,17 @@ int main(int Argc, char **Argv) {
     const SelectionResult Knee =
         evaluateSelection(RefProfile, RefProfile, Threshold);
     Out.row()
-        .cell(Spec.Name)
+        .cell(Bench)
         .cell("self-99")
         .cell(Threshold, 2)
         .cellPercent(Knee.Correct)
         .cellPercent(Knee.Incorrect, 4)
         .cell(Knee.SelectedSites);
 
-    const BranchProfile TrainProfile =
-        collectProfile(Spec, Spec.trainInput());
     const SelectionResult Offline =
-        evaluateSelection(TrainProfile, RefProfile, Threshold);
+        evaluateSelection(Train.Profile, RefProfile, Threshold);
     Out.row()
-        .cell(Spec.Name)
+        .cell(Bench)
         .cell("offline")
         .cell(Threshold, 2)
         .cellPercent(Offline.Correct)
@@ -99,7 +146,7 @@ int main(int Argc, char **Argv) {
     for (unsigned W = 0; W < Initial.windows().size(); ++W) {
       const SelectionResult R = Initial.evaluate(W, Threshold);
       Out.row()
-          .cell(Spec.Name)
+          .cell(Bench)
           .cell("init-" + std::to_string(Initial.windows()[W]))
           .cell(Threshold, 2)
           .cellPercent(R.Correct)

@@ -7,16 +7,22 @@
 // revisit), plus an optimization-latency sweep (the paper's headline
 // latency-tolerance claim).
 //
+// All runs -- including the self-training reference, which is a
+// profile-collecting cell -- execute as one ExperimentPlan on the
+// parallel engine (--jobs workers, output independent of the value).
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
 #include "core/Driver.h"
 #include "core/ReactiveController.h"
+#include "core/StaticControllers.h"
 #include "profile/Pareto.h"
 #include "support/Table.h"
 
 #include <iostream>
+#include <memory>
 
 using namespace specctrl;
 using namespace specctrl::bench;
@@ -29,6 +35,15 @@ struct Variant {
   const char *Name;
   ReactiveConfig Config;
 };
+
+constexpr const char *SelfTrainingName = "self-training-99";
+
+/// A controller that never speculates: carrier for profile-collection
+/// cells (the observer does the work).
+std::unique_ptr<SpeculationController> makeNullController() {
+  return std::make_unique<StaticSelectionController>(
+      std::vector<bool>{}, std::vector<bool>{}, "none");
+}
 
 } // namespace
 
@@ -84,28 +99,54 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  // Grid: the self-training reference first (its cell collects the run's
+  // profile through an observer; the paper's 99% knee is computed from it
+  // after the run), then the reactive variants.
+  engine::ExperimentPlan Plan = suitePlan(Opt);
+  Plan.addConfig(SelfTrainingName, [](const engine::CellContext &) {
+    return makeNullController();
+  });
+  for (const Variant &V : Variants)
+    Plan.addConfig(V.Name, [V](const engine::CellContext &) {
+      return std::make_unique<ReactiveController>(V.Config, V.Name);
+    });
+  Plan.setObserverFactory([](const engine::CellContext &Ctx)
+                              -> std::unique_ptr<TraceObserver> {
+    if (Ctx.ConfigName != SelfTrainingName)
+      return nullptr;
+    return std::make_unique<ProfileObserver>(Ctx.Spec.numSites());
+  });
+
+  const engine::RunReport Report = runSuite(Plan, Opt);
+  if (!checkReport(Report))
+    return 1;
+
   Table Out({"bench", "config", "correct", "incorrect", "evictions",
              "requests"});
 
-  for (const WorkloadSpec &Spec : selectedSuite(Opt)) {
+  const std::vector<engine::BenchmarkAxis> &Benchmarks = Plan.benchmarks();
+  for (uint32_t B = 0; B < Benchmarks.size(); ++B) {
+    const std::string &Bench = Benchmarks[B].Spec.Name;
+
     // Self-training reference point (the line's 99% knee).
-    const profile::BranchProfile Self = collectProfile(Spec, Spec.refInput());
+    const engine::CellResult &SelfCell = Report.cell(B, 0, 0);
+    const auto &Self =
+        static_cast<const ProfileObserver &>(*SelfCell.Observer).profile();
     const profile::SelectionResult Ref =
         profile::evaluateSelection(Self, Self, 0.99);
     Out.row()
-        .cell(Spec.Name)
-        .cell("self-training-99")
+        .cell(Bench)
+        .cell(SelfTrainingName)
         .cellPercent(Ref.Correct)
         .cellPercent(Ref.Incorrect, 4)
         .cell("-")
         .cell("-");
 
-    for (const Variant &V : Variants) {
-      ReactiveController C(V.Config, V.Name);
-      const ControlStats &S = runWorkload(C, Spec, Spec.refInput());
+    for (uint32_t V = 0; V < Variants.size(); ++V) {
+      const ControlStats &S = Report.cell(B, 0, V + 1).Stats;
       Out.row()
-          .cell(Spec.Name)
-          .cell(V.Name)
+          .cell(Bench)
+          .cell(Variants[V].Name)
           .cellPercent(S.correctRate())
           .cellPercent(S.incorrectRate(), 4)
           .cell(S.Evictions)

@@ -7,13 +7,17 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/Driver.h"
 #include "core/ReactiveController.h"
 #include "distill/Distiller.h"
+#include "engine/ExperimentRunner.h"
 #include "workload/ProgramSynthesizer.h"
 #include "workload/SpecSuite.h"
 #include "workload/TraceGenerator.h"
 
 #include <benchmark/benchmark.h>
+
+#include <memory>
 
 using namespace specctrl;
 
@@ -51,21 +55,50 @@ void BM_ControllerMonitorBranch(benchmark::State &State) {
 }
 BENCHMARK(BM_ControllerMonitorBranch);
 
-/// Whole-pipeline throughput: trace generation + controller.
+/// Whole-pipeline throughput: trace generation + controller, through the
+/// single-run primitive the engine calls per cell.
 void BM_TracePlusController(benchmark::State &State) {
   const workload::WorkloadSpec Spec = workload::makeBenchmark(
       "bzip2", {6.0e4, 0.1});
   for (auto _ : State) {
     core::ReactiveController C(core::ReactiveConfig::baseline());
     workload::TraceGenerator Gen(Spec, Spec.refInput());
-    workload::BranchEvent E;
-    while (Gen.next(E))
-      C.onBranch(E.Site, E.Taken, E.InstRet);
-    benchmark::DoNotOptimize(C.stats().CorrectSpecs);
+    benchmark::DoNotOptimize(core::runTrace(C, Gen).CorrectSpecs);
   }
   State.SetItemsProcessed(State.iterations() * Spec.RefEvents);
 }
 BENCHMARK(BM_TracePlusController)->Unit(benchmark::kMillisecond);
+
+/// Whole-suite engine throughput at a given worker count (Arg = --jobs):
+/// the twelve benchmarks under the baseline reactive config, one engine
+/// cell each.  Compare Arg(1) vs Arg(4) for the parallel speedup; the
+/// results are bit-identical at every worker count.
+void BM_EngineSuite(benchmark::State &State) {
+  const workload::SuiteScale Scale{6.0e4, 0.1};
+  uint64_t EventsPerRun = 0;
+  for (auto _ : State) {
+    engine::ExperimentPlan Plan;
+    for (const workload::BenchmarkProfile &P : workload::suiteProfiles())
+      Plan.addBenchmark(workload::makeBenchmark(P, Scale));
+    Plan.addConfig("baseline", [](const engine::CellContext &) {
+      return std::make_unique<core::ReactiveController>(
+          core::ReactiveConfig::baseline());
+    });
+    engine::RunOptions Run;
+    Run.Jobs = static_cast<unsigned>(State.range(0));
+    const engine::RunReport Report = engine::runPlan(Plan, Run);
+    EventsPerRun = Report.totalEvents();
+    benchmark::DoNotOptimize(EventsPerRun);
+  }
+  State.SetItemsProcessed(State.iterations() * EventsPerRun);
+}
+BENCHMARK(BM_EngineSuite)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
 
 /// Trace generation alone (to separate substrate from controller cost).
 void BM_TraceGeneration(benchmark::State &State) {

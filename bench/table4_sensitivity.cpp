@@ -10,16 +10,20 @@
 // ("a two-thirds reduction in the number of requested reoptimizations"):
 // run with --no-oscillation-limit to see the unconstrained request count.
 //
+// The (configuration x benchmark) grid is an ExperimentPlan executed by
+// the parallel engine; --jobs controls the worker count and any value
+// produces identical output.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
-#include "core/Driver.h"
 #include "core/ReactiveController.h"
 #include "support/Table.h"
 
 #include <algorithm>
 #include <iostream>
+#include <memory>
 
 using namespace specctrl;
 using namespace specctrl::bench;
@@ -103,23 +107,35 @@ int main(int Argc, char **Argv) {
     Variants.push_back({"no oscillation limit", C, "-", "-"});
   }
 
-  const std::vector<WorkloadSpec> Suite = selectedSuite(Opt);
+  // One engine cell per (benchmark, configuration); every cell builds its
+  // own controller from the captured config, so parallel execution is
+  // bit-identical to serial.
+  engine::ExperimentPlan Plan = suitePlan(Opt);
+  for (const Variant &V : Variants)
+    Plan.addConfig(V.Name,
+                   [Config = V.Config](const engine::CellContext &) {
+                     return std::make_unique<ReactiveController>(Config);
+                   });
+  const engine::RunReport Report = runSuite(Plan, Opt);
+  if (!checkReport(Report))
+    return 1;
+
+  const size_t NumBenchmarks = Plan.benchmarks().size();
   std::vector<Row> Rows;
-  for (const Variant &V : Variants) {
+  for (uint32_t V = 0; V < Variants.size(); ++V) {
     Row R;
-    R.Name = V.Name;
-    R.PaperCorrect = V.PaperCorrect;
-    R.PaperIncorrect = V.PaperIncorrect;
-    for (const WorkloadSpec &Spec : Suite) {
-      ReactiveController C(V.Config);
-      const ControlStats &S = runWorkload(C, Spec, Spec.refInput());
+    R.Name = Variants[V].Name;
+    R.PaperCorrect = Variants[V].PaperCorrect;
+    R.PaperIncorrect = Variants[V].PaperIncorrect;
+    for (uint32_t B = 0; B < NumBenchmarks; ++B) {
+      const ControlStats &S = Report.cell(B, 0, V).Stats;
       R.Correct += S.correctRate();
       R.Incorrect += S.incorrectRate();
       R.Requests += S.DeployRequests + S.RevokeRequests;
       R.Suppressed += S.SuppressedRequests;
     }
-    R.Correct /= static_cast<double>(Suite.size());
-    R.Incorrect /= static_cast<double>(Suite.size());
+    R.Correct /= static_cast<double>(NumBenchmarks);
+    R.Incorrect /= static_cast<double>(NumBenchmarks);
     Rows.push_back(R);
   }
 

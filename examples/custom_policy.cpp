@@ -81,6 +81,7 @@ public:
     return States[Site].Direction;
   }
   const ControlStats &stats() const override { return Stats; }
+  ControlStats &stats() override { return Stats; }
   const char *name() const override { return "hair-trigger"; }
 
 private:

@@ -52,6 +52,7 @@ public:
   bool isDeployed(SiteId Site) const override;
   bool deployedDirection(SiteId Site) const override;
   const ControlStats &stats() const override { return Stats; }
+  ControlStats &stats() override { return Stats; }
   const char *name() const override { return "dynamo-flush"; }
 
   uint64_t flushes() const { return Flushes; }
@@ -91,6 +92,7 @@ public:
   bool isDeployed(SiteId Site) const override;
   bool deployedDirection(SiteId Site) const override;
   const ControlStats &stats() const override { return Stats; }
+  ControlStats &stats() override { return Stats; }
   const char *name() const override { return "hardware-2bit"; }
 
 private:

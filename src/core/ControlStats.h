@@ -27,6 +27,8 @@ struct TransitionRecord {
   uint32_t Site = 0;
   uint32_t Observed = 0;      ///< executions recorded (<= 64)
   uint32_t AgainstOriginal = 0; ///< executions not in the original direction
+
+  bool operator==(const TransitionRecord &) const = default;
 };
 
 /// Aggregate and per-site controller statistics.
@@ -41,6 +43,10 @@ struct ControlStats {
   uint64_t SuppressedRequests = 0; ///< suppressed by the oscillation limit
   uint64_t Evictions = 0;       ///< biased -> monitor transitions
   uint64_t Revisits = 0;        ///< unbiased -> monitor transitions
+  /// Trace events the run layer fed this controller (set by core::runTrace;
+  /// unlike Branches it is accounted even when a controller samples or
+  /// otherwise skips events).
+  uint64_t EventsConsumed = 0;
 
   // ---- Per site ----------------------------------------------------------
   std::vector<uint8_t> Touched;       ///< executed at least once
@@ -86,6 +92,10 @@ struct ControlStats {
       N += E > 0;
     return N;
   }
+
+  /// Member-wise equality: the determinism contract of the experiment
+  /// engine (parallel == serial) is checked with this.
+  bool operator==(const ControlStats &) const = default;
 
   /// Marks \p Site touched, growing per-site vectors as needed.
   void touch(uint32_t Site) {

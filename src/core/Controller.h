@@ -78,6 +78,10 @@ public:
   /// Accumulated statistics.
   virtual const ControlStats &stats() const = 0;
 
+  /// Mutable view of the same statistics object, used by the run layer to
+  /// record driver-level accounting (events consumed, etc.).
+  virtual ControlStats &stats() = 0;
+
   /// Short policy name for reports.
   virtual const char *name() const = 0;
 };

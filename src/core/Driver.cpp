@@ -9,21 +9,46 @@
 using namespace specctrl;
 using namespace specctrl::core;
 
+TraceObserver::~TraceObserver() = default;
+
+const ControlStats &core::runTrace(SpeculationController &Controller,
+                                   workload::TraceGenerator &Gen,
+                                   TraceObserver *Observer) {
+  workload::BranchEvent Event;
+  uint64_t Consumed = 0;
+  if (!Observer) {
+    while (Gen.next(Event)) {
+      Controller.onBranch(Event.Site, Event.Taken, Event.InstRet);
+      ++Consumed;
+    }
+  } else {
+    while (Gen.next(Event)) {
+      const BranchVerdict Verdict =
+          Controller.onBranch(Event.Site, Event.Taken, Event.InstRet);
+      Observer->onEvent(Event, Verdict);
+      ++Consumed;
+    }
+  }
+  ControlStats &Stats = Controller.stats();
+  Stats.EventsConsumed += Consumed;
+  return Stats;
+}
+
 const ControlStats &core::runTrace(SpeculationController &Controller,
                                    workload::TraceGenerator &Gen,
                                    const TraceHook &Hook) {
-  workload::BranchEvent Event;
-  if (!Hook) {
-    while (Gen.next(Event))
-      Controller.onBranch(Event.Site, Event.Taken, Event.InstRet);
-    return Controller.stats();
-  }
-  while (Gen.next(Event)) {
-    const BranchVerdict Verdict =
-        Controller.onBranch(Event.Site, Event.Taken, Event.InstRet);
-    Hook(Event, Verdict);
-  }
-  return Controller.stats();
+  if (!Hook)
+    return runTrace(Controller, Gen, static_cast<TraceObserver *>(nullptr));
+  LambdaTraceObserver Observer(Hook);
+  return runTrace(Controller, Gen, &Observer);
+}
+
+const ControlStats &core::runWorkload(SpeculationController &Controller,
+                                      const workload::WorkloadSpec &Spec,
+                                      const workload::InputConfig &Input,
+                                      TraceObserver *Observer) {
+  workload::TraceGenerator Gen(Spec, Input);
+  return runTrace(Controller, Gen, Observer);
 }
 
 const ControlStats &core::runWorkload(SpeculationController &Controller,

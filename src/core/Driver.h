@@ -6,8 +6,11 @@
 ///
 /// \file
 /// Glue between the workload substrate and speculation controllers: feeds
-/// a trace to a controller (and optional per-event hooks), the execution
-/// harness behind the abstract-model experiments (Figs. 2/5/6, Tables 3/4).
+/// a trace to a controller (and optional per-event observers), the
+/// single-run primitive behind the abstract-model experiments (Figs.
+/// 2/5/6, Tables 3/4).  Multi-run experiments (suites, config sweeps)
+/// should go through engine::ExperimentRunner, which calls these
+/// primitives once per cell.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,29 +18,82 @@
 #define SPECCTRL_CORE_DRIVER_H
 
 #include "core/Controller.h"
+#include "profile/BranchProfile.h"
 #include "workload/TraceGenerator.h"
 
 #include <functional>
+#include <utility>
 
 namespace specctrl {
 namespace core {
 
-/// Per-event hook: (event, verdict).  Used by benches that collect bias
-/// series or profiles alongside the controller.
+/// Per-event observer: sees every (event, verdict) pair the driver feeds.
+/// Benches use observers to collect bias series or profiles alongside the
+/// controller; the engine constructs one per cell so collection composes
+/// with parallel runs.
+class TraceObserver {
+public:
+  virtual ~TraceObserver();
+  virtual void onEvent(const workload::BranchEvent &Event,
+                       const BranchVerdict &Verdict) = 0;
+};
+
+/// The legacy hook form; kept for lambda-style call sites.
 using TraceHook =
     std::function<void(const workload::BranchEvent &, const BranchVerdict &)>;
 
-/// Feeds the entire remaining trace of \p Gen to \p Controller.  Returns
-/// the controller's final stats (also available via Controller.stats()).
+/// Adapts a TraceHook lambda to the observer interface.
+class LambdaTraceObserver final : public TraceObserver {
+public:
+  explicit LambdaTraceObserver(TraceHook Hook) : Hook(std::move(Hook)) {}
+  void onEvent(const workload::BranchEvent &Event,
+               const BranchVerdict &Verdict) override {
+    Hook(Event, Verdict);
+  }
+
+private:
+  TraceHook Hook;
+};
+
+/// An observer that accumulates a whole-run branch profile (the common
+/// per-cell collection need).
+class ProfileObserver final : public TraceObserver {
+public:
+  explicit ProfileObserver(uint32_t NumSites) : Profile(NumSites) {}
+  void onEvent(const workload::BranchEvent &Event,
+               const BranchVerdict &) override {
+    Profile.addOutcome(Event.Site, Event.Taken);
+  }
+  const profile::BranchProfile &profile() const { return Profile; }
+
+private:
+  profile::BranchProfile Profile;
+};
+
+/// Feeds the entire remaining trace of \p Gen to \p Controller, notifying
+/// \p Observer (when non-null) of every event.  Records the number of
+/// events consumed into the controller's ControlStats::EventsConsumed and
+/// returns the final stats (also available via Controller.stats()).
 const ControlStats &runTrace(SpeculationController &Controller,
                              workload::TraceGenerator &Gen,
-                             const TraceHook &Hook = nullptr);
+                             TraceObserver *Observer = nullptr);
+
+/// Legacy lambda form (adapts \p Hook to a TraceObserver).
+const ControlStats &runTrace(SpeculationController &Controller,
+                             workload::TraceGenerator &Gen,
+                             const TraceHook &Hook);
 
 /// Convenience: build the generator for (Spec, Input) and run it.
 const ControlStats &runWorkload(SpeculationController &Controller,
                                 const workload::WorkloadSpec &Spec,
                                 const workload::InputConfig &Input,
-                                const TraceHook &Hook = nullptr);
+                                TraceObserver *Observer = nullptr);
+
+/// Legacy lambda form.
+const ControlStats &runWorkload(SpeculationController &Controller,
+                                const workload::WorkloadSpec &Spec,
+                                const workload::InputConfig &Input,
+                                const TraceHook &Hook);
 
 } // namespace core
 } // namespace specctrl

@@ -68,6 +68,7 @@ public:
   bool isDeployed(SiteId Site) const override;
   bool deployedDirection(SiteId Site) const override;
   const ControlStats &stats() const override { return Stats; }
+  ControlStats &stats() override { return Stats; }
   const char *name() const override { return PolicyName; }
 
   const ReactiveConfig &config() const { return Config; }

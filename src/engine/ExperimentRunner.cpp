@@ -1,0 +1,145 @@
+//===- engine/ExperimentRunner.cpp - Parallel plan execution --------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ExperimentRunner.h"
+
+#include "engine/ThreadPool.h"
+#include "workload/TraceGenerator.h"
+
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+
+using namespace specctrl;
+using namespace specctrl::engine;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start, Clock::time_point End) {
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+/// Runs one cell: constructs all per-cell state from the plan, feeds the
+/// whole trace, and records stats/metrics into \p Cell.  Exceptions are
+/// captured into the cell instead of propagating (failure isolation).
+void runCell(const ExperimentPlan &Plan, CellResult &Cell,
+             Clock::time_point Enqueued) {
+  const Clock::time_point Start = Clock::now();
+  Cell.QueueWaitSeconds = secondsSince(Enqueued, Start);
+  try {
+    const BenchmarkAxis &Bench = Plan.benchmarks()[Cell.Coord.Benchmark];
+    const workload::InputConfig &Input = Bench.Inputs[Cell.Coord.Input];
+    const ConfigAxis &Config = Plan.configs()[Cell.Coord.Config];
+
+    const CellContext Ctx{Bench.Spec, Input, Config.Name, Cell.Coord,
+                          Cell.Seed};
+    std::unique_ptr<core::SpeculationController> Controller =
+        Config.Make(Ctx);
+    if (!Controller)
+      throw std::runtime_error("controller factory returned null for '" +
+                               Config.Name + "'");
+    std::unique_ptr<core::TraceObserver> Observer;
+    if (Plan.observerFactory())
+      Observer = Plan.observerFactory()(Ctx);
+
+    workload::TraceGenerator Gen(Bench.Spec, Input);
+    const core::ControlStats &Stats =
+        core::runTrace(*Controller, Gen, Observer.get());
+    Cell.Stats = Stats;
+    Cell.Events = Stats.EventsConsumed;
+    Cell.Observer = std::move(Observer);
+  } catch (const std::exception &E) {
+    Cell.Failed = true;
+    Cell.Error = E.what();
+  } catch (...) {
+    Cell.Failed = true;
+    Cell.Error = "unknown exception";
+  }
+  Cell.WallSeconds = secondsSince(Start, Clock::now());
+}
+
+} // namespace
+
+size_t RunReport::failedCells() const {
+  size_t N = 0;
+  for (const CellResult &Cell : Cells)
+    N += Cell.Failed;
+  return N;
+}
+
+uint64_t RunReport::totalEvents() const {
+  uint64_t N = 0;
+  for (const CellResult &Cell : Cells)
+    N += Cell.Events;
+  return N;
+}
+
+const CellResult &RunReport::cell(uint32_t Benchmark, uint32_t Input,
+                                  uint32_t Config) const {
+  const CellCoord Want{Benchmark, Input, Config};
+  for (const CellResult &Cell : Cells)
+    if (Cell.Coord == Want)
+      return Cell;
+  assert(false && "no such cell");
+  return Cells.front();
+}
+
+const CellResult *RunReport::find(const std::string &Benchmark,
+                                  const std::string &Input,
+                                  const std::string &Config) const {
+  for (const CellResult &Cell : Cells)
+    if (Cell.Benchmark == Benchmark && Cell.Input == Input &&
+        Cell.Config == Config)
+      return &Cell;
+  return nullptr;
+}
+
+ExperimentRunner::ExperimentRunner(RunOptions Options)
+    : Options(Options) {}
+
+RunReport ExperimentRunner::run(const ExperimentPlan &Plan) const {
+  RunReport Report;
+  Report.Jobs = ThreadPool::resolveJobs(Options.Jobs);
+
+  // Lay out every cell slot up front in stable benchmark-major order; each
+  // task then writes only its own slot.
+  const std::vector<BenchmarkAxis> &Benchmarks = Plan.benchmarks();
+  const std::vector<ConfigAxis> &Configs = Plan.configs();
+  Report.Cells.reserve(Plan.numCells());
+  for (uint32_t B = 0; B < Benchmarks.size(); ++B)
+    for (uint32_t I = 0; I < Benchmarks[B].Inputs.size(); ++I)
+      for (uint32_t C = 0; C < Configs.size(); ++C) {
+        CellResult Cell;
+        Cell.Coord = {B, I, C};
+        Cell.Benchmark = Benchmarks[B].Spec.Name;
+        Cell.Input = Benchmarks[B].Inputs[I].Name;
+        Cell.Config = Configs[C].Name;
+        Cell.Seed = ExperimentPlan::cellSeed(Plan.baseSeed(), Cell.Coord);
+        Report.Cells.push_back(std::move(Cell));
+      }
+
+  const Clock::time_point RunStart = Clock::now();
+  if (Report.Jobs <= 1 || Report.Cells.size() <= 1) {
+    for (CellResult &Cell : Report.Cells)
+      runCell(Plan, Cell, Clock::now());
+  } else {
+    ThreadPool Pool(Report.Jobs);
+    for (CellResult &Cell : Report.Cells) {
+      const Clock::time_point Enqueued = Clock::now();
+      Pool.submit([&Plan, &Cell, Enqueued] { runCell(Plan, Cell, Enqueued); });
+    }
+    Pool.wait();
+  }
+  Report.WallSeconds = secondsSince(RunStart, Clock::now());
+  return Report;
+}
+
+RunReport engine::runPlan(const ExperimentPlan &Plan,
+                          const RunOptions &Options) {
+  return ExperimentRunner(Options).run(Plan);
+}

@@ -12,6 +12,20 @@
 
 using namespace specctrl;
 
+std::vector<std::string> specctrl::splitList(const std::string &List,
+                                             char Sep) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos < List.size()) {
+    const size_t Next = List.find(Sep, Pos);
+    const size_t End = Next == std::string::npos ? List.size() : Next;
+    if (End > Pos)
+      Out.push_back(List.substr(Pos, End - Pos));
+    Pos = End + 1;
+  }
+  return Out;
+}
+
 OptionSet::OptionSet(std::string ToolDescription)
     : Description(std::move(ToolDescription)) {}
 

@@ -21,6 +21,11 @@
 
 namespace specctrl {
 
+/// Splits a comma-separated list, dropping empty items ("a,,b" -> {a, b}).
+/// The shared helper behind every list-valued option (--benchmarks,
+/// --assert, --value, ...).
+std::vector<std::string> splitList(const std::string &List, char Sep = ',');
+
 /// A declarative option set for tool binaries.
 class OptionSet {
 public:

@@ -1,0 +1,207 @@
+//===- tests/engine/ExperimentRunnerTest.cpp ------------------------------===//
+//
+// Runner behavior: report layout, per-cell seeding, observer plumbing,
+// throughput accounting, and failure isolation (a throwing cell must not
+// poison its siblings).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ExperimentRunner.h"
+
+#include "core/Driver.h"
+#include "core/ReactiveController.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+using namespace specctrl;
+using namespace specctrl::core;
+using namespace specctrl::engine;
+using namespace specctrl::workload;
+
+namespace {
+
+WorkloadSpec smallSpec(const char *Name, uint64_t Seed,
+                       uint64_t Events = 20000) {
+  WorkloadSpec Spec;
+  Spec.Name = Name;
+  Spec.Seed = Seed;
+  Spec.RefEvents = Events;
+  Spec.TrainEvents = Events / 2;
+  Spec.NumPhases = 1;
+  SiteSpec Biased;
+  Biased.Behavior = BehaviorSpec::fixed(0.999);
+  Biased.Weight = 3.0;
+  SiteSpec Noise;
+  Noise.Behavior = BehaviorSpec::fixed(0.5);
+  Noise.Weight = 1.0;
+  Spec.Sites = {Biased, Noise};
+  return Spec;
+}
+
+ReactiveConfig fastConfig() {
+  ReactiveConfig Cfg;
+  Cfg.MonitorPeriod = 1000;
+  Cfg.OptLatency = 0;
+  return Cfg;
+}
+
+ControllerFactory reactiveFactory() {
+  return [](const CellContext &) {
+    return std::make_unique<ReactiveController>(fastConfig());
+  };
+}
+
+/// A controller that throws mid-run: exercises failure isolation.
+class ThrowingController final : public SpeculationController {
+public:
+  BranchVerdict onBranch(SiteId, bool, uint64_t) override {
+    if (++Seen > 100)
+      throw std::runtime_error("deliberate cell failure");
+    return {};
+  }
+  bool isDeployed(SiteId) const override { return false; }
+  bool deployedDirection(SiteId) const override { return false; }
+  const ControlStats &stats() const override { return Stats; }
+  ControlStats &stats() override { return Stats; }
+  const char *name() const override { return "throwing"; }
+
+private:
+  uint64_t Seen = 0;
+  ControlStats Stats;
+};
+
+/// Counts the events its cell saw.
+class CountingObserver final : public core::TraceObserver {
+public:
+  void onEvent(const BranchEvent &, const BranchVerdict &) override {
+    ++Events;
+  }
+  uint64_t Events = 0;
+};
+
+} // namespace
+
+TEST(ExperimentRunnerTest, ReportHasStableGridOrder) {
+  ExperimentPlan Plan;
+  WorkloadSpec A = smallSpec("alpha", 1);
+  Plan.addBenchmark(A, {A.refInput(), A.trainInput()});
+  Plan.addBenchmark(smallSpec("beta", 2));
+  Plan.addConfig("one", reactiveFactory());
+  Plan.addConfig("two", reactiveFactory());
+  EXPECT_EQ(Plan.numCells(), 6u);
+
+  const RunReport Report = runPlan(Plan, {.Jobs = 4});
+  ASSERT_EQ(Report.Cells.size(), 6u);
+  EXPECT_EQ(Report.failedCells(), 0u);
+
+  // benchmark-major, then input, then config.
+  EXPECT_EQ(Report.Cells[0].Benchmark, "alpha");
+  EXPECT_EQ(Report.Cells[0].Input, "ref");
+  EXPECT_EQ(Report.Cells[0].Config, "one");
+  EXPECT_EQ(Report.Cells[1].Config, "two");
+  EXPECT_EQ(Report.Cells[2].Input, "train");
+  EXPECT_EQ(Report.Cells[4].Benchmark, "beta");
+
+  const CellResult *Found = Report.find("alpha", "train", "two");
+  ASSERT_NE(Found, nullptr);
+  EXPECT_EQ(Found->Coord, (CellCoord{0, 1, 1}));
+  EXPECT_EQ(&Report.cell(0, 1, 1), Found);
+  EXPECT_EQ(Report.find("alpha", "ref", "missing"), nullptr);
+}
+
+TEST(ExperimentRunnerTest, CellSeedsAreCoordinatePure) {
+  const uint64_t S00 = ExperimentPlan::cellSeed(7, {0, 0, 0});
+  EXPECT_EQ(S00, ExperimentPlan::cellSeed(7, {0, 0, 0}));
+  EXPECT_NE(S00, ExperimentPlan::cellSeed(7, {0, 0, 1}));
+  EXPECT_NE(S00, ExperimentPlan::cellSeed(7, {0, 1, 0}));
+  EXPECT_NE(S00, ExperimentPlan::cellSeed(7, {1, 0, 0}));
+  EXPECT_NE(S00, ExperimentPlan::cellSeed(8, {0, 0, 0}));
+
+  ExperimentPlan Plan;
+  Plan.setBaseSeed(7);
+  Plan.addBenchmark(smallSpec("alpha", 1, 2000));
+  Plan.addConfig("one", reactiveFactory());
+  const RunReport Report = runPlan(Plan, {.Jobs = 1});
+  EXPECT_EQ(Report.Cells[0].Seed, S00);
+}
+
+TEST(ExperimentRunnerTest, CountsEventsAndThroughput) {
+  ExperimentPlan Plan;
+  Plan.addBenchmark(smallSpec("alpha", 3, 30000));
+  Plan.addConfig("one", reactiveFactory());
+  const RunReport Report = runPlan(Plan, {.Jobs = 2});
+  const CellResult &Cell = Report.cell(0, 0, 0);
+  EXPECT_EQ(Cell.Events, 30000u);
+  EXPECT_EQ(Cell.Stats.EventsConsumed, 30000u);
+  EXPECT_EQ(Cell.Stats.Branches, 30000u);
+  EXPECT_GT(Cell.WallSeconds, 0.0);
+  EXPECT_GE(Cell.QueueWaitSeconds, 0.0);
+  EXPECT_GT(Cell.eventsPerSecond(), 0.0);
+  EXPECT_EQ(Report.totalEvents(), 30000u);
+  EXPECT_GT(Report.eventsPerSecond(), 0.0);
+}
+
+TEST(ExperimentRunnerTest, FailingCellDoesNotPoisonSiblings) {
+  ExperimentPlan Plan;
+  Plan.addBenchmark(smallSpec("alpha", 1));
+  Plan.addBenchmark(smallSpec("beta", 2));
+  Plan.addConfig("good", reactiveFactory());
+  Plan.addConfig("bad", [](const CellContext &Ctx) // throws on one bench
+                 -> std::unique_ptr<SpeculationController> {
+    if (Ctx.Coord.Benchmark == 0)
+      return std::make_unique<ThrowingController>();
+    return std::make_unique<ReactiveController>(fastConfig());
+  });
+
+  const RunReport Report = runPlan(Plan, {.Jobs = 4});
+  ASSERT_EQ(Report.Cells.size(), 4u);
+  EXPECT_EQ(Report.failedCells(), 1u);
+
+  const CellResult &Bad = Report.cell(0, 0, 1);
+  EXPECT_TRUE(Bad.Failed);
+  EXPECT_EQ(Bad.Error, "deliberate cell failure");
+
+  for (const CellResult &Cell : Report.Cells) {
+    if (&Cell == &Bad)
+      continue;
+    EXPECT_FALSE(Cell.Failed) << Cell.Benchmark << "/" << Cell.Config;
+    EXPECT_EQ(Cell.Stats.Branches, 20000u);
+  }
+}
+
+TEST(ExperimentRunnerTest, NullControllerFactoryIsCapturedAsFailure) {
+  ExperimentPlan Plan;
+  Plan.addBenchmark(smallSpec("alpha", 1, 2000));
+  Plan.addConfig("null", [](const CellContext &) {
+    return std::unique_ptr<SpeculationController>();
+  });
+  const RunReport Report = runPlan(Plan, {.Jobs = 1});
+  ASSERT_EQ(Report.failedCells(), 1u);
+  EXPECT_NE(Report.Cells[0].Error.find("factory returned null"),
+            std::string::npos);
+}
+
+TEST(ExperimentRunnerTest, ObserverFactoryRunsPerCell) {
+  ExperimentPlan Plan;
+  Plan.addBenchmark(smallSpec("alpha", 1, 10000));
+  Plan.addBenchmark(smallSpec("beta", 2, 15000));
+  Plan.addConfig("one", reactiveFactory());
+  Plan.setObserverFactory([](const CellContext &Ctx)
+                              -> std::unique_ptr<core::TraceObserver> {
+    if (Ctx.Spec.Name == "beta")
+      return nullptr; // observers are optional per cell
+    return std::make_unique<CountingObserver>();
+  });
+
+  const RunReport Report = runPlan(Plan, {.Jobs = 4});
+  const CellResult &Alpha = Report.cell(0, 0, 0);
+  ASSERT_NE(Alpha.Observer, nullptr);
+  EXPECT_EQ(static_cast<const CountingObserver &>(*Alpha.Observer).Events,
+            10000u);
+  EXPECT_EQ(Report.cell(1, 0, 0).Observer, nullptr);
+  // Cells without an observer still count consumed events.
+  EXPECT_EQ(Report.cell(1, 0, 0).Events, 15000u);
+}

@@ -1,0 +1,111 @@
+//===- tests/engine/ThreadPoolTest.cpp ------------------------------------===//
+
+#include "engine/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace specctrl;
+using namespace specctrl::engine;
+
+TEST(ThreadPoolTest, ResolveJobs) {
+  EXPECT_EQ(ThreadPool::resolveJobs(3), 3u);
+  EXPECT_GE(ThreadPool::resolveJobs(0), 1u);
+}
+
+TEST(ThreadPoolTest, SizeMatchesRequest) {
+  ThreadPool Pool(3);
+  EXPECT_EQ(Pool.size(), 3u);
+}
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  std::atomic<int> Count{0};
+  {
+    ThreadPool Pool(4);
+    for (int I = 0; I < 1000; ++I)
+      Pool.submit([&Count] { ++Count; });
+    Pool.wait();
+    EXPECT_EQ(Count.load(), 1000);
+  }
+}
+
+TEST(ThreadPoolTest, NoTaskLossUnderContention) {
+  // Many external submitters racing against the workers: every submitted
+  // task must run exactly once.
+  std::atomic<int> Count{0};
+  constexpr int Submitters = 8;
+  constexpr int PerSubmitter = 500;
+  {
+    ThreadPool Pool(4);
+    std::vector<std::thread> Threads;
+    for (int T = 0; T < Submitters; ++T)
+      Threads.emplace_back([&Pool, &Count] {
+        for (int I = 0; I < PerSubmitter; ++I)
+          Pool.submit([&Count] { ++Count; });
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    Pool.wait();
+  }
+  EXPECT_EQ(Count.load(), Submitters * PerSubmitter);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesSubmissionOrder) {
+  std::vector<int> Order;
+  {
+    ThreadPool Pool(1);
+    for (int I = 0; I < 100; ++I)
+      Pool.submit([&Order, I] { Order.push_back(I); });
+    Pool.wait();
+  }
+  ASSERT_EQ(Order.size(), 100u);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  // Destroying the pool with work still queued must run everything first.
+  std::atomic<int> Count{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I < 64; ++I)
+      Pool.submit([&Count] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++Count;
+      });
+    // No wait(): the destructor must drain.
+  }
+  EXPECT_EQ(Count.load(), 64);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilAllDone) {
+  std::atomic<int> Count{0};
+  ThreadPool Pool(4);
+  for (int I = 0; I < 32; ++I)
+    Pool.submit([&Count] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      ++Count;
+    });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 32);
+  // wait() with nothing outstanding returns immediately.
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 32);
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitTasks) {
+  std::atomic<int> Count{0};
+  ThreadPool Pool(2);
+  for (int I = 0; I < 8; ++I)
+    Pool.submit([&Pool, &Count] {
+      Pool.submit([&Count] { ++Count; });
+      ++Count;
+    });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 16);
+}

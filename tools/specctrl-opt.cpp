@@ -30,20 +30,6 @@ using namespace specctrl::ir;
 
 namespace {
 
-/// Splits a comma-separated list.
-std::vector<std::string> splitList(const std::string &List) {
-  std::vector<std::string> Out;
-  size_t Pos = 0;
-  while (Pos < List.size()) {
-    const size_t Comma = List.find(',', Pos);
-    const size_t End = Comma == std::string::npos ? List.size() : Comma;
-    if (End > Pos)
-      Out.push_back(List.substr(Pos, End - Pos));
-    Pos = End + 1;
-  }
-  return Out;
-}
-
 bool parseAssertions(const std::string &Spec,
                      std::map<SiteId, bool> &Out) {
   for (const std::string &Item : splitList(Spec)) {

@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchCommon.h"
 #include "ir/Printer.h"
 #include "profile/BranchProfile.h"
 #include "support/Format.h"
@@ -36,14 +37,11 @@ int main(int Argc, char **Argv) {
   Opts.addString("replay", "", "summarize a recorded binary trace file");
   Opts.addFlag("synthesize", "print the benchmark-like SimIR program");
   Opts.addInt("head", 0, "print the first N branch events");
-  Opts.addDouble("events-per-billion", 6.0e5, "run-length scale");
-  Opts.addDouble("site-scale", 0.25, "static-population scale");
+  bench::addScaleOptions(Opts); // shared with the bench harnesses
   if (!Opts.parse(Argc, Argv))
     return Opts.wasError() ? 1 : 0;
 
-  SuiteScale Scale;
-  Scale.EventsPerBillion = Opts.getDouble("events-per-billion");
-  Scale.SiteScale = Opts.getDouble("site-scale");
+  const SuiteScale Scale = bench::readScale(Opts);
   const WorkloadSpec Spec = makeBenchmark(Opts.getString("bench"), Scale);
   const InputConfig Input = Opts.getString("input") == "train"
                                 ? Spec.trainInput()
