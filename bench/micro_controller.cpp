@@ -69,13 +69,15 @@ void BM_TracePlusController(benchmark::State &State) {
 }
 BENCHMARK(BM_TracePlusController)->Unit(benchmark::kMillisecond);
 
-/// Whole-suite engine throughput at a given worker count (Arg = --jobs):
+/// Whole-suite engine throughput at (workers, chunk events) = (Args 0, 1):
 /// the twelve benchmarks under the baseline reactive config, one engine
-/// cell each.  Compare Arg(1) vs Arg(4) for the parallel speedup; the
-/// results are bit-identical at every worker count.
+/// cell each.  Compare {1, ...} vs {4, ...} for the parallel speedup and
+/// {N, 1} vs {N, 4096} for the batched-dispatch speedup; the results are
+/// bit-identical at every worker count and chunk size.
 void BM_EngineSuite(benchmark::State &State) {
   const workload::SuiteScale Scale{6.0e4, 0.1};
   uint64_t EventsPerRun = 0;
+  uint64_t BatchesPerRun = 0;
   for (auto _ : State) {
     engine::ExperimentPlan Plan;
     for (const workload::BenchmarkProfile &P : workload::suiteProfiles())
@@ -86,16 +88,23 @@ void BM_EngineSuite(benchmark::State &State) {
     });
     engine::RunOptions Run;
     Run.Jobs = static_cast<unsigned>(State.range(0));
+    Run.BatchEvents = static_cast<size_t>(State.range(1));
     const engine::RunReport Report = engine::runPlan(Plan, Run);
     EventsPerRun = Report.totalEvents();
+    BatchesPerRun = 0;
+    for (const engine::CellResult &Cell : Report.Cells)
+      BatchesPerRun += Cell.Batches;
     benchmark::DoNotOptimize(EventsPerRun);
   }
   State.SetItemsProcessed(State.iterations() * EventsPerRun);
+  State.counters["batches"] =
+      benchmark::Counter(static_cast<double>(BatchesPerRun));
 }
 BENCHMARK(BM_EngineSuite)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
+    ->Args({1, 1})
+    ->Args({1, 4096})
+    ->Args({2, 4096})
+    ->Args({4, 4096})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()
     ->MeasureProcessCPUTime();

@@ -1,0 +1,167 @@
+//===- bench/trace_pipe.cpp - Trace-pipeline throughput microbenches ------===//
+//
+// google-benchmark microbenches for the batched trace-event pipeline: the
+// same (generation or replay) -> controller -> observer runs driven per
+// event (BatchEvents = 1, the reference path) and in chunks (the default
+// path), reported as events/sec.  The batched path must beat the
+// per-event path by >= 1.5x on at least one configuration (the
+// dispatch-bound replay and static-selection pipelines are the clearest
+// wins); the equivalence property tests guarantee the two paths produce
+// bit-identical results, so the speedup is free.
+//
+// Every benchmark takes the chunk size as its argument: 1 = per-event.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Driver.h"
+#include "core/ReactiveController.h"
+#include "core/StaticControllers.h"
+#include "profile/BranchProfile.h"
+#include "workload/SpecSuite.h"
+#include "workload/TraceFile.h"
+#include "workload/TraceGenerator.h"
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <string>
+
+using namespace specctrl;
+
+namespace {
+
+const workload::SuiteScale PipeScale{6.0e4, 0.1};
+
+const workload::WorkloadSpec &pipeSpec() {
+  static const workload::WorkloadSpec Spec =
+      workload::makeBenchmark("bzip2", PipeScale);
+  return Spec;
+}
+
+/// The whole-run profile of the pipe workload (for self-trained static
+/// selections), computed once.
+const profile::BranchProfile &pipeProfile() {
+  static const profile::BranchProfile Profile = [] {
+    profile::BranchProfile P(pipeSpec().numSites());
+    workload::TraceGenerator Gen(pipeSpec(), pipeSpec().refInput());
+    workload::BranchEvent E;
+    while (Gen.next(E))
+      P.addOutcome(E.Site, E.Taken);
+    return P;
+  }();
+  return Profile;
+}
+
+/// The pipe workload recorded once in each trace format.
+const std::string &recordedTrace(unsigned Version) {
+  static const std::string V1 = [] {
+    std::ostringstream OS;
+    workload::TraceGenerator Gen(pipeSpec(), pipeSpec().refInput());
+    workload::writeTrace(OS, Gen);
+    return OS.str();
+  }();
+  static const std::string V2 = [] {
+    std::ostringstream OS;
+    workload::TraceGenerator Gen(pipeSpec(), pipeSpec().refInput());
+    workload::writeTraceV2(OS, Gen);
+    return OS.str();
+  }();
+  return Version == 1 ? V1 : V2;
+}
+
+core::ReactiveConfig scaledReactive() {
+  core::ReactiveConfig C = core::ReactiveConfig::baseline();
+  C.OptLatency = 10000;
+  C.WaitPeriod = 50000;
+  return C;
+}
+
+void reportRun(benchmark::State &State, const core::TraceRunMetrics &M) {
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(M.Events));
+  State.counters["batches"] =
+      benchmark::Counter(static_cast<double>(M.Batches));
+}
+
+/// Generation -> reactive controller, chunk size = Arg.
+void BM_TracePipe_Reactive(benchmark::State &State) {
+  const size_t Batch = static_cast<size_t>(State.range(0));
+  core::TraceRunMetrics Metrics;
+  for (auto _ : State) {
+    core::ReactiveController C(scaledReactive());
+    workload::TraceGenerator Gen(pipeSpec(), pipeSpec().refInput());
+    Metrics = {};
+    core::runTrace(C, Gen, nullptr, Batch, &Metrics);
+    benchmark::DoNotOptimize(C.stats().CorrectSpecs);
+  }
+  reportRun(State, Metrics);
+}
+BENCHMARK(BM_TracePipe_Reactive)->Arg(1)->Arg(256)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+/// Generation -> self-trained static selection, chunk size = Arg.
+void BM_TracePipe_Static(benchmark::State &State) {
+  const size_t Batch = static_cast<size_t>(State.range(0));
+  core::TraceRunMetrics Metrics;
+  for (auto _ : State) {
+    core::StaticSelectionController C(pipeProfile(), 0.99);
+    workload::TraceGenerator Gen(pipeSpec(), pipeSpec().refInput());
+    Metrics = {};
+    core::runTrace(C, Gen, nullptr, Batch, &Metrics);
+    benchmark::DoNotOptimize(C.stats().CorrectSpecs);
+  }
+  reportRun(State, Metrics);
+}
+BENCHMARK(BM_TracePipe_Static)->Arg(1)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+/// Replay (recorded trace -> controller) with a profile observer, chunk
+/// size = Arg; Version selects the v1 or v2 on-disk format.
+template <unsigned Version>
+void BM_TracePipe_Replay(benchmark::State &State) {
+  const size_t Batch = static_cast<size_t>(State.range(0));
+  const std::string &Bytes = recordedTrace(Version);
+  core::TraceRunMetrics Metrics;
+  for (auto _ : State) {
+    std::istringstream IS(Bytes);
+    workload::TraceFileReader Reader(IS);
+    core::StaticSelectionController C(pipeProfile(), 0.99);
+    core::ProfileObserver Observer(Reader.numSites());
+    Metrics = {};
+    core::runTrace(C, Reader, &Observer, Batch, &Metrics);
+    benchmark::DoNotOptimize(Observer.profile().totalExecutions());
+  }
+  State.counters["trace_bytes"] =
+      benchmark::Counter(static_cast<double>(Bytes.size()));
+  reportRun(State, Metrics);
+}
+BENCHMARK(BM_TracePipe_Replay<1>)->Arg(1)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TracePipe_Replay<2>)->Arg(1)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+/// Recording throughput of each format (generation included, identical in
+/// both, so the delta is pure encode cost; counters report bytes/event).
+template <unsigned Version>
+void BM_TracePipe_Record(benchmark::State &State) {
+  uint64_t Events = 0;
+  size_t Bytes = 0;
+  for (auto _ : State) {
+    std::ostringstream OS;
+    workload::TraceGenerator Gen(pipeSpec(), pipeSpec().refInput());
+    Events = Version == 1 ? workload::writeTrace(OS, Gen)
+                          : workload::writeTraceV2(OS, Gen);
+    Bytes = OS.str().size();
+    benchmark::DoNotOptimize(Events);
+  }
+  State.SetItemsProcessed(State.iterations() * static_cast<int64_t>(Events));
+  State.counters["bytes_per_event"] = benchmark::Counter(
+      Events ? static_cast<double>(Bytes) / static_cast<double>(Events)
+             : 0.0);
+}
+BENCHMARK(BM_TracePipe_Record<1>)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TracePipe_Record<2>)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

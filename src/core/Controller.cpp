@@ -1,0 +1,20 @@
+//===- core/Controller.cpp - Speculation-controller interface -------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Controller.h"
+
+using namespace specctrl;
+using namespace specctrl::core;
+
+OptRequestSink::~OptRequestSink() = default;
+SpeculationController::~SpeculationController() = default;
+
+void SpeculationController::onBatch(
+    std::span<const workload::BranchEvent> Events, BranchVerdict *Verdicts) {
+  for (size_t I = 0; I < Events.size(); ++I)
+    Verdicts[I] =
+        onBranch(Events[I].Site, Events[I].Taken, Events[I].InstRet);
+}

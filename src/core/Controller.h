@@ -23,8 +23,10 @@
 #define SPECCTRL_CORE_CONTROLLER_H
 
 #include "core/ControlStats.h"
+#include "workload/EventStream.h"
 
 #include <cstdint>
+#include <span>
 
 namespace specctrl {
 namespace core {
@@ -68,6 +70,14 @@ public:
   /// speculation, and correctly so.
   virtual BranchVerdict onBranch(SiteId Site, bool Taken,
                                  uint64_t InstRet) = 0;
+
+  /// Feeds a contiguous chunk of events, writing one verdict per event
+  /// into \p Verdicts (which must hold at least Events.size() entries).
+  /// The default loops onBranch; controllers override it to hoist
+  /// per-event accounting out of the inner loop.  Contract: final stats
+  /// and the verdict sequence are identical to per-event feeding.
+  virtual void onBatch(std::span<const workload::BranchEvent> Events,
+                       BranchVerdict *Verdicts);
 
   /// True if speculation is currently deployed for \p Site.
   virtual bool isDeployed(SiteId Site) const = 0;

@@ -6,55 +6,107 @@
 
 #include "core/Driver.h"
 
+#include <vector>
+
 using namespace specctrl;
 using namespace specctrl::core;
 
 TraceObserver::~TraceObserver() = default;
 
-const ControlStats &core::runTrace(SpeculationController &Controller,
-                                   workload::TraceGenerator &Gen,
-                                   TraceObserver *Observer) {
+void TraceObserver::onBatch(std::span<const workload::BranchEvent> Events,
+                            std::span<const BranchVerdict> Verdicts) {
+  for (size_t I = 0; I < Events.size(); ++I)
+    onEvent(Events[I], Verdicts[I]);
+}
+
+namespace {
+
+/// The per-event reference path (BatchEvents <= 1): one controller (and
+/// observer) dispatch per event.  Kept as the oracle the batched path is
+/// equivalence-tested against.
+uint64_t runPerEvent(SpeculationController &Controller,
+                     workload::EventSource &Source,
+                     TraceObserver *Observer) {
   workload::BranchEvent Event;
   uint64_t Consumed = 0;
   if (!Observer) {
-    while (Gen.next(Event)) {
+    while (Source.next(Event)) {
       Controller.onBranch(Event.Site, Event.Taken, Event.InstRet);
       ++Consumed;
     }
   } else {
-    while (Gen.next(Event)) {
+    while (Source.next(Event)) {
       const BranchVerdict Verdict =
           Controller.onBranch(Event.Site, Event.Taken, Event.InstRet);
       Observer->onEvent(Event, Verdict);
       ++Consumed;
     }
   }
+  return Consumed;
+}
+
+} // namespace
+
+const ControlStats &core::runTrace(SpeculationController &Controller,
+                                   workload::EventSource &Source,
+                                   TraceObserver *Observer,
+                                   size_t BatchEvents,
+                                   TraceRunMetrics *Metrics) {
+  uint64_t Consumed = 0;
+  uint64_t Batches = 0;
+  if (BatchEvents <= 1) {
+    Consumed = runPerEvent(Controller, Source, Observer);
+    Batches = Consumed;
+  } else {
+    // Reusable chunk arena: one events buffer, one verdicts buffer, both
+    // sized once and refilled per chunk.
+    std::vector<workload::BranchEvent> Events(BatchEvents);
+    std::vector<BranchVerdict> Verdicts(BatchEvents);
+    while (const size_t N = Source.nextBatch(Events)) {
+      const std::span<const workload::BranchEvent> Chunk(Events.data(), N);
+      Controller.onBatch(Chunk, Verdicts.data());
+      if (Observer)
+        Observer->onBatch(Chunk,
+                          std::span<const BranchVerdict>(Verdicts.data(), N));
+      Consumed += N;
+      ++Batches;
+    }
+  }
   ControlStats &Stats = Controller.stats();
   Stats.EventsConsumed += Consumed;
+  if (Metrics) {
+    Metrics->Events += Consumed;
+    Metrics->Batches += Batches;
+  }
   return Stats;
 }
 
 const ControlStats &core::runTrace(SpeculationController &Controller,
-                                   workload::TraceGenerator &Gen,
-                                   const TraceHook &Hook) {
+                                   workload::EventSource &Source,
+                                   const TraceHook &Hook,
+                                   size_t BatchEvents) {
   if (!Hook)
-    return runTrace(Controller, Gen, static_cast<TraceObserver *>(nullptr));
+    return runTrace(Controller, Source, static_cast<TraceObserver *>(nullptr),
+                    BatchEvents);
   LambdaTraceObserver Observer(Hook);
-  return runTrace(Controller, Gen, &Observer);
+  return runTrace(Controller, Source, &Observer, BatchEvents);
 }
 
 const ControlStats &core::runWorkload(SpeculationController &Controller,
                                       const workload::WorkloadSpec &Spec,
                                       const workload::InputConfig &Input,
-                                      TraceObserver *Observer) {
+                                      TraceObserver *Observer,
+                                      size_t BatchEvents,
+                                      TraceRunMetrics *Metrics) {
   workload::TraceGenerator Gen(Spec, Input);
-  return runTrace(Controller, Gen, Observer);
+  return runTrace(Controller, Gen, Observer, BatchEvents, Metrics);
 }
 
 const ControlStats &core::runWorkload(SpeculationController &Controller,
                                       const workload::WorkloadSpec &Spec,
                                       const workload::InputConfig &Input,
-                                      const TraceHook &Hook) {
+                                      const TraceHook &Hook,
+                                      size_t BatchEvents) {
   workload::TraceGenerator Gen(Spec, Input);
-  return runTrace(Controller, Gen, Hook);
+  return runTrace(Controller, Gen, Hook, BatchEvents);
 }

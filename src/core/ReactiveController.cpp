@@ -11,9 +11,6 @@
 using namespace specctrl;
 using namespace specctrl::core;
 
-OptRequestSink::~OptRequestSink() = default;
-SpeculationController::~SpeculationController() = default;
-
 ReactiveController::ReactiveController(const ReactiveConfig &Config,
                                        const char *Name)
     : Config(Config), PolicyName(Name) {
@@ -211,7 +208,26 @@ BranchVerdict ReactiveController::onBranch(SiteId Site, bool Taken,
   Stats.touch(Site);
   ++Stats.Branches;
   Stats.LastInstRet = InstRet;
+  return step(Site, Taken, InstRet);
+}
 
+void ReactiveController::onBatch(
+    std::span<const workload::BranchEvent> Events, BranchVerdict *Verdicts) {
+  if (Events.empty())
+    return;
+  // Whole-run accounting hoisted out of the FSM loop; per-event it reduces
+  // to the same final values (Branches sums, LastInstRet keeps the last).
+  Stats.Branches += Events.size();
+  Stats.LastInstRet = Events.back().InstRet;
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const workload::BranchEvent &E = Events[I];
+    Stats.touch(E.Site);
+    Verdicts[I] = step(E.Site, E.Taken, E.InstRet);
+  }
+}
+
+BranchVerdict ReactiveController::step(SiteId Site, bool Taken,
+                                       uint64_t InstRet) {
   SiteState &S = state(Site);
   if (!ExternalSink && S.Pending != PendingKind::None &&
       InstRet >= S.ReadyAt)

@@ -65,6 +65,11 @@ public:
 
   // SpeculationController interface.
   BranchVerdict onBranch(SiteId Site, bool Taken, uint64_t InstRet) override;
+  /// Batch path: identical verdicts and final stats to per-event feeding,
+  /// with whole-run accounting (branch count, last instret) hoisted out of
+  /// the FSM loop.
+  void onBatch(std::span<const workload::BranchEvent> Events,
+               BranchVerdict *Verdicts) override;
   bool isDeployed(SiteId Site) const override;
   bool deployedDirection(SiteId Site) const override;
   const ControlStats &stats() const override { return Stats; }
@@ -104,6 +109,9 @@ private:
   };
 
   SiteState &state(SiteId Site);
+  /// The per-event FSM work minus the whole-run accounting (which
+  /// onBranch/onBatch perform per event resp. per chunk).
+  BranchVerdict step(SiteId Site, bool Taken, uint64_t InstRet);
   void applyPending(SiteState &S);
   void issueRequest(SiteId Site, SiteState &S, OptRequestKind Kind,
                     bool Direction, uint64_t InstRet);

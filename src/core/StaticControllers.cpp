@@ -58,6 +58,30 @@ BranchVerdict StaticSelectionController::onBranch(SiteId Site, bool Taken,
   return Verdict;
 }
 
+void StaticSelectionController::onBatch(
+    std::span<const workload::BranchEvent> Events, BranchVerdict *Verdicts) {
+  if (Events.empty())
+    return;
+  Stats.Branches += Events.size();
+  Stats.LastInstRet = Events.back().InstRet;
+  const size_t NumSel = Selected.size();
+  uint64_t Correct = 0, Incorrect = 0;
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const workload::BranchEvent &E = Events[I];
+    Stats.touch(E.Site);
+    BranchVerdict Verdict;
+    if (E.Site < NumSel && Selected[E.Site]) {
+      Stats.EverBiased[E.Site] = 1;
+      Verdict.Speculated = true;
+      Verdict.Correct = E.Taken == Direction[E.Site];
+      ++(Verdict.Correct ? Correct : Incorrect);
+    }
+    Verdicts[I] = Verdict;
+  }
+  Stats.CorrectSpecs += Correct;
+  Stats.IncorrectSpecs += Incorrect;
+}
+
 bool StaticSelectionController::isDeployed(SiteId Site) const {
   return Site < Selected.size() && Selected[Site];
 }

@@ -49,6 +49,10 @@ public:
 
   // SpeculationController interface.
   BranchVerdict onBranch(SiteId Site, bool Taken, uint64_t InstRet) override;
+  /// Batch path: the fixed selection never changes mid-run, so the whole
+  /// chunk is scored with locally-accumulated counters flushed once.
+  void onBatch(std::span<const workload::BranchEvent> Events,
+               BranchVerdict *Verdicts) override;
   bool isDeployed(SiteId Site) const override;
   bool deployedDirection(SiteId Site) const override;
   const ControlStats &stats() const override { return Stats; }

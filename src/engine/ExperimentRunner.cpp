@@ -28,7 +28,7 @@ double secondsSince(Clock::time_point Start, Clock::time_point End) {
 /// whole trace, and records stats/metrics into \p Cell.  Exceptions are
 /// captured into the cell instead of propagating (failure isolation).
 void runCell(const ExperimentPlan &Plan, CellResult &Cell,
-             Clock::time_point Enqueued) {
+             size_t BatchEvents, Clock::time_point Enqueued) {
   const Clock::time_point Start = Clock::now();
   Cell.QueueWaitSeconds = secondsSince(Enqueued, Start);
   try {
@@ -48,10 +48,12 @@ void runCell(const ExperimentPlan &Plan, CellResult &Cell,
       Observer = Plan.observerFactory()(Ctx);
 
     workload::TraceGenerator Gen(Bench.Spec, Input);
-    const core::ControlStats &Stats =
-        core::runTrace(*Controller, Gen, Observer.get());
+    core::TraceRunMetrics Metrics;
+    const core::ControlStats &Stats = core::runTrace(
+        *Controller, Gen, Observer.get(), BatchEvents, &Metrics);
     Cell.Stats = Stats;
     Cell.Events = Stats.EventsConsumed;
+    Cell.Batches = Metrics.Batches;
     Cell.Observer = std::move(Observer);
   } catch (const std::exception &E) {
     Cell.Failed = true;
@@ -124,14 +126,17 @@ RunReport ExperimentRunner::run(const ExperimentPlan &Plan) const {
       }
 
   const Clock::time_point RunStart = Clock::now();
+  const size_t BatchEvents = Options.BatchEvents;
   if (Report.Jobs <= 1 || Report.Cells.size() <= 1) {
     for (CellResult &Cell : Report.Cells)
-      runCell(Plan, Cell, Clock::now());
+      runCell(Plan, Cell, BatchEvents, Clock::now());
   } else {
     ThreadPool Pool(Report.Jobs);
     for (CellResult &Cell : Report.Cells) {
       const Clock::time_point Enqueued = Clock::now();
-      Pool.submit([&Plan, &Cell, Enqueued] { runCell(Plan, Cell, Enqueued); });
+      Pool.submit([&Plan, &Cell, BatchEvents, Enqueued] {
+        runCell(Plan, Cell, BatchEvents, Enqueued);
+      });
     }
     Pool.wait();
   }

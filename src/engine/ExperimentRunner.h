@@ -39,6 +39,10 @@ struct RunOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency.  Jobs == 1
   /// runs the cells inline on the calling thread (the serial reference).
   unsigned Jobs = 0;
+  /// Events per driver chunk inside each cell (see core::runTrace).
+  /// <= 1 selects the per-event reference path; results are identical at
+  /// any value.
+  size_t BatchEvents = workload::DefaultBatchEvents;
 };
 
 /// The outcome of one grid cell.
@@ -60,6 +64,7 @@ struct CellResult {
 
   // ---- Timing / throughput ----------------------------------------------
   uint64_t Events = 0;          ///< trace events consumed by the cell
+  uint64_t Batches = 0;         ///< driver chunks dispatched by the cell
   double WallSeconds = 0.0;     ///< cell execution wall time
   double QueueWaitSeconds = 0.0; ///< submit -> start latency
 

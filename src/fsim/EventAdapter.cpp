@@ -1,0 +1,70 @@
+//===- fsim/EventAdapter.cpp - Interpreter as an EventSource --------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fsim/EventAdapter.h"
+
+#include <limits>
+
+namespace specctrl {
+namespace fsim {
+
+namespace {
+
+/// Fills a chunk buffer from onBranch callbacks, pausing the interpreter
+/// when the buffer is full.  The interpreter retires a branch before the
+/// callback fires, so instructionsRetired() here already includes it --
+/// matching BranchEvent::InstRet ("up to and including this branch").
+class ChunkCollector final : public ExecObserver {
+public:
+  ChunkCollector(Interpreter &Interp, std::span<workload::BranchEvent> Buffer,
+                 uint64_t &PrevInstRet, uint64_t &NextIndex)
+      : Interp(Interp), Buffer(Buffer), PrevInstRet(PrevInstRet),
+        NextIndex(NextIndex) {}
+
+  void onBranch(ir::SiteId Site, bool Taken) override {
+    uint64_t Ret = Interp.instructionsRetired();
+    workload::BranchEvent &E = Buffer[Count++];
+    E.Site = Site;
+    E.Taken = Taken;
+    E.Gap = static_cast<uint32_t>(Ret - PrevInstRet - 1);
+    E.Index = NextIndex++;
+    E.InstRet = Ret;
+    PrevInstRet = Ret;
+    if (Count == Buffer.size())
+      Interp.requestStop();
+  }
+
+  size_t Count = 0;
+
+private:
+  Interpreter &Interp;
+  std::span<workload::BranchEvent> Buffer;
+  uint64_t &PrevInstRet;
+  uint64_t &NextIndex;
+};
+
+} // namespace
+
+bool InterpreterEventSource::next(workload::BranchEvent &Event) {
+  return nextBatch(std::span(&Event, 1)) == 1;
+}
+
+size_t InterpreterEventSource::nextBatch(
+    std::span<workload::BranchEvent> Buffer) {
+  if (Done || Buffer.empty())
+    return 0;
+  ChunkCollector Collector(Interp, Buffer, PrevInstRet, NextIndex);
+  // run() clears any pending stop request on entry, so Stopped here can
+  // only mean the collector filled the buffer; everything else ends the
+  // stream (Halted, Fault, or an effectively-unbounded budget expiring).
+  LastStop = Interp.run(std::numeric_limits<uint64_t>::max() / 2, &Collector);
+  if (LastStop != StopReason::Stopped)
+    Done = true;
+  return Collector.Count;
+}
+
+} // namespace fsim
+} // namespace specctrl

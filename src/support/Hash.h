@@ -1,0 +1,28 @@
+//===- support/Hash.h - Fast 64-bit content hashing -------------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fast non-cryptographic 64-bit hash (the XXH64 algorithm) used for
+/// trace-file block checksums: cheap enough to run over every replayed
+/// block, strong enough that corrupted or truncated blocks are rejected
+/// instead of silently replayed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_SUPPORT_HASH_H
+#define SPECCTRL_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace specctrl {
+
+/// XXH64 of \p Len bytes at \p Data under \p Seed.
+uint64_t hash64(const void *Data, size_t Len, uint64_t Seed = 0);
+
+} // namespace specctrl
+
+#endif // SPECCTRL_SUPPORT_HASH_H

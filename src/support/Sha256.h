@@ -1,0 +1,50 @@
+//===- support/Sha256.h - SHA-256 digests -----------------------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free SHA-256 for pinning golden artifacts (trace
+/// files, reports) to checked-in digests in regression tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_SUPPORT_SHA256_H
+#define SPECCTRL_SUPPORT_SHA256_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace specctrl {
+
+/// Streaming SHA-256.
+class Sha256 {
+public:
+  Sha256();
+
+  void update(const void *Data, size_t Len);
+
+  /// Finalizes and returns the 32-byte digest (the object is consumed).
+  std::array<uint8_t, 32> digest();
+
+  /// One-shot digest of \p Len bytes at \p Data, as lowercase hex.
+  static std::string hexDigest(const void *Data, size_t Len);
+  static std::string hexDigest(const std::string &Bytes) {
+    return hexDigest(Bytes.data(), Bytes.size());
+  }
+
+private:
+  void processBlock(const uint8_t *Block);
+
+  std::array<uint32_t, 8> State;
+  uint64_t TotalBytes = 0;
+  std::array<uint8_t, 64> Buffer;
+  size_t BufferLen = 0;
+};
+
+} // namespace specctrl
+
+#endif // SPECCTRL_SUPPORT_SHA256_H

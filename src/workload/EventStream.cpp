@@ -1,0 +1,19 @@
+//===- workload/EventStream.cpp - Batched branch-event sources ------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/EventStream.h"
+
+using namespace specctrl;
+using namespace specctrl::workload;
+
+EventSource::~EventSource() = default;
+
+size_t EventSource::nextBatch(std::span<BranchEvent> Buffer) {
+  size_t N = 0;
+  while (N < Buffer.size() && next(Buffer[N]))
+    ++N;
+  return N;
+}

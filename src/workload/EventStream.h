@@ -1,0 +1,68 @@
+//===- workload/EventStream.h - Batched branch-event sources ----*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The branch-event record and the source interface every trace producer
+/// (synthetic generation, file replay) implements.  Sources are consumed
+/// either one event at a time (next) or -- the hot path -- in fixed-size
+/// chunks filled into a caller-owned arena buffer (nextBatch), which
+/// amortizes per-event call overhead across the whole pipeline: one
+/// virtual dispatch per chunk instead of one per event.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_WORKLOAD_EVENTSTREAM_H
+#define SPECCTRL_WORKLOAD_EVENTSTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace specctrl {
+namespace workload {
+
+/// Identifies a static conditional-branch site (index into the site table).
+/// (Canonical definition in Workload.h; repeated here so the event record
+/// has no heavyweight includes.)
+using SiteId = uint32_t;
+
+/// One dynamic execution of a static branch site.
+struct BranchEvent {
+  SiteId Site = 0;
+  bool Taken = false;
+  /// Non-branch instructions retired since the previous branch.
+  uint32_t Gap = 0;
+  /// 0-based index of this event in the run.
+  uint64_t Index = 0;
+  /// Dynamic instructions retired up to and including this branch.
+  uint64_t InstRet = 0;
+
+  bool operator==(const BranchEvent &) const = default;
+};
+
+/// Default number of events per chunk in the batched pipeline.  Sized so
+/// the chunk buffer (events + verdicts) stays comfortably inside L2 while
+/// amortizing per-batch dispatch to noise.
+inline constexpr size_t DefaultBatchEvents = 4096;
+
+/// A stream of branch events.
+class EventSource {
+public:
+  virtual ~EventSource();
+
+  /// Produces the next event.  Returns false when the stream is done.
+  virtual bool next(BranchEvent &Event) = 0;
+
+  /// Fills \p Buffer with as many events as are available and returns the
+  /// count (0 = stream done).  The base implementation loops next();
+  /// concrete sources override it with a tight loop.
+  virtual size_t nextBatch(std::span<BranchEvent> Buffer);
+};
+
+} // namespace workload
+} // namespace specctrl
+
+#endif // SPECCTRL_WORKLOAD_EVENTSTREAM_H

@@ -6,7 +6,10 @@
 
 #include "workload/TraceFile.h"
 
+#include "support/Hash.h"
+
 #include <algorithm>
+#include <cstring>
 #include <istream>
 #include <ostream>
 
@@ -15,7 +18,12 @@ using namespace specctrl::workload;
 
 namespace {
 
-constexpr char Magic[4] = {'S', 'C', 'T', '1'};
+constexpr char MagicV1[4] = {'S', 'C', 'T', '1'};
+constexpr char MagicV2[4] = {'S', 'C', 'T', '2'};
+
+/// Worst-case encoded bytes per v2 event: 5-byte site-delta varint + the
+/// packed taken/gap byte.
+constexpr size_t MaxEventBytes = 6;
 
 void putU32(std::ostream &OS, uint32_t V) {
   // Little-endian, explicitly, so traces are portable.
@@ -50,10 +58,42 @@ bool getU64(std::istream &IS, uint64_t &V) {
   return true;
 }
 
+uint32_t zigzag(int64_t V) {
+  return static_cast<uint32_t>((V << 1) ^ (V >> 63));
+}
+
+int64_t unzigzag(uint32_t V) {
+  return static_cast<int64_t>(V >> 1) ^ -static_cast<int64_t>(V & 1);
+}
+
+void putVarint(std::vector<uint8_t> &Out, uint32_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<uint8_t>(V) | 0x80);
+    V >>= 7;
+  }
+  Out.push_back(static_cast<uint8_t>(V));
+}
+
+/// Decodes a varint from [P, End); nullptr on overrun/overlength.
+const uint8_t *getVarint(const uint8_t *P, const uint8_t *End, uint32_t &V) {
+  V = 0;
+  for (unsigned Shift = 0; Shift < 35 && P != End; Shift += 7) {
+    const uint8_t Byte = *P++;
+    V |= static_cast<uint32_t>(Byte & 0x7F) << Shift;
+    if (!(Byte & 0x80))
+      return P;
+  }
+  return nullptr;
+}
+
 } // namespace
 
+//===----------------------------------------------------------------------===//
+// v1 writer
+//===----------------------------------------------------------------------===//
+
 uint64_t workload::writeTrace(std::ostream &OS, TraceGenerator &Gen) {
-  OS.write(Magic, 4);
+  OS.write(MagicV1, 4);
   putU32(OS, Gen.spec().numSites());
   const uint64_t Remaining = Gen.totalEvents() - Gen.eventsGenerated();
   putU64(OS, Remaining);
@@ -73,19 +113,201 @@ uint64_t workload::writeTrace(std::ostream &OS, TraceGenerator &Gen) {
   return OS.good() ? Written : 0;
 }
 
+//===----------------------------------------------------------------------===//
+// v2 writer
+//===----------------------------------------------------------------------===//
+
+TraceWriterV2::TraceWriterV2(std::ostream &OS, uint32_t NumSites,
+                             uint64_t TotalEvents, uint32_t MinGap,
+                             uint32_t MaxGap, uint32_t BlockEvents)
+    : OS(OS), BlockEvents(BlockEvents ? BlockEvents : TraceV2BlockEvents) {
+  OS.write(MagicV2, 4);
+  putU32(OS, NumSites);
+  putU64(OS, TotalEvents);
+  putU32(OS, MinGap);
+  putU32(OS, MaxGap);
+  putU32(OS, this->BlockEvents);
+  Payload.reserve(this->BlockEvents * MaxEventBytes);
+}
+
+void TraceWriterV2::flushBlock() {
+  if (BlockCount == 0)
+    return;
+  putU32(OS, BlockCount);
+  putU32(OS, static_cast<uint32_t>(Payload.size()));
+  putU64(OS, hash64(Payload.data(), Payload.size()));
+  OS.write(reinterpret_cast<const char *>(Payload.data()),
+           static_cast<std::streamsize>(Payload.size()));
+  Written += BlockCount;
+  BlockCount = 0;
+  PrevSite = 0;
+  Payload.clear();
+}
+
+bool TraceWriterV2::append(std::span<const BranchEvent> Events) {
+  if (!Ok)
+    return false;
+  for (const BranchEvent &E : Events) {
+    if (E.Site > TraceFileLimits::MaxSite ||
+        E.Gap > TraceFileLimits::MaxGap) {
+      Ok = false;
+      return false;
+    }
+    putVarint(Payload, zigzag(static_cast<int64_t>(E.Site) -
+                              static_cast<int64_t>(PrevSite)));
+    Payload.push_back(static_cast<uint8_t>(
+        (static_cast<uint8_t>(E.Taken) << 7) | E.Gap));
+    PrevSite = E.Site;
+    if (++BlockCount == BlockEvents)
+      flushBlock();
+  }
+  Ok = OS.good();
+  return Ok;
+}
+
+bool TraceWriterV2::finish() {
+  if (!Ok)
+    return false;
+  flushBlock();
+  Ok = OS.good();
+  return Ok;
+}
+
+uint64_t workload::writeTraceV2(std::ostream &OS, TraceGenerator &Gen,
+                                uint32_t BlockEvents) {
+  TraceWriterV2 Writer(OS, Gen.spec().numSites(),
+                       Gen.totalEvents() - Gen.eventsGenerated(),
+                       Gen.spec().MinGap, Gen.spec().MaxGap, BlockEvents);
+  std::vector<BranchEvent> Chunk(BlockEvents ? BlockEvents
+                                             : TraceV2BlockEvents);
+  while (const size_t N = Gen.nextBatch(Chunk))
+    if (!Writer.append(std::span<const BranchEvent>(Chunk.data(), N)))
+      return 0;
+  return Writer.finish() ? Writer.eventsWritten() : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Reader (both formats)
+//===----------------------------------------------------------------------===//
+
 TraceFileReader::TraceFileReader(std::istream &IS) : IS(IS) {
   char Header[4];
-  if (!IS.read(Header, 4) || !std::equal(Header, Header + 4, Magic))
+  if (!IS.read(Header, 4))
     return;
-  uint32_t MinGap = 0, MaxGap = 0;
+  if (std::equal(Header, Header + 4, MagicV1))
+    Version = 1;
+  else if (std::equal(Header, Header + 4, MagicV2))
+    Version = 2;
+  else
+    return;
   if (!getU32(IS, NumSites) || !getU64(IS, TotalEvents) ||
       !getU32(IS, MinGap) || !getU32(IS, MaxGap))
     return;
+  if (Version == 2) {
+    if (!getU32(IS, BlockEvents) || BlockEvents == 0 ||
+        BlockEvents > (1u << 20))
+      return;
+    Block.reserve(BlockEvents);
+  }
   Valid = true;
 }
 
+void TraceFileReader::fail(const std::string &Message) {
+  Error = Message;
+  Block.clear();
+  BlockPos = 0;
+}
+
+/// Loads, verifies, and decodes the next v2 block into the staging buffer.
+/// Returns false at clean end, on truncation, or on corruption -- in every
+/// failure case zero events of the offending block are staged.
+bool TraceFileReader::refillBlock() {
+  Block.clear();
+  BlockPos = 0;
+  if (NextIndex >= TotalEvents)
+    return false;
+
+  uint32_t BlockN = 0, PayloadBytes = 0;
+  uint64_t Checksum = 0;
+  if (!getU32(IS, BlockN)) {
+    Truncated = true; // stream ended between blocks
+    return false;
+  }
+  if (!getU32(IS, PayloadBytes) || !getU64(IS, Checksum)) {
+    Truncated = true;
+    return false;
+  }
+  if (BlockN == 0 || BlockN > BlockEvents ||
+      BlockN > TotalEvents - NextIndex ||
+      PayloadBytes < 2 * static_cast<uint64_t>(BlockN) ||
+      PayloadBytes > MaxEventBytes * static_cast<uint64_t>(BlockN)) {
+    fail("malformed trace block header");
+    return false;
+  }
+
+  Payload.resize(PayloadBytes);
+  if (!IS.read(reinterpret_cast<char *>(Payload.data()), PayloadBytes)) {
+    Truncated = true; // partially-written final block
+    return false;
+  }
+  if (hash64(Payload.data(), Payload.size()) != Checksum) {
+    fail("trace block checksum mismatch (corrupt or tampered trace)");
+    return false;
+  }
+
+  const uint8_t *P = Payload.data();
+  const uint8_t *End = P + Payload.size();
+  int64_t PrevSite = 0;
+  for (uint32_t I = 0; I < BlockN; ++I) {
+    uint32_t Delta = 0;
+    P = getVarint(P, End, Delta);
+    if (!P || P == End) {
+      fail("malformed event encoding in trace block");
+      Block.clear();
+      return false;
+    }
+    const int64_t Site = PrevSite + unzigzag(Delta);
+    if (Site < 0 || Site >= static_cast<int64_t>(NumSites)) {
+      fail("trace event site out of range");
+      Block.clear();
+      return false;
+    }
+    const uint8_t Packed = *P++;
+    BranchEvent E;
+    E.Site = static_cast<SiteId>(Site);
+    E.Taken = (Packed >> 7) & 1;
+    E.Gap = Packed & 0x7F;
+    E.Index = NextIndex++;
+    InstRet += E.Gap + 1;
+    E.InstRet = InstRet;
+    Block.push_back(E);
+    PrevSite = Site;
+  }
+  if (P != End) {
+    fail("trailing bytes in trace block");
+    // The decoded events can't be trusted either: reject the whole block
+    // (and roll back the accounting it advanced).
+    NextIndex -= Block.size();
+    for (const BranchEvent &E : Block)
+      InstRet -= E.Gap + 1;
+    Block.clear();
+    return false;
+  }
+  return true;
+}
+
 bool TraceFileReader::next(BranchEvent &Event) {
-  if (!Valid || NextIndex >= TotalEvents)
+  if (!Valid || Truncated || failed())
+    return false;
+
+  if (Version == 2) {
+    if (BlockPos >= Block.size() && !refillBlock())
+      return false;
+    Event = Block[BlockPos++];
+    return true;
+  }
+
+  if (NextIndex >= TotalEvents)
     return false;
   uint32_t Word = 0;
   if (!getU32(IS, Word)) {
@@ -99,4 +321,77 @@ bool TraceFileReader::next(BranchEvent &Event) {
   InstRet += Event.Gap + 1;
   Event.InstRet = InstRet;
   return true;
+}
+
+size_t TraceFileReader::nextBatch(std::span<BranchEvent> Buffer) {
+  if (!Valid || Truncated || failed())
+    return 0;
+
+  if (Version == 2) {
+    size_t Filled = 0;
+    while (Filled < Buffer.size()) {
+      if (BlockPos >= Block.size() && !refillBlock())
+        break;
+      const size_t Take =
+          std::min(Buffer.size() - Filled, Block.size() - BlockPos);
+      std::memcpy(Buffer.data() + Filled, Block.data() + BlockPos,
+                  Take * sizeof(BranchEvent));
+      BlockPos += Take;
+      Filled += Take;
+    }
+    return Filled;
+  }
+
+  // v1: one bulk read per chunk instead of one 4-byte read per event.
+  const size_t Want = static_cast<size_t>(std::min<uint64_t>(
+      Buffer.size(), TotalEvents - NextIndex));
+  if (Want == 0)
+    return 0;
+  Payload.resize(Want * 4);
+  IS.read(reinterpret_cast<char *>(Payload.data()),
+          static_cast<std::streamsize>(Payload.size()));
+  const size_t Got = static_cast<size_t>(IS.gcount()) / 4;
+  if (Got < Want)
+    Truncated = true;
+  for (size_t I = 0; I < Got; ++I) {
+    // Stored little-endian; reassemble byte-wise for portability.
+    const uint8_t *B = Payload.data() + I * 4;
+    const uint32_t Word =
+        static_cast<uint32_t>(B[0]) | (static_cast<uint32_t>(B[1]) << 8) |
+        (static_cast<uint32_t>(B[2]) << 16) |
+        (static_cast<uint32_t>(B[3]) << 24);
+    BranchEvent &E = Buffer[I];
+    E.Site = Word >> 8;
+    E.Taken = (Word >> 7) & 1;
+    E.Gap = Word & 0x7F;
+    E.Index = NextIndex++;
+    InstRet += E.Gap + 1;
+    E.InstRet = InstRet;
+  }
+  return Got;
+}
+
+//===----------------------------------------------------------------------===//
+// Migration
+//===----------------------------------------------------------------------===//
+
+uint64_t workload::migrateTrace(std::istream &In, std::ostream &Out,
+                                uint32_t BlockEvents) {
+  TraceFileReader Reader(In);
+  if (!Reader.valid())
+    return 0;
+  TraceWriterV2 Writer(Out, Reader.numSites(), Reader.totalEvents(),
+                       Reader.minGap(), Reader.maxGap(), BlockEvents);
+  std::vector<BranchEvent> Chunk(BlockEvents ? BlockEvents
+                                             : TraceV2BlockEvents);
+  while (const size_t N = Reader.nextBatch(Chunk))
+    if (!Writer.append(std::span<const BranchEvent>(Chunk.data(), N)))
+      return 0;
+  if (Reader.truncated() || Reader.failed())
+    return 0;
+  if (!Writer.finish())
+    return 0;
+  return Writer.eventsWritten() == Reader.totalEvents()
+             ? Writer.eventsWritten()
+             : 0;
 }

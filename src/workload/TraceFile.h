@@ -10,11 +10,25 @@
 /// replay it against any number of controller configurations without
 /// paying generation cost (or needing the workload's seeds at all).
 ///
-/// Format "SCT1": a 24-byte header (magic, site count, event count,
-/// min/max gap) followed by one 32-bit word per event
-/// (site:24 | taken:1 | gap:7).  Event index and cumulative instruction
-/// counts are reconstructed during replay, so a replayed stream is
-/// bit-identical to the recorded one.
+/// Two on-disk formats:
+///
+///  * "SCT1" (v1): a 24-byte header (magic, site count, event count,
+///    min/max gap) followed by one 32-bit word per event
+///    (site:24 | taken:1 | gap:7).
+///
+///  * "SCT2" (v2): the same header fields plus a block-events count,
+///    followed by independently-decodable blocks.  Each block frames up to
+///    BlockEvents events as {u32 event count, u32 payload bytes, u64
+///    XXH64 payload checksum, payload}; the payload stores one event as a
+///    zigzag-varint site delta (from the previous event in the block) plus
+///    a packed taken/gap byte.  Blocks feed the batched replay path
+///    directly (one checksum + decode per chunk), and a corrupted or
+///    truncated block is rejected whole: no event of a bad block is ever
+///    delivered to observers.
+///
+/// Event index and cumulative instruction counts are reconstructed during
+/// replay, so a replayed stream is bit-identical to the recorded one in
+/// either format.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,47 +38,118 @@
 #include "workload/TraceGenerator.h"
 
 #include <iosfwd>
+#include <string>
+#include <vector>
 
 namespace specctrl {
 namespace workload {
 
-/// Hard limits of the on-disk format.
+/// Hard limits of the on-disk formats.
 struct TraceFileLimits {
   static constexpr uint32_t MaxSite = (1u << 24) - 1;
   static constexpr uint32_t MaxGap = (1u << 7) - 1;
 };
+
+/// Default events per v2 block (matches the pipeline's chunk size so one
+/// block decode fills one arena buffer).
+inline constexpr uint32_t TraceV2BlockEvents = 4096;
 
 /// Drains \p Gen to \p OS in SCT1 format.  Returns the number of events
 /// written, or 0 on failure (an event exceeded the format limits or the
 /// stream went bad).
 uint64_t writeTrace(std::ostream &OS, TraceGenerator &Gen);
 
-/// Streams a recorded trace back as BranchEvents.
-class TraceFileReader {
+/// Streaming SCT2 writer: construct with the header facts, append event
+/// chunks (any chunking -- block framing is internal), then finish().
+class TraceWriterV2 {
+public:
+  TraceWriterV2(std::ostream &OS, uint32_t NumSites, uint64_t TotalEvents,
+                uint32_t MinGap, uint32_t MaxGap,
+                uint32_t BlockEvents = TraceV2BlockEvents);
+
+  /// Appends events to the current block, flushing full blocks.  Returns
+  /// false if an event exceeded format limits or the stream went bad.
+  bool append(std::span<const BranchEvent> Events);
+
+  /// Flushes the final partial block.  Returns overall success.
+  bool finish();
+
+  uint64_t eventsWritten() const { return Written; }
+
+private:
+  void flushBlock();
+
+  std::ostream &OS;
+  uint32_t BlockEvents;
+  std::vector<uint8_t> Payload;   ///< current block's encoded events
+  uint32_t BlockCount = 0;        ///< events in the current block
+  uint32_t PrevSite = 0;          ///< delta base within the current block
+  uint64_t Written = 0;
+  bool Ok = true;
+};
+
+/// Drains \p Gen to \p OS in SCT2 format via the batched generator path.
+/// Returns events written, or 0 on failure.
+uint64_t writeTraceV2(std::ostream &OS, TraceGenerator &Gen,
+                      uint32_t BlockEvents = TraceV2BlockEvents);
+
+/// Streams a recorded trace (either format, auto-detected) back as
+/// BranchEvents.  The batched nextBatch path decodes v2 one whole
+/// (checksum-verified) block at a time.
+class TraceFileReader : public EventSource {
 public:
   /// Binds to \p IS and parses the header; valid() reports success.
   explicit TraceFileReader(std::istream &IS);
 
   bool valid() const { return Valid; }
+  /// Format version (1 or 2); meaningful when valid().
+  unsigned version() const { return Version; }
   uint32_t numSites() const { return NumSites; }
   uint64_t totalEvents() const { return TotalEvents; }
+  uint32_t minGap() const { return MinGap; }
+  uint32_t maxGap() const { return MaxGap; }
 
-  /// Produces the next event; false at end (or on a truncated file, which
-  /// truncated() then reports).
-  bool next(BranchEvent &Event);
+  /// Produces the next event; false at end or on any error (which
+  /// truncated()/failed() then distinguish).
+  bool next(BranchEvent &Event) override;
+
+  /// Bulk decode into \p Buffer; same stream as repeated next().
+  size_t nextBatch(std::span<BranchEvent> Buffer) override;
 
   /// True if the stream ended before totalEvents() were read.
   bool truncated() const { return Truncated; }
+  /// True if the trace payload was rejected (checksum mismatch, bad
+  /// encoding, out-of-range site).  error() carries the message.
+  bool failed() const { return !Error.empty(); }
+  const std::string &error() const { return Error; }
 
 private:
+  bool refillBlock();
+  void fail(const std::string &Message);
+
   std::istream &IS;
   bool Valid = false;
   bool Truncated = false;
+  unsigned Version = 1;
+  std::string Error;
   uint32_t NumSites = 0;
   uint64_t TotalEvents = 0;
+  uint32_t MinGap = 0;
+  uint32_t MaxGap = 0;
+  uint32_t BlockEvents = 0; ///< v2 only: max events per block
   uint64_t NextIndex = 0;
   uint64_t InstRet = 0;
+  // v2 staging: the current verified, decoded block.
+  std::vector<BranchEvent> Block;
+  size_t BlockPos = 0;
+  std::vector<uint8_t> Payload; ///< reused block read buffer
 };
+
+/// Reads a trace in either format from \p In and rewrites it as SCT2 to
+/// \p Out.  Returns events migrated, or 0 on failure (invalid, truncated,
+/// or corrupt input; write error).
+uint64_t migrateTrace(std::istream &In, std::ostream &Out,
+                      uint32_t BlockEvents = TraceV2BlockEvents);
 
 } // namespace workload
 } // namespace specctrl

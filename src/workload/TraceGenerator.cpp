@@ -6,6 +6,7 @@
 
 #include "workload/TraceGenerator.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace specctrl;
@@ -95,4 +96,60 @@ bool TraceGenerator::next(BranchEvent &Event) {
   Event.Index = NextIndex++;
   Event.InstRet = InstRet;
   return true;
+}
+
+size_t TraceGenerator::nextBatch(std::span<BranchEvent> Buffer) {
+  size_t Filled = 0;
+  while (Filled < Buffer.size() && NextIndex < Input.Events) {
+    unsigned Phase = static_cast<unsigned>(NextIndex / EventsPerPhase);
+    if (Phase >= Spec.NumPhases)
+      Phase = Spec.NumPhases - 1; // remainder events stay in the last phase
+
+    // The run up to the next phase boundary draws from one alias table, so
+    // the phase lookup is hoisted out of the per-event loop.  RNG call
+    // order inside the loop matches next() exactly; the streams are
+    // identical event for event.
+    uint64_t Boundary =
+        Phase + 1 >= Spec.NumPhases
+            ? Input.Events
+            : (static_cast<uint64_t>(Phase) + 1) * EventsPerPhase;
+    Boundary = std::min(Boundary, Input.Events);
+    const size_t Segment = static_cast<size_t>(std::min<uint64_t>(
+        Buffer.size() - Filled, Boundary - NextIndex));
+
+    const AliasTable &Table = PhaseTables[Phase];
+    const std::vector<SiteId> &Sites = PhaseSites[Phase];
+    const bool FixedGap = Spec.MinGap == Spec.MaxGap;
+    for (size_t I = 0; I < Segment; ++I) {
+      const uint32_t Pick = Table.sample(R);
+      const SiteId Site = Sites[Pick];
+      const SiteSpec &SS = Spec.Sites[Site];
+
+      const uint64_t Exec = ExecCounts[Site]++;
+      const bool GroupOn =
+          SS.Behavior.Kind == BehaviorKind::PhaseGroup
+              ? Spec.groupOnInPhase(SS.Behavior.GroupId, Phase)
+              : true;
+      const bool InputFlip =
+          SS.Behavior.Kind == BehaviorKind::InputDependent &&
+          Input.parameterBit(Site);
+      const bool Taken =
+          drawOutcome(SS.Behavior, Exec, GroupOn, InputFlip, States[Site], R);
+
+      const uint32_t Gap =
+          FixedGap ? Spec.MinGap
+                   : static_cast<uint32_t>(
+                         R.nextInRange(Spec.MinGap, Spec.MaxGap));
+      InstRet += Gap + 1;
+
+      BranchEvent &Event = Buffer[Filled + I];
+      Event.Site = Site;
+      Event.Taken = Taken;
+      Event.Gap = Gap;
+      Event.Index = NextIndex++;
+      Event.InstRet = InstRet;
+    }
+    Filled += Segment;
+  }
+  return Filled;
 }

@@ -17,6 +17,7 @@
 #define SPECCTRL_WORKLOAD_TRACEGENERATOR_H
 
 #include "support/AliasTable.h"
+#include "workload/EventStream.h"
 #include "workload/Workload.h"
 
 #include <vector>
@@ -24,25 +25,17 @@
 namespace specctrl {
 namespace workload {
 
-/// One dynamic execution of a static branch site.
-struct BranchEvent {
-  SiteId Site = 0;
-  bool Taken = false;
-  /// Non-branch instructions retired since the previous branch.
-  uint32_t Gap = 0;
-  /// 0-based index of this event in the run.
-  uint64_t Index = 0;
-  /// Dynamic instructions retired up to and including this branch.
-  uint64_t InstRet = 0;
-};
-
 /// Streams the branch events of one (workload, input) run.
-class TraceGenerator {
+class TraceGenerator : public EventSource {
 public:
   TraceGenerator(const WorkloadSpec &Spec, const InputConfig &In);
 
   /// Produces the next event.  Returns false when the run is complete.
-  bool next(BranchEvent &Event);
+  bool next(BranchEvent &Event) override;
+
+  /// Fills \p Buffer in one tight pass (phase lookup hoisted out of the
+  /// per-event loop); the emitted stream is identical to repeated next().
+  size_t nextBatch(std::span<BranchEvent> Buffer) override;
 
   /// Restarts the run from the beginning (identical stream).
   void reset();

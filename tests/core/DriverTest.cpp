@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <type_traits>
+#include <vector>
+
 using namespace specctrl;
 using namespace specctrl::core;
 using namespace specctrl::workload;
@@ -72,4 +75,76 @@ TEST(DriverTest, PartiallyConsumedGeneratorFinishes) {
   ReactiveController C(ReactiveConfig{});
   const ControlStats &S = runTrace(C, Gen);
   EXPECT_EQ(S.Branches, Spec.RefEvents - 1000);
+}
+
+// Observers are move-only by design: the engine hands each cell's
+// observer around by unique_ptr, and an accidental copy would silently
+// fork (and then drop) collected state.
+static_assert(!std::is_copy_constructible_v<LambdaTraceObserver>);
+static_assert(!std::is_copy_assignable_v<LambdaTraceObserver>);
+static_assert(!std::is_copy_constructible_v<ProfileObserver>);
+static_assert(!std::is_copy_assignable_v<ProfileObserver>);
+
+namespace {
+
+/// An observer that overrides only onEvent: the default onBatch must
+/// forward every (event, verdict) pair to it in stream order.
+class RecordingObserver final : public TraceObserver {
+public:
+  void onEvent(const BranchEvent &Event,
+               const BranchVerdict &Verdict) override {
+    Sites.push_back(Event.Site);
+    Indices.push_back(Event.Index);
+    Speculated.push_back(Verdict.Speculated);
+  }
+  std::vector<SiteId> Sites;
+  std::vector<uint64_t> Indices;
+  std::vector<bool> Speculated;
+};
+
+} // namespace
+
+TEST(DriverTest, DefaultOnBatchForwardsPerEventInOrder) {
+  const WorkloadSpec Spec = twoSiteSpec();
+  ReactiveConfig Cfg;
+  Cfg.MonitorPeriod = 1000;
+  Cfg.OptLatency = 0;
+
+  RecordingObserver PerEvent;
+  {
+    ReactiveController C(Cfg);
+    runWorkload(C, Spec, Spec.refInput(), &PerEvent, /*BatchEvents=*/1);
+  }
+  RecordingObserver Batched;
+  {
+    ReactiveController C(Cfg);
+    runWorkload(C, Spec, Spec.refInput(), &Batched, /*BatchEvents=*/257);
+  }
+  ASSERT_EQ(PerEvent.Sites.size(), Spec.RefEvents);
+  EXPECT_EQ(PerEvent.Sites, Batched.Sites);
+  EXPECT_EQ(PerEvent.Indices, Batched.Indices);
+  EXPECT_EQ(PerEvent.Speculated, Batched.Speculated);
+  // Indices arrive in stream order.
+  for (size_t I = 0; I < Batched.Indices.size(); ++I)
+    EXPECT_EQ(Batched.Indices[I], I);
+}
+
+TEST(DriverTest, MetricsCountEventsAndChunks) {
+  const WorkloadSpec Spec = twoSiteSpec();
+  {
+    ReactiveController C(ReactiveConfig{});
+    TraceRunMetrics Metrics;
+    runWorkload(C, Spec, Spec.refInput(), nullptr, /*BatchEvents=*/4096,
+                &Metrics);
+    EXPECT_EQ(Metrics.Events, Spec.RefEvents);
+    EXPECT_EQ(Metrics.Batches, (Spec.RefEvents + 4095) / 4096);
+  }
+  {
+    ReactiveController C(ReactiveConfig{});
+    TraceRunMetrics Metrics;
+    runWorkload(C, Spec, Spec.refInput(), nullptr, /*BatchEvents=*/1,
+                &Metrics);
+    EXPECT_EQ(Metrics.Events, Spec.RefEvents);
+    EXPECT_EQ(Metrics.Batches, Spec.RefEvents); // per-event reference path
+  }
 }

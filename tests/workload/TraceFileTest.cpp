@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 using namespace specctrl;
 using namespace specctrl::workload;
@@ -105,4 +107,133 @@ TEST(TraceFileTest, DetectsTruncation) {
 TEST(TraceFileTest, FormatLimitsDocumented) {
   EXPECT_EQ(TraceFileLimits::MaxSite, (1u << 24) - 1);
   EXPECT_EQ(TraceFileLimits::MaxGap, 127u);
+}
+
+TEST(TraceFileTest, V2RoundTripsBitExactly) {
+  const WorkloadSpec Spec = tinySpec();
+  std::stringstream File;
+  {
+    TraceGenerator Gen(Spec, Spec.refInput());
+    ASSERT_EQ(writeTraceV2(File, Gen, /*BlockEvents=*/512), Spec.RefEvents);
+  }
+
+  TraceGenerator Reference(Spec, Spec.refInput());
+  TraceFileReader Reader(File);
+  ASSERT_TRUE(Reader.valid());
+  EXPECT_EQ(Reader.version(), 2u);
+  EXPECT_EQ(Reader.numSites(), Spec.numSites());
+  EXPECT_EQ(Reader.totalEvents(), Spec.RefEvents);
+  EXPECT_EQ(Reader.minGap(), Spec.MinGap);
+  EXPECT_EQ(Reader.maxGap(), Spec.MaxGap);
+
+  // Odd-sized chunk buffer so reads straddle block boundaries.
+  std::vector<BranchEvent> Chunk(313);
+  BranchEvent FromGen;
+  uint64_t Count = 0;
+  while (const size_t N = Reader.nextBatch(Chunk)) {
+    for (size_t I = 0; I < N; ++I) {
+      ASSERT_TRUE(Reference.next(FromGen));
+      ASSERT_EQ(Chunk[I], FromGen) << "event " << Count;
+      ++Count;
+    }
+  }
+  EXPECT_EQ(Count, Spec.RefEvents);
+  EXPECT_FALSE(Reader.truncated());
+  EXPECT_FALSE(Reader.failed());
+  EXPECT_FALSE(Reference.next(FromGen));
+}
+
+TEST(TraceFileTest, MigratesV1ToV2PreservingTheStream) {
+  const WorkloadSpec Spec = tinySpec();
+  std::stringstream V1;
+  {
+    TraceGenerator Gen(Spec, Spec.refInput());
+    ASSERT_EQ(writeTrace(V1, Gen), Spec.RefEvents);
+  }
+  std::stringstream V2;
+  ASSERT_EQ(migrateTrace(V1, V2), Spec.RefEvents);
+
+  TraceGenerator Reference(Spec, Spec.refInput());
+  TraceFileReader Reader(V2);
+  ASSERT_TRUE(Reader.valid());
+  EXPECT_EQ(Reader.version(), 2u);
+  BranchEvent FromFile, FromGen;
+  while (Reader.next(FromFile)) {
+    ASSERT_TRUE(Reference.next(FromGen));
+    ASSERT_EQ(FromFile, FromGen);
+  }
+  EXPECT_FALSE(Reader.truncated());
+  EXPECT_FALSE(Reader.failed());
+  EXPECT_FALSE(Reference.next(FromGen));
+}
+
+TEST(TraceFileTest, MigrationRefusesTruncatedInput) {
+  const WorkloadSpec Spec = tinySpec();
+  std::stringstream File;
+  {
+    TraceGenerator Gen(Spec, Spec.refInput());
+    writeTrace(File, Gen);
+  }
+  std::string Bytes = File.str();
+  Bytes.resize(Bytes.size() - 6);
+  std::stringstream Chopped(Bytes), Out;
+  EXPECT_EQ(migrateTrace(Chopped, Out), 0u);
+}
+
+TEST(TraceFileTest, V2RejectsCorruptedBlockChecksum) {
+  const WorkloadSpec Spec = tinySpec();
+  std::stringstream File;
+  {
+    TraceGenerator Gen(Spec, Spec.refInput());
+    writeTraceV2(File, Gen, /*BlockEvents=*/512);
+  }
+  std::string Bytes = File.str();
+  // Flip one payload byte in the second block: 28-byte file header, then
+  // walk one whole block frame ({u32, u32, u64 hash, payload}).
+  size_t FirstBlock = 28;
+  const auto PayloadBytes = [&](size_t Header) {
+    return static_cast<size_t>(
+        static_cast<uint8_t>(Bytes[Header + 4]) |
+        (static_cast<uint8_t>(Bytes[Header + 5]) << 8) |
+        (static_cast<uint8_t>(Bytes[Header + 6]) << 16) |
+        (static_cast<uint8_t>(Bytes[Header + 7]) << 24));
+  };
+  const size_t SecondBlock = FirstBlock + 16 + PayloadBytes(FirstBlock);
+  ASSERT_LT(SecondBlock + 20, Bytes.size());
+  Bytes[SecondBlock + 16 + 3] ^= 0x40;
+
+  std::stringstream Damaged(Bytes);
+  TraceFileReader Reader(Damaged);
+  ASSERT_TRUE(Reader.valid());
+  BranchEvent E;
+  uint64_t Count = 0;
+  while (Reader.next(E))
+    ++Count;
+  // The first block replays; not one event of the damaged block does.
+  EXPECT_EQ(Count, 512u);
+  EXPECT_TRUE(Reader.failed());
+  EXPECT_NE(Reader.error().find("checksum"), std::string::npos)
+      << Reader.error();
+}
+
+TEST(TraceFileTest, V2DetectsTruncationWithoutPartialBlocks) {
+  const WorkloadSpec Spec = tinySpec();
+  std::stringstream File;
+  {
+    TraceGenerator Gen(Spec, Spec.refInput());
+    writeTraceV2(File, Gen, /*BlockEvents=*/512);
+  }
+  std::string Bytes = File.str();
+  Bytes.resize(Bytes.size() - 6); // cut into the final block
+  std::stringstream Chopped(Bytes);
+
+  TraceFileReader Reader(Chopped);
+  ASSERT_TRUE(Reader.valid());
+  BranchEvent E;
+  uint64_t Count = 0;
+  while (Reader.next(E))
+    ++Count;
+  EXPECT_LT(Count, Spec.RefEvents);
+  EXPECT_EQ(Count % 512, 0u) << "a partial block was delivered";
+  EXPECT_TRUE(Reader.truncated());
 }

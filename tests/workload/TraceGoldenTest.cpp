@@ -1,0 +1,134 @@
+//===- tests/workload/TraceGoldenTest.cpp ---------------------------------===//
+//
+// Golden-file regression for the on-disk trace formats: checked-in v1 and
+// v2 recordings of gzip/train at a tiny scale, plus their SHA-256 digests.
+// Any change to the generator's event stream, either encoder, or the
+// digest implementation shows up as a mismatch here.
+//
+// Regenerating after an intentional format/generator change (from the
+// repo root, then update tests/data/golden.sha256 with sha256sum):
+//
+//   build/tools/specctrl-trace --bench=gzip --input=train \
+//     --events-per-billion=100 --site-scale=0.1 \
+//     --record=tests/data/golden-gzip-train.v1.sct --trace-format=v1
+//   build/tools/specctrl-trace --bench=gzip --input=train \
+//     --events-per-billion=100 --site-scale=0.1 \
+//     --record=tests/data/golden-gzip-train.v2.sct --trace-format=v2
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/TraceFile.h"
+
+#include "support/Sha256.h"
+#include "workload/SpecSuite.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace specctrl;
+using namespace specctrl::workload;
+
+namespace {
+
+/// The scale the goldens were recorded at (see the header comment).
+constexpr SuiteScale GoldenScale{100.0, 0.1};
+
+std::string dataPath(const std::string &Name) {
+  return std::string(SPECCTRL_TEST_DATA_DIR) + "/" + Name;
+}
+
+std::string readFile(const std::string &Name) {
+  std::ifstream IS(dataPath(Name), std::ios::binary);
+  EXPECT_TRUE(IS) << "missing golden file " << dataPath(Name);
+  std::ostringstream OS;
+  OS << IS.rdbuf();
+  return OS.str();
+}
+
+/// Parses golden.sha256 ("<hex>  <file>" lines, sha256sum format).
+std::map<std::string, std::string> readDigests() {
+  std::ifstream IS(dataPath("golden.sha256"));
+  EXPECT_TRUE(IS) << "missing golden digest file";
+  std::map<std::string, std::string> Digests;
+  std::string Hex, Name;
+  while (IS >> Hex >> Name)
+    Digests[Name] = Hex;
+  return Digests;
+}
+
+std::vector<BranchEvent> drain(TraceFileReader &Reader) {
+  std::vector<BranchEvent> All;
+  std::vector<BranchEvent> Chunk(257);
+  while (const size_t N = Reader.nextBatch(Chunk))
+    All.insert(All.end(), Chunk.begin(), Chunk.begin() + N);
+  return All;
+}
+
+} // namespace
+
+TEST(TraceGoldenTest, Sha256DigestsMatch) {
+  const std::map<std::string, std::string> Digests = readDigests();
+  ASSERT_EQ(Digests.size(), 2u);
+  for (const auto &[Name, Hex] : Digests) {
+    const std::string Bytes = readFile(Name);
+    ASSERT_FALSE(Bytes.empty());
+    EXPECT_EQ(Sha256::hexDigest(Bytes), Hex)
+        << Name << " changed on disk (or the digest implementation did)";
+  }
+}
+
+TEST(TraceGoldenTest, BothFormatsReplayTheGeneratorStream) {
+  const WorkloadSpec Spec = makeBenchmark("gzip", GoldenScale);
+  std::vector<BranchEvent> Reference;
+  {
+    TraceGenerator Gen(Spec, Spec.trainInput());
+    BranchEvent E;
+    while (Gen.next(E))
+      Reference.push_back(E);
+  }
+  ASSERT_EQ(Reference.size(), Spec.TrainEvents);
+
+  for (const char *Name :
+       {"golden-gzip-train.v1.sct", "golden-gzip-train.v2.sct"}) {
+    std::istringstream IS(readFile(Name));
+    TraceFileReader Reader(IS);
+    ASSERT_TRUE(Reader.valid()) << Name;
+    EXPECT_EQ(Reader.numSites(), Spec.numSites());
+    EXPECT_EQ(Reader.totalEvents(), Reference.size());
+    EXPECT_EQ(drain(Reader), Reference)
+        << Name << ": the generator's stream changed -- regenerate the "
+                   "goldens (see this file's header)";
+    EXPECT_FALSE(Reader.truncated());
+    EXPECT_FALSE(Reader.failed());
+  }
+}
+
+TEST(TraceGoldenTest, MigrationReproducesGoldenV2Bytes) {
+  std::istringstream V1(readFile("golden-gzip-train.v1.sct"));
+  const std::string V2 = readFile("golden-gzip-train.v2.sct");
+  std::ostringstream Migrated;
+  ASSERT_GT(migrateTrace(V1, Migrated), 0u);
+  EXPECT_EQ(Migrated.str(), V2);
+}
+
+TEST(TraceGoldenTest, CorruptedBlockChecksumRejectedWithClearError) {
+  std::string V2 = readFile("golden-gzip-train.v2.sct");
+  // Flip a payload byte of the first block: file header (28 bytes) +
+  // block header (16 bytes) + a few bytes in.
+  ASSERT_GT(V2.size(), 50u);
+  V2[28 + 16 + 2] ^= 0x04;
+
+  std::istringstream IS(V2);
+  TraceFileReader Reader(IS);
+  ASSERT_TRUE(Reader.valid());
+  BranchEvent E;
+  EXPECT_FALSE(Reader.next(E)) << "event delivered from a corrupt block";
+  EXPECT_TRUE(Reader.failed());
+  EXPECT_NE(Reader.error().find("checksum"), std::string::npos)
+      << "unhelpful error: " << Reader.error();
+}

@@ -7,6 +7,10 @@
 //     --dump-profile[=FILE]   run and save the whole-run branch profile
 //     --synthesize            print the benchmark-like SimIR program
 //     --head=N                print the first N branch events
+//     --record=FILE           record the run as a binary trace
+//     --trace-format=v1|v2    on-disk format for --record (default v2)
+//     --replay=FILE           summarize a recorded trace (either format)
+//     --migrate=FILE          rewrite FILE as v2 into --record=DST
 //
 //===----------------------------------------------------------------------===//
 
@@ -34,7 +38,9 @@ int main(int Argc, char **Argv) {
   Opts.addFlag("list-sites", "dump the static site table");
   Opts.addString("dump-profile", "", "run fully and save the profile here");
   Opts.addString("record", "", "record the run as a binary trace file");
+  Opts.addString("trace-format", "v2", "trace format for --record: v1 or v2");
   Opts.addString("replay", "", "summarize a recorded binary trace file");
+  Opts.addString("migrate", "", "rewrite this trace as v2 into --record=DST");
   Opts.addFlag("synthesize", "print the benchmark-like SimIR program");
   Opts.addInt("head", 0, "print the first N branch events");
   bench::addScaleOptions(Opts); // shared with the bench harnesses
@@ -83,30 +89,71 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     profile::BranchProfile P(Reader.numSites());
-    BranchEvent E;
-    while (Reader.next(E))
-      P.addOutcome(E.Site, E.Taken);
+    std::vector<BranchEvent> Chunk(DefaultBatchEvents);
+    while (const size_t N = Reader.nextBatch(Chunk))
+      for (size_t I = 0; I < N; ++I)
+        P.addOutcome(Chunk[I].Site, Chunk[I].Taken);
+    if (Reader.failed()) {
+      std::cerr << "error: " << Reader.error() << '\n';
+      return 1;
+    }
     std::cout << "replayed " << formatMagnitude(static_cast<double>(
                      P.totalExecutions()))
-              << " events over " << P.touchedSites() << " sites"
+              << " events (v" << Reader.version() << ") over "
+              << P.touchedSites() << " sites"
               << (Reader.truncated() ? " (TRUNCATED FILE)" : "") << '\n';
     return Reader.truncated() ? 1 : 0;
   }
 
+  if (!Opts.getString("migrate").empty()) {
+    const std::string &Dst = Opts.getString("record");
+    if (Dst.empty()) {
+      std::cerr << "error: --migrate requires --record=DST\n";
+      return 1;
+    }
+    std::ifstream In(Opts.getString("migrate"), std::ios::binary);
+    if (!In) {
+      std::cerr << "error: cannot read '" << Opts.getString("migrate")
+                << "'\n";
+      return 1;
+    }
+    std::ofstream Out(Dst, std::ios::binary);
+    if (!Out) {
+      std::cerr << "error: cannot write trace file\n";
+      return 1;
+    }
+    const uint64_t N = migrateTrace(In, Out);
+    if (N == 0) {
+      std::cerr << "error: migration failed (invalid, truncated, or "
+                   "corrupt input)\n";
+      return 1;
+    }
+    std::cout << "migrated " << formatMagnitude(static_cast<double>(N))
+              << " events to " << Dst << " (v2)\n";
+    return 0;
+  }
+
   if (!Opts.getString("record").empty()) {
+    const std::string &Format = Opts.getString("trace-format");
+    if (Format != "v1" && Format != "v2") {
+      std::cerr << "error: unknown --trace-format '" << Format << "'\n";
+      return 1;
+    }
     std::ofstream OutFile(Opts.getString("record"), std::ios::binary);
     if (!OutFile) {
       std::cerr << "error: cannot write trace file\n";
       return 1;
     }
     TraceGenerator Gen(Spec, Input);
-    const uint64_t N = writeTrace(OutFile, Gen);
+    const uint64_t N = Format == "v1" ? writeTrace(OutFile, Gen)
+                                      : writeTraceV2(OutFile, Gen);
     if (N == 0) {
       std::cerr << "error: trace write failed\n";
       return 1;
     }
     std::cout << "recorded " << formatMagnitude(static_cast<double>(N))
-              << " events to " << Opts.getString("record") << '\n';
+              << " events (" << Format << ") to "
+              << Opts.getString("record") << '\n';
     return 0;
   }
 
