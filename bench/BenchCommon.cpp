@@ -94,6 +94,28 @@ engine::RunReport bench::runSuite(const engine::ExperimentPlan &Plan,
   return engine::runPlan(Plan, Run);
 }
 
+engine::ExperimentPlan bench::msspSuitePlan(const SuiteOptions &Opt) {
+  engine::ExperimentPlan Plan;
+  Plan.setBaseSeed(Opt.Seed);
+  for (const workload::BenchmarkProfile &P : selectedProfiles(Opt))
+    Plan.addBenchmark(workload::makeBenchmark(P, Opt.Scale));
+  return Plan;
+}
+
+const workload::BenchmarkProfile &
+bench::msspCellProfile(const engine::CellContext &Ctx) {
+  return workload::profileByName(Ctx.Spec.Name);
+}
+
+workload::SynthSpec bench::msspSynthSpec(const engine::CellContext &Ctx,
+                                         uint64_t Iterations) {
+  workload::SynthSpec Spec =
+      workload::makeSynthSpecFor(msspCellProfile(Ctx), Iterations);
+  if (Ctx.BaseSeed != 0)
+    Spec.Seed ^= Ctx.Seed;
+  return Spec;
+}
+
 bool bench::checkReport(const engine::RunReport &Report) {
   bool Ok = true;
   for (const engine::CellResult &Cell : Report.Cells)

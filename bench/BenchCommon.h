@@ -25,6 +25,7 @@
 #include "engine/ExperimentRunner.h"
 #include "profile/BranchProfile.h"
 #include "support/Options.h"
+#include "workload/ProgramSynthesizer.h"
 #include "workload/SpecSuite.h"
 #include "workload/TraceGenerator.h"
 
@@ -82,6 +83,24 @@ engine::ExperimentPlan suitePlan(const SuiteOptions &Opt);
 /// Executes \p Plan with --jobs workers.
 engine::RunReport runSuite(const engine::ExperimentPlan &Plan,
                            const SuiteOptions &Opt);
+
+/// Starts an MSSP experiment plan: one benchmark axis per selected
+/// calibration profile (reference input), base seed from --seed.  The
+/// bench adds task columns with addTaskConfig whose runners recover their
+/// profile via msspCellProfile / synthesize via msspSynthSpec, and
+/// executes the grid with runSuite.
+engine::ExperimentPlan msspSuitePlan(const SuiteOptions &Opt);
+
+/// The calibration profile of an MSSP plan cell (matched by benchmark
+/// name).
+const workload::BenchmarkProfile &
+msspCellProfile(const engine::CellContext &Ctx);
+
+/// The cell's synthesis spec.  Deterministic per benchmark by default so
+/// the reference outputs stay bit-identical; a nonzero --seed perturbs
+/// the synthesis per cell (Spec.Seed ^= cell seed).
+workload::SynthSpec msspSynthSpec(const engine::CellContext &Ctx,
+                                  uint64_t Iterations);
 
 /// Prints any failed cells to stderr.  Returns true when every cell
 /// succeeded (bench mains typically `return checkReport(R) ? 0 : 1`

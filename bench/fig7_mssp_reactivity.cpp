@@ -10,6 +10,11 @@
 // closed with 10k.  Like the paper's 200M-instruction runs, these runs
 // are short; speedups are lower bounds.
 //
+// The grid (benchmark x {baseline, o, c, O, C}) is an ExperimentPlan of
+// task cells: every cell synthesizes its own program and runs its own
+// simulation, so --jobs parallelizes them with output bit-identical to a
+// serial run.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -17,22 +22,22 @@
 #include "mssp/MsspSimulator.h"
 #include "support/Table.h"
 
+#include <any>
 #include <iostream>
 
 using namespace specctrl;
 using namespace specctrl::bench;
+using namespace specctrl::engine;
 using namespace specctrl::mssp;
 using namespace specctrl::workload;
 
 namespace {
 
-bool GValueSpec = false;
-
-MsspResult runOne(const workload::BenchmarkProfile &Profile,
-                  uint64_t Iterations, bool Eviction,
-                  uint64_t MonitorPeriod) {
-  const SynthSpec Spec = makeSynthSpecFor(Profile, Iterations);
-  SynthProgram Program = synthesize(Spec);
+/// One MSSP cell: synthesize the benchmark's program and simulate under
+/// the given control loop.
+MsspResult runOne(const CellContext &Ctx, uint64_t Iterations, bool Eviction,
+                  uint64_t MonitorPeriod, bool ValueSpec) {
+  SynthProgram Program = synthesize(msspSynthSpec(Ctx, Iterations));
   MsspConfig Cfg;
   Cfg.Control.MonitorPeriod = MonitorPeriod;
   Cfg.Control.EnableEviction = Eviction;
@@ -41,7 +46,7 @@ MsspResult runOne(const workload::BenchmarkProfile &Profile,
   Cfg.Control.EvictSaturation = 2000;
   Cfg.Control.WaitPeriod = 100000;
   Cfg.OptLatencyCycles = 0; // Fig. 7 uses zero optimization latency
-  if (GValueSpec) {
+  if (ValueSpec) {
     Cfg.EnableValueSpeculation = true;
     Cfg.ValueControl = Cfg.Control;
   }
@@ -65,47 +70,68 @@ int main(int Argc, char **Argv) {
   const SuiteOptions Opt = readSuiteOptions(Opts);
   const uint64_t Iterations =
       static_cast<uint64_t>(Opts.getInt("iterations"));
-  GValueSpec = Opts.getFlag("value-spec");
+  const bool ValueSpec = Opts.getFlag("value-spec");
 
   printBanner("Figure 7",
               "MSSP speedup over the superscalar baseline: open (o/O) vs "
               "closed (c/C) loop at 1k/10k monitor periods");
+
+  ExperimentPlan Plan = msspSuitePlan(Opt);
+  Plan.addTaskConfig("baseline", [Iterations](const CellContext &Ctx) {
+    SynthProgram Program = synthesize(msspSynthSpec(Ctx, Iterations));
+    return std::any(
+        simulateSuperscalarBaseline(Program, MachineConfig()));
+  });
+  const struct {
+    const char *Name;
+    bool Eviction;
+    uint64_t Monitor;
+  } Series[4] = {{"open-1k", false, 1000},
+                 {"closed-1k", true, 1000},
+                 {"open-10k", false, 10000},
+                 {"closed-10k", true, 10000}};
+  for (const auto &S : Series)
+    Plan.addTaskConfig(
+        S.Name, [Iterations, ValueSpec, &S](const CellContext &Ctx) {
+          return std::any(runOne(Ctx, Iterations, S.Eviction, S.Monitor,
+                                 ValueSpec));
+        });
+
+  const RunReport Report = runSuite(Plan, Opt);
+  if (!checkReport(Report))
+    return 1;
 
   Table Out({"bench", "o (open,1k)", "c (closed,1k)", "O (open,10k)",
              "C (closed,10k)", "squashes o/c", "distill ratio"});
 
   double Sums[4] = {0, 0, 0, 0};
   unsigned N = 0;
-  for (const workload::BenchmarkProfile &P : selectedProfiles(Opt)) {
-    const SynthSpec Spec = makeSynthSpecFor(P, Iterations);
-    SynthProgram Program = synthesize(Spec);
+  for (uint32_t B = 0; B < Plan.benchmarks().size(); ++B) {
     const uint64_t Baseline =
-        simulateSuperscalarBaseline(Program, MachineConfig());
+        std::any_cast<uint64_t>(Report.cell(B, 0, 0).Value);
+    const MsspResult Runs[4] = {
+        std::any_cast<MsspResult>(Report.cell(B, 0, 1).Value),
+        std::any_cast<MsspResult>(Report.cell(B, 0, 2).Value),
+        std::any_cast<MsspResult>(Report.cell(B, 0, 3).Value),
+        std::any_cast<MsspResult>(Report.cell(B, 0, 4).Value)};
 
-    const MsspResult Open1k = runOne(P, Iterations, false, 1000);
-    const MsspResult Closed1k = runOne(P, Iterations, true, 1000);
-    const MsspResult Open10k = runOne(P, Iterations, false, 10000);
-    const MsspResult Closed10k = runOne(P, Iterations, true, 10000);
-
-    const double Speedups[4] = {
-        static_cast<double>(Baseline) / Open1k.TotalCycles,
-        static_cast<double>(Baseline) / Closed1k.TotalCycles,
-        static_cast<double>(Baseline) / Open10k.TotalCycles,
-        static_cast<double>(Baseline) / Closed10k.TotalCycles,
-    };
-    for (int I = 0; I < 4; ++I)
+    double Speedups[4];
+    for (int I = 0; I < 4; ++I) {
+      Speedups[I] =
+          static_cast<double>(Baseline) / Runs[I].TotalCycles;
       Sums[I] += Speedups[I];
+    }
     ++N;
 
     Out.row()
-        .cell(P.Name)
+        .cell(Plan.benchmarks()[B].Spec.Name)
         .cell(Speedups[0], 3)
         .cell(Speedups[1], 3)
         .cell(Speedups[2], 3)
         .cell(Speedups[3], 3)
-        .cell(std::to_string(Open1k.TaskSquashes) + "/" +
-              std::to_string(Closed1k.TaskSquashes))
-        .cell(Closed1k.distillationRatio(), 3);
+        .cell(std::to_string(Runs[0].TaskSquashes) + "/" +
+              std::to_string(Runs[1].TaskSquashes))
+        .cell(Runs[1].distillationRatio(), 3);
   }
   if (N > 1)
     Out.row()

@@ -6,6 +6,10 @@
 // benefit slightly and misbehaving sites keep being caught by the
 // trailing execution regardless.
 //
+// The grid (benchmark x {baseline, three latencies}) is an ExperimentPlan
+// of task cells; --jobs parallelizes them with output bit-identical to a
+// serial run.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -14,10 +18,13 @@
 #include "support/Table.h"
 
 #include <algorithm>
+#include <any>
 #include <iostream>
+#include <string>
 
 using namespace specctrl;
 using namespace specctrl::bench;
+using namespace specctrl::engine;
 using namespace specctrl::mssp;
 using namespace specctrl::workload;
 
@@ -36,29 +43,45 @@ int main(int Argc, char **Argv) {
               "MSSP speedup over the superscalar baseline at optimization "
               "latencies of 0 / 1e5 / 1e6 cycles (closed loop)");
 
+  ExperimentPlan Plan = msspSuitePlan(Opt);
+  Plan.addTaskConfig("baseline", [Iterations](const CellContext &Ctx) {
+    SynthProgram Program = synthesize(msspSynthSpec(Ctx, Iterations));
+    return std::any(
+        simulateSuperscalarBaseline(Program, MachineConfig()));
+  });
+  const uint64_t Latencies[3] = {0, 100000, 1000000};
+  for (const uint64_t Latency : Latencies)
+    Plan.addTaskConfig("latency-" + std::to_string(Latency),
+                       [Iterations, Latency](const CellContext &Ctx) {
+                         SynthProgram Prog =
+                             synthesize(msspSynthSpec(Ctx, Iterations));
+                         MsspConfig Cfg;
+                         Cfg.Control.MonitorPeriod = 1000;
+                         Cfg.Control.EvictSaturation = 2000;
+                         Cfg.Control.WaitPeriod = 100000;
+                         Cfg.OptLatencyCycles = Latency;
+                         MsspSimulator Sim(Prog, Cfg);
+                         return std::any(Sim.run());
+                       });
+
+  const RunReport Report = runSuite(Plan, Opt);
+  if (!checkReport(Report))
+    return 1;
+
   Table Out({"bench", "latency 0", "latency 1e5", "latency 1e6",
              "max delta"});
 
   double Sums[3] = {0, 0, 0};
   unsigned N = 0;
-  for (const workload::BenchmarkProfile &P : selectedProfiles(Opt)) {
-    const SynthSpec Spec = makeSynthSpecFor(P, Iterations);
-    SynthProgram Program = synthesize(Spec);
+  for (uint32_t B = 0; B < Plan.benchmarks().size(); ++B) {
     const uint64_t Baseline =
-        simulateSuperscalarBaseline(Program, MachineConfig());
+        std::any_cast<uint64_t>(Report.cell(B, 0, 0).Value);
 
     double Speedups[3];
-    const uint64_t Latencies[3] = {0, 100000, 1000000};
     for (int I = 0; I < 3; ++I) {
-      SynthProgram Prog = synthesize(Spec);
-      MsspConfig Cfg;
-      Cfg.Control.MonitorPeriod = 1000;
-      Cfg.Control.EvictSaturation = 2000;
-      Cfg.Control.WaitPeriod = 100000;
-      Cfg.OptLatencyCycles = Latencies[I];
-      MsspSimulator Sim(Prog, Cfg);
-      Speedups[I] =
-          static_cast<double>(Baseline) / Sim.run().TotalCycles;
+      const MsspResult R =
+          std::any_cast<MsspResult>(Report.cell(B, 0, 1 + I).Value);
+      Speedups[I] = static_cast<double>(Baseline) / R.TotalCycles;
       Sums[I] += Speedups[I];
     }
     ++N;
@@ -68,7 +91,7 @@ int main(int Argc, char **Argv) {
             std::min({Speedups[0], Speedups[1], Speedups[2]}) -
         1.0;
     Out.row()
-        .cell(P.Name)
+        .cell(Plan.benchmarks()[B].Spec.Name)
         .cell(Speedups[0], 3)
         .cell(Speedups[1], 3)
         .cell(Speedups[2], 3)

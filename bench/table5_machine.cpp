@@ -19,9 +19,12 @@ using namespace specctrl::mssp;
 
 int main(int Argc, char **Argv) {
   OptionSet Opts("table5_machine: Table 5, simulation parameters");
-  Opts.addFlag("csv", "emit CSV instead of aligned text tables");
+  // Standard option set for harness uniformity; the table reads the
+  // MachineConfig defaults, so only --csv affects the output.
+  addStandardOptions(Opts);
   if (!Opts.parse(Argc, Argv))
     return Opts.wasError() ? 1 : 0;
+  const SuiteOptions Opt = readSuiteOptions(Opts);
 
   printBanner("Table 5", "simulated CMP parameters (defaults of "
                          "mssp::MachineConfig)");
@@ -61,6 +64,6 @@ int main(int Argc, char **Argv) {
             "-cycle latency (after L2)")
       .cell("same");
 
-  Out.print(std::cout, Opts.getFlag("csv"));
+  Out.print(std::cout, Opt.Csv);
   return 0;
 }

@@ -18,8 +18,11 @@
 
 #include "distill/Distiller.h"
 
+#include <cstdint>
 #include <deque>
 #include <map>
+#include <utility>
+#include <vector>
 
 namespace specctrl {
 namespace distill {
@@ -32,6 +35,32 @@ public:
     Entry &E = Entries[FuncId];
     E.Versions.push_back(std::move(Version));
     return &E.Versions.back();
+  }
+
+  /// Looks up a version previously installed via installKeyed whose
+  /// request key matches exactly.  \p KeyBytes is a canonical
+  /// serialization of the distillation request; \p KeyHash its hash.  The
+  /// hash narrows the scan, the byte comparison eliminates any collision
+  /// risk -- a hit is guaranteed to be the code for this exact request.
+  const ir::Function *findKeyed(uint32_t FuncId, uint64_t KeyHash,
+                                const std::vector<uint8_t> &KeyBytes) const {
+    const auto It = Entries.find(FuncId);
+    if (It == Entries.end())
+      return nullptr;
+    for (const KeyedVersion &K : It->second.Keyed)
+      if (K.Hash == KeyHash && K.Key == KeyBytes)
+        return K.Fn;
+    return nullptr;
+  }
+
+  /// Installs a new version for \p FuncId under a request key, so later
+  /// rebuilds with the same key can be served by findKeyed.
+  const ir::Function *installKeyed(uint32_t FuncId, uint64_t KeyHash,
+                                   std::vector<uint8_t> KeyBytes,
+                                   ir::Function Version) {
+    const ir::Function *Fn = install(FuncId, std::move(Version));
+    Entries[FuncId].Keyed.push_back({KeyHash, std::move(KeyBytes), Fn});
+    return Fn;
   }
 
   /// Latest installed version, or nullptr if none exists.
@@ -59,8 +88,14 @@ public:
   }
 
 private:
+  struct KeyedVersion {
+    uint64_t Hash = 0;
+    std::vector<uint8_t> Key; ///< canonical request bytes
+    const ir::Function *Fn = nullptr;
+  };
   struct Entry {
     std::deque<ir::Function> Versions; ///< deque: stable element addresses
+    std::vector<KeyedVersion> Keyed;   ///< request-key index into Versions
   };
   std::map<uint32_t, Entry> Entries;
 };

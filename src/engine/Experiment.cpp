@@ -41,7 +41,12 @@ ExperimentPlan::addBenchmark(workload::WorkloadSpec Spec,
 
 void ExperimentPlan::addConfig(std::string Name, ControllerFactory Make) {
   assert(Make && "config needs a controller factory");
-  Configs.push_back({std::move(Name), std::move(Make)});
+  Configs.push_back({std::move(Name), std::move(Make), nullptr});
+}
+
+void ExperimentPlan::addTaskConfig(std::string Name, CellRunner Run) {
+  assert(Run && "task config needs a cell runner");
+  Configs.push_back({std::move(Name), nullptr, std::move(Run)});
 }
 
 size_t ExperimentPlan::numCells() const {

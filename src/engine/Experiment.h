@@ -28,6 +28,7 @@
 #include "core/Driver.h"
 #include "workload/Workload.h"
 
+#include <any>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -55,6 +56,10 @@ struct CellContext {
   CellCoord Coord;
   /// Deterministic per-cell seed: mix(plan base seed, coordinates).
   uint64_t Seed = 0;
+  /// The plan's base seed, so cells can distinguish "default run" (0,
+  /// reproduce the reference output bit-exactly) from an explicitly
+  /// perturbed run.
+  uint64_t BaseSeed = 0;
 };
 
 /// Builds the cell's controller.  Must not touch state shared with other
@@ -68,16 +73,28 @@ using ControllerFactory =
 using ObserverFactory = std::function<std::unique_ptr<core::TraceObserver>(
     const CellContext &Ctx)>;
 
+/// Runs an arbitrary self-contained computation for one cell and returns
+/// its result (recovered by the caller with std::any_cast on
+/// CellResult::Value).  Used by experiments whose unit of work is not a
+/// branch-trace run -- e.g. the MSSP timing simulations, where a cell
+/// synthesizes and executes a whole SimIR program.  The same isolation
+/// rule applies: no state shared with other cells, randomness only from
+/// Ctx.Seed.
+using CellRunner = std::function<std::any(const CellContext &Ctx)>;
+
 /// One benchmark axis entry: a workload and the inputs to run it under.
 struct BenchmarkAxis {
   workload::WorkloadSpec Spec;
   std::vector<workload::InputConfig> Inputs;
 };
 
-/// One controller-config axis entry.
+/// One config axis entry: either a controller column (Make set; the
+/// runner drives the benchmark's trace through the controller) or a task
+/// column (Run set; the runner just invokes it).  Exactly one is set.
 struct ConfigAxis {
   std::string Name;
   ControllerFactory Make;
+  CellRunner Run;
 };
 
 /// A declarative grid of independent runs.
@@ -92,6 +109,11 @@ public:
 
   /// Adds a controller configuration (one grid column).
   void addConfig(std::string Name, ControllerFactory Make);
+
+  /// Adds a task configuration: a grid column whose cells run \p Run
+  /// instead of the trace-driven controller path.  Its return value lands
+  /// in CellResult::Value.
+  void addTaskConfig(std::string Name, CellRunner Run);
 
   /// Installs the per-cell observer factory (applies to every cell; return
   /// nullptr from the factory to skip individual cells).

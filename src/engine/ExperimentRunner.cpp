@@ -36,8 +36,14 @@ void runCell(const ExperimentPlan &Plan, CellResult &Cell,
     const workload::InputConfig &Input = Bench.Inputs[Cell.Coord.Input];
     const ConfigAxis &Config = Plan.configs()[Cell.Coord.Config];
 
-    const CellContext Ctx{Bench.Spec, Input, Config.Name, Cell.Coord,
-                          Cell.Seed};
+    const CellContext Ctx{Bench.Spec,  Input,     Config.Name,
+                          Cell.Coord,  Cell.Seed, Plan.baseSeed()};
+    if (Config.Run) {
+      // Task cell: the column's runner is the whole cell.
+      Cell.Value = Config.Run(Ctx);
+      Cell.WallSeconds = secondsSince(Start, Clock::now());
+      return;
+    }
     std::unique_ptr<core::SpeculationController> Controller =
         Config.Make(Ctx);
     if (!Controller)

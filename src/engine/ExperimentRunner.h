@@ -27,6 +27,7 @@
 
 #include "engine/Experiment.h"
 
+#include <any>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,6 +59,9 @@ struct CellResult {
   /// The cell's observer, if the plan's factory produced one; callers
   /// downcast to recover collected per-cell data (e.g. profiles).
   std::unique_ptr<core::TraceObserver> Observer;
+  /// A task cell's return value (addTaskConfig columns); empty for
+  /// controller cells.  Recover with std::any_cast<T>.
+  std::any Value;
 
   bool Failed = false; ///< an exception escaped the cell
   std::string Error;   ///< its message (Failed only)

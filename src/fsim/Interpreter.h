@@ -23,6 +23,7 @@
 
 #include "ir/Function.h"
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -96,6 +97,16 @@ public:
   /// \p Obs (may be null).  Resumable: call again to continue.
   StopReason run(uint64_t MaxInstructions, ExecObserver *Obs = nullptr);
 
+  /// Statically dispatched variant of run(): \p Obs is any type providing
+  /// the ExecObserver hook signatures (onLoad/onStore/onBranch/onCall/
+  /// onReturn/onInstruction) as plain members.  With a concrete final
+  /// observer the compiler inlines the hooks into the dispatch loop,
+  /// eliminating the per-instruction virtual calls of the generic path.
+  /// Event order and semantics are identical to run().
+  template <class ObsT> StopReason runWith(uint64_t MaxInstructions, ObsT &Obs) {
+    return runLoop<ObsT>(MaxInstructions, &Obs);
+  }
+
   /// Requests that run() return after the current instruction retires.
   /// Callable from observer callbacks (e.g. to pause at task boundaries).
   void requestStop() { StopFlag = true; }
@@ -118,10 +129,28 @@ public:
   uint64_t loadWord(uint64_t Addr) const {
     return Addr < Memory.size() ? Memory[Addr] : 0;
   }
-  /// Writes a memory word, growing the image if needed.
-  void storeWord(uint64_t Addr, uint64_t Value);
+  /// Writes a memory word, growing the image if needed.  Inline: runs on
+  /// every simulated store.
+  void storeWord(uint64_t Addr, uint64_t Value) {
+    if (Addr >= Memory.size()) {
+      if (Addr >= MaxMemoryWords) {
+        Faulted = true;
+        return;
+      }
+      Memory.resize(Addr + 1, 0);
+    }
+    Memory[Addr] = Value;
+  }
 
 private:
+  /// The statically dispatched loop behind runWith(): the original run()
+  /// loop with the execution context (frame, block, register window)
+  /// hoisted out of the per-instruction path.  run() itself keeps the
+  /// original loop in the implementation file -- it is the reference
+  /// implementation the golden suites compare against.  Semantics of the
+  /// two loops are identical and pinned by tests.
+  template <class ObsT> StopReason runLoop(uint64_t MaxInstructions, ObsT *Obs);
+
   struct Frame {
     const ir::Function *Code = nullptr;
     uint32_t FuncId = 0;
@@ -145,6 +174,167 @@ private:
   bool Faulted = false;
   bool StopFlag = false;
 };
+
+template <class ObsT>
+StopReason Interpreter::runLoop(uint64_t MaxInstructions, ObsT *Obs) {
+  if (Halted)
+    return StopReason::Halted;
+  if (Faulted || Stack.empty())
+    return StopReason::Fault;
+
+  StopFlag = false;
+  uint64_t Fuel = MaxInstructions;
+
+  // Hot execution context, hoisted out of the per-instruction path and
+  // re-derived only at control-flow boundaries (and wherever the backing
+  // vectors may reallocate).
+  Frame *F = &Stack.back();
+  const ir::BasicBlock *BB = &F->Code->block(F->Block);
+  uint64_t *Regs = RegStack.data() + F->RegBase;
+
+  while (Fuel > 0) {
+    assert(F->Index < BB->size() && "instruction index past block end");
+    const ir::Instruction &I = BB->Insts[F->Index];
+    const InstLocation Loc{F->FuncId, F->Block, F->Index};
+
+    ++InstRet;
+    --Fuel;
+    ++F->Index;
+
+    switch (I.Op) {
+    case ir::Opcode::Nop:
+      break;
+    case ir::Opcode::MovImm:
+      Regs[I.Dest] = static_cast<uint64_t>(I.Imm);
+      break;
+    case ir::Opcode::Mov:
+      Regs[I.Dest] = Regs[I.SrcA];
+      break;
+    case ir::Opcode::Add:
+      Regs[I.Dest] = Regs[I.SrcA] + Regs[I.SrcB];
+      break;
+    case ir::Opcode::AddImm:
+      Regs[I.Dest] = Regs[I.SrcA] + static_cast<uint64_t>(I.Imm);
+      break;
+    case ir::Opcode::Sub:
+      Regs[I.Dest] = Regs[I.SrcA] - Regs[I.SrcB];
+      break;
+    case ir::Opcode::Mul:
+      Regs[I.Dest] = Regs[I.SrcA] * Regs[I.SrcB];
+      break;
+    case ir::Opcode::And:
+      Regs[I.Dest] = Regs[I.SrcA] & Regs[I.SrcB];
+      break;
+    case ir::Opcode::Or:
+      Regs[I.Dest] = Regs[I.SrcA] | Regs[I.SrcB];
+      break;
+    case ir::Opcode::Xor:
+      Regs[I.Dest] = Regs[I.SrcA] ^ Regs[I.SrcB];
+      break;
+    case ir::Opcode::Shl:
+      Regs[I.Dest] = Regs[I.SrcA] << (Regs[I.SrcB] & 63);
+      break;
+    case ir::Opcode::Shr:
+      Regs[I.Dest] = Regs[I.SrcA] >> (Regs[I.SrcB] & 63);
+      break;
+    case ir::Opcode::CmpLt:
+      Regs[I.Dest] = static_cast<int64_t>(Regs[I.SrcA]) <
+                             static_cast<int64_t>(Regs[I.SrcB])
+                         ? 1
+                         : 0;
+      break;
+    case ir::Opcode::CmpLtImm:
+      Regs[I.Dest] =
+          static_cast<int64_t>(Regs[I.SrcA]) < I.Imm ? 1 : 0;
+      break;
+    case ir::Opcode::CmpEq:
+      Regs[I.Dest] = Regs[I.SrcA] == Regs[I.SrcB] ? 1 : 0;
+      break;
+    case ir::Opcode::CmpEqImm:
+      Regs[I.Dest] = Regs[I.SrcA] == static_cast<uint64_t>(I.Imm) ? 1 : 0;
+      break;
+    case ir::Opcode::Load: {
+      const uint64_t Addr = Regs[I.SrcA] + static_cast<uint64_t>(I.Imm);
+      const uint64_t Value = loadWord(Addr);
+      Regs[I.Dest] = Value;
+      if (Obs)
+        Obs->onLoad(Loc, Addr, Value);
+      break;
+    }
+    case ir::Opcode::Store: {
+      const uint64_t Addr = Regs[I.SrcA] + static_cast<uint64_t>(I.Imm);
+      const uint64_t Old = loadWord(Addr);
+      storeWord(Addr, Regs[I.SrcB]);
+      if (Faulted)
+        return StopReason::Fault;
+      if (Obs)
+        Obs->onStore(Addr, Regs[I.SrcB], Old);
+      break;
+    }
+    case ir::Opcode::Br: {
+      const bool Taken = Regs[I.SrcA] != 0;
+      F->Block = Taken ? I.ThenTarget : I.ElseTarget;
+      F->Index = 0;
+      BB = &F->Code->block(F->Block);
+      if (Obs)
+        Obs->onBranch(I.Site, Taken);
+      break;
+    }
+    case ir::Opcode::Jmp:
+      F->Block = I.ThenTarget;
+      F->Index = 0;
+      BB = &F->Code->block(F->Block);
+      break;
+    case ir::Opcode::Call: {
+      if (Stack.size() >= MaxCallDepth) {
+        Faulted = true;
+        return StopReason::Fault;
+      }
+      assert(I.Callee < CodeMap.size() && "call to unknown function");
+      const ir::Function *Callee = CodeMap[I.Callee];
+      const uint32_t RegBase = static_cast<uint32_t>(RegStack.size());
+      RegStack.resize(RegBase + Callee->numRegs(), 0);
+      Stack.push_back({Callee, I.Callee, 0, 0, RegBase});
+      // Both vectors may have reallocated.
+      F = &Stack.back();
+      BB = &Callee->block(0);
+      Regs = RegStack.data() + RegBase;
+      if (Obs)
+        Obs->onCall(I.Callee);
+      break;
+    }
+    case ir::Opcode::Ret: {
+      const uint32_t Callee = F->FuncId;
+      RegStack.resize(F->RegBase);
+      Stack.pop_back();
+      if (Obs)
+        Obs->onReturn(Callee);
+      if (Stack.empty()) {
+        // Returning from the entry function ends the program.
+        Halted = true;
+        if (Obs)
+          Obs->onInstruction(I, Loc);
+        return StopReason::Halted;
+      }
+      F = &Stack.back();
+      BB = &F->Code->block(F->Block);
+      Regs = RegStack.data() + F->RegBase;
+      break;
+    }
+    case ir::Opcode::Halt:
+      Halted = true;
+      if (Obs)
+        Obs->onInstruction(I, Loc);
+      return StopReason::Halted;
+    }
+
+    if (Obs)
+      Obs->onInstruction(I, Loc);
+    if (StopFlag)
+      return StopReason::Stopped;
+  }
+  return StopReason::FuelExhausted;
+}
 
 } // namespace fsim
 } // namespace specctrl

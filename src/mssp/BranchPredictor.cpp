@@ -17,55 +17,7 @@ GsharePredictor::GsharePredictor(uint32_t TableBits)
   assert(TableBits >= 4 && TableBits <= 24 && "table size out of range");
 }
 
-uint32_t GsharePredictor::index(uint64_t Pc) const {
-  // Cheap PC hash decorrelates adjacent sites before the history XOR.
-  const uint64_t Hashed = Pc * 0x9E3779B97F4A7C15ull;
-  return static_cast<uint32_t>((Hashed >> 16) ^ History) & Mask;
-}
-
-bool GsharePredictor::predict(uint64_t Pc) const {
-  return Counters[index(Pc)] >= 2;
-}
-
-bool GsharePredictor::predictAndUpdate(uint64_t Pc, bool Taken) {
-  const uint32_t Idx = index(Pc);
-  const bool Predicted = Counters[Idx] >= 2;
-  ++Lookups;
-  if (Taken) {
-    if (Counters[Idx] < 3)
-      ++Counters[Idx];
-  } else {
-    if (Counters[Idx] > 0)
-      --Counters[Idx];
-  }
-  History = ((History << 1) | (Taken ? 1 : 0)) & Mask;
-  const bool Correct = Predicted == Taken;
-  Mispredicts += !Correct;
-  return Correct;
-}
-
 ReturnAddressStack::ReturnAddressStack(uint32_t Entries)
     : Stack(Entries, 0) {
   assert(Entries > 0 && "RAS needs at least one entry");
-}
-
-void ReturnAddressStack::pushCall(uint64_t ReturnPc) {
-  Stack[Top] = ReturnPc;
-  Top = (Top + 1) % Stack.size();
-  if (Depth < Stack.size())
-    ++Depth;
-}
-
-bool ReturnAddressStack::popAndCheck(uint64_t ActualPc) {
-  ++Returns;
-  if (Depth == 0) {
-    ++Mispredicts;
-    return false;
-  }
-  Top = (Top + static_cast<uint32_t>(Stack.size()) - 1) %
-        static_cast<uint32_t>(Stack.size());
-  --Depth;
-  const bool Correct = Stack[Top] == ActualPc;
-  Mispredicts += !Correct;
-  return Correct;
 }

@@ -27,17 +27,37 @@ public:
   explicit GsharePredictor(uint32_t TableBits = 13);
 
   /// Predicts the direction of the branch identified by \p Pc.
-  bool predict(uint64_t Pc) const;
+  bool predict(uint64_t Pc) const { return Counters[index(Pc)] >= 2; }
 
   /// Updates the counter and global history with the real outcome.
-  /// Returns true if the prediction (before update) was correct.
-  bool predictAndUpdate(uint64_t Pc, bool Taken);
+  /// Returns true if the prediction (before update) was correct.  Inline:
+  /// runs once per simulated branch on the MSSP hot path.
+  bool predictAndUpdate(uint64_t Pc, bool Taken) {
+    const uint32_t Idx = index(Pc);
+    const bool Predicted = Counters[Idx] >= 2;
+    ++Lookups;
+    if (Taken) {
+      if (Counters[Idx] < 3)
+        ++Counters[Idx];
+    } else {
+      if (Counters[Idx] > 0)
+        --Counters[Idx];
+    }
+    History = ((History << 1) | (Taken ? 1 : 0)) & Mask;
+    const bool Correct = Predicted == Taken;
+    Mispredicts += !Correct;
+    return Correct;
+  }
 
   uint64_t lookups() const { return Lookups; }
   uint64_t mispredicts() const { return Mispredicts; }
 
 private:
-  uint32_t index(uint64_t Pc) const;
+  uint32_t index(uint64_t Pc) const {
+    // Cheap PC hash decorrelates adjacent sites before the history XOR.
+    const uint64_t Hashed = Pc * 0x9E3779B97F4A7C15ull;
+    return static_cast<uint32_t>((Hashed >> 16) ^ History) & Mask;
+  }
 
   uint32_t TableBits;
   uint32_t Mask;
@@ -52,10 +72,27 @@ class ReturnAddressStack {
 public:
   explicit ReturnAddressStack(uint32_t Entries = 32);
 
-  void pushCall(uint64_t ReturnPc);
+  void pushCall(uint64_t ReturnPc) {
+    Stack[Top] = ReturnPc;
+    Top = (Top + 1) % Stack.size();
+    if (Depth < Stack.size())
+      ++Depth;
+  }
   /// Pops a prediction and checks it against the real return target.
   /// Returns true when predicted correctly.
-  bool popAndCheck(uint64_t ActualPc);
+  bool popAndCheck(uint64_t ActualPc) {
+    ++Returns;
+    if (Depth == 0) {
+      ++Mispredicts;
+      return false;
+    }
+    Top = (Top + static_cast<uint32_t>(Stack.size()) - 1) %
+          static_cast<uint32_t>(Stack.size());
+    --Depth;
+    const bool Correct = Stack[Top] == ActualPc;
+    Mispredicts += !Correct;
+    return Correct;
+  }
 
   uint64_t returns() const { return Returns; }
   uint64_t mispredicts() const { return Mispredicts; }

@@ -42,26 +42,3 @@ void CacheModel::reset() {
   Accesses = 0;
   Misses = 0;
 }
-
-bool CacheModel::access(uint64_t WordAddr) {
-  ++Accesses;
-  ++Clock;
-  const uint64_t Block = WordAddr >> WordsPerBlockLog2;
-  const uint32_t Set = static_cast<uint32_t>(Block) & (Sets - 1);
-  const uint64_t Tag = Block >> SetsLog2;
-
-  Way *Row = &Ways[static_cast<size_t>(Set) * Config.Assoc];
-  Way *Victim = Row;
-  for (uint32_t W = 0; W < Config.Assoc; ++W) {
-    if (Row[W].Tag == Tag) {
-      Row[W].LastUse = Clock;
-      return true;
-    }
-    if (Row[W].LastUse < Victim->LastUse)
-      Victim = &Row[W];
-  }
-  ++Misses;
-  Victim->Tag = Tag;
-  Victim->LastUse = Clock;
-  return false;
-}

@@ -16,6 +16,7 @@
 
 #include "mssp/MachineConfig.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -28,8 +29,34 @@ public:
   explicit CacheModel(const CacheConfig &Config);
 
   /// Accesses the block containing word address \p WordAddr (8-byte
-  /// words).  Returns true on hit; on miss the block is filled.
-  bool access(uint64_t WordAddr);
+  /// words).  Returns true on hit; on miss the block is filled.  Inline:
+  /// this runs once per simulated load/store, the hottest call in the
+  /// MSSP timing model.
+  bool access(uint64_t WordAddr) {
+    ++Accesses;
+    ++Clock;
+    const uint64_t Block = WordAddr >> WordsPerBlockLog2;
+    const uint32_t Set = static_cast<uint32_t>(Block) & (Sets - 1);
+    const uint64_t Tag = Block >> SetsLog2;
+
+    Way *Row = &Ways[static_cast<size_t>(Set) * Config.Assoc];
+    // Hit path first: hits dominate, so don't track the LRU victim unless
+    // the tag scan comes up empty.
+    for (uint32_t W = 0; W < Config.Assoc; ++W) {
+      if (Row[W].Tag == Tag) {
+        Row[W].LastUse = Clock;
+        return true;
+      }
+    }
+    Way *Victim = Row;
+    for (uint32_t W = 1; W < Config.Assoc; ++W)
+      if (Row[W].LastUse < Victim->LastUse)
+        Victim = &Row[W];
+    ++Misses;
+    Victim->Tag = Tag;
+    Victim->LastUse = Clock;
+    return false;
+  }
 
   void reset();
 

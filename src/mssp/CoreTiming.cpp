@@ -19,40 +19,26 @@ void CoreTiming::onInstruction(const ir::Instruction &I,
                                const fsim::InstLocation &L) {
   (void)I;
   (void)L;
-  ++Insts;
+  recordInstruction();
 }
 
 void CoreTiming::onBranch(ir::SiteId Site, bool Taken) {
-  if (!Gshare.predictAndUpdate(Site, Taken))
-    Stalls += Config.PipelineDepth;
-}
-
-void CoreTiming::accessMemory(uint64_t WordAddr) {
-  if (L1.access(WordAddr))
-    return;
-  Stalls += L2Latency;
-  if (L2 && !L2->access(WordAddr))
-    Stalls += MemoryLatency;
+  recordBranch(Site, Taken);
 }
 
 void CoreTiming::onLoad(const fsim::InstLocation &L, uint64_t Addr,
                         uint64_t Value) {
   (void)L;
   (void)Value;
-  accessMemory(Addr);
+  recordMemoryAccess(Addr);
 }
 
 void CoreTiming::onStore(uint64_t Addr, uint64_t Value, uint64_t Old) {
   (void)Value;
   (void)Old;
-  accessMemory(Addr);
+  recordMemoryAccess(Addr);
 }
 
-void CoreTiming::onCall(uint32_t Callee) { Ras.pushCall(Callee); }
+void CoreTiming::onCall(uint32_t Callee) { recordCall(Callee); }
 
-void CoreTiming::onReturn(uint32_t Callee) {
-  // SimIR returns have a single static target per activation; the RAS
-  // mispredicts only on overflow-induced stack corruption.
-  if (!Ras.popAndCheck(Callee))
-    Stalls += Config.PipelineDepth;
-}
+void CoreTiming::onReturn(uint32_t Callee) { recordReturn(Callee); }

@@ -44,6 +44,30 @@ public:
   void onCall(uint32_t Callee) override;
   void onReturn(uint32_t Callee) override;
 
+  // Non-virtual hot-path equivalents of the hooks above.  The statically
+  // dispatched MSSP fast path calls these directly; the virtual overrides
+  // delegate to them, so both paths share one definition of the timing
+  // rules.
+  void recordInstruction() { ++Insts; }
+  void recordBranch(ir::SiteId Site, bool Taken) {
+    if (!Gshare.predictAndUpdate(Site, Taken))
+      Stalls += Config.PipelineDepth;
+  }
+  void recordMemoryAccess(uint64_t WordAddr) {
+    if (L1.access(WordAddr))
+      return;
+    Stalls += L2Latency;
+    if (L2 && !L2->access(WordAddr))
+      Stalls += MemoryLatency;
+  }
+  void recordCall(uint32_t Callee) { Ras.pushCall(Callee); }
+  void recordReturn(uint32_t Callee) {
+    // SimIR returns have a single static target per activation; the RAS
+    // mispredicts only on overflow-induced stack corruption.
+    if (!Ras.popAndCheck(Callee))
+      Stalls += Config.PipelineDepth;
+  }
+
   /// Total cycles accumulated so far.
   uint64_t cycles() const {
     return Insts / Config.Width + (Insts % Config.Width != 0) + Stalls;
@@ -56,8 +80,6 @@ public:
   void addStallCycles(uint64_t Cycles) { Stalls += Cycles; }
 
 private:
-  void accessMemory(uint64_t WordAddr);
-
   CoreConfig Config;
   GsharePredictor Gshare;
   ReturnAddressStack Ras;

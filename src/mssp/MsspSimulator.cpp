@@ -7,6 +7,7 @@
 #include "mssp/MsspSimulator.h"
 
 #include "distill/Distiller.h"
+#include "support/Hash.h"
 
 #include <algorithm>
 #include <cassert>
@@ -101,6 +102,159 @@ private:
   uint64_t InstRet = 0;
 };
 
+/// Statically dispatched master-side observer for the fast path: core
+/// timing, task boundaries, and dirty-set tracking, every hook a plain
+/// member the interpreter's templated loop inlines (no virtual calls).
+class FastTaskObserver {
+public:
+  FastTaskObserver(fsim::Interpreter &Interp, CoreTiming &Timing,
+                   uint64_t IterationAddr, unsigned TaskIterations,
+                   std::vector<uint8_t> &AddrClass,
+                   std::vector<uint64_t> &DirtyAddrs)
+      : Interp(Interp), Timing(Timing), IterationAddr(IterationAddr),
+        TaskIterations(TaskIterations), AddrClass(AddrClass),
+        DirtyAddrs(DirtyAddrs) {}
+
+  void onInstruction(const ir::Instruction &, const fsim::InstLocation &) {
+    Timing.recordInstruction();
+  }
+  void onBranch(ir::SiteId Site, bool Taken) {
+    Timing.recordBranch(Site, Taken);
+  }
+  void onLoad(const fsim::InstLocation &, uint64_t Addr, uint64_t) {
+    Timing.recordMemoryAccess(Addr);
+  }
+  void onStore(uint64_t Addr, uint64_t Value, uint64_t) {
+    Timing.recordMemoryAccess(Addr);
+    // First store to a writable word this task marks it dirty; stores
+    // outside the writable set are ignored, exactly as the full digest
+    // never hashed them.
+    if (Addr < AddrClass.size() && AddrClass[Addr] == 1) {
+      AddrClass[Addr] = 2;
+      DirtyAddrs.push_back(Addr);
+    }
+    if (Addr == IterationAddr && Value != 0 &&
+        Value % TaskIterations == 0)
+      Interp.requestStop();
+  }
+  void onCall(uint32_t Callee) { Timing.recordCall(Callee); }
+  void onReturn(uint32_t Callee) { Timing.recordReturn(Callee); }
+
+private:
+  fsim::Interpreter &Interp;
+  CoreTiming &Timing;
+  uint64_t IterationAddr;
+  unsigned TaskIterations;
+  std::vector<uint8_t> &AddrClass;
+  std::vector<uint64_t> &DirtyAddrs;
+};
+
+/// Fast-path checker observer: FastTaskObserver duties plus controller
+/// and value-invariance feeding, with the region-func bounds check and
+/// the std::function load hook of the legacy path compiled away.
+class FastCheckerObserver {
+public:
+  FastCheckerObserver(fsim::Interpreter &Interp, CoreTiming &Timing,
+                      uint64_t IterationAddr, unsigned TaskIterations,
+                      std::vector<uint8_t> &AddrClass,
+                      std::vector<uint64_t> &DirtyAddrs,
+                      core::ReactiveController &Controller,
+                      const std::vector<bool> &ControlSites,
+                      const std::vector<bool> &RegionFunc, bool ValueSpec,
+                      MsspSimulator &Sim)
+      : Interp(Interp), Timing(Timing), IterationAddr(IterationAddr),
+        TaskIterations(TaskIterations), AddrClass(AddrClass),
+        DirtyAddrs(DirtyAddrs), Controller(Controller),
+        ControlSites(ControlSites), RegionFunc(RegionFunc),
+        ValueSpec(ValueSpec), Sim(Sim) {}
+
+  void onInstruction(const ir::Instruction &, const fsim::InstLocation &) {
+    ++InstRet;
+    Timing.recordInstruction();
+  }
+  void onBranch(ir::SiteId Site, bool Taken) {
+    Timing.recordBranch(Site, Taken);
+    if (Site < ControlSites.size() && ControlSites[Site])
+      return;
+    Controller.onBranch(Site, Taken, InstRet);
+  }
+  void onLoad(const fsim::InstLocation &L, uint64_t Addr, uint64_t Value) {
+    Timing.recordMemoryAccess(Addr);
+    // The interpreter only dispatches module function ids, all of which
+    // RegionFunc covers, so L.Func needs no bounds check.
+    if (ValueSpec && RegionFunc[L.Func])
+      Sim.noteRegionLoad(L, Value, InstRet);
+  }
+  void onStore(uint64_t Addr, uint64_t Value, uint64_t) {
+    Timing.recordMemoryAccess(Addr);
+    if (Addr < AddrClass.size() && AddrClass[Addr] == 1) {
+      AddrClass[Addr] = 2;
+      DirtyAddrs.push_back(Addr);
+    }
+    if (Addr == IterationAddr && Value != 0 &&
+        Value % TaskIterations == 0)
+      Interp.requestStop();
+  }
+  void onCall(uint32_t Callee) { Timing.recordCall(Callee); }
+  void onReturn(uint32_t Callee) { Timing.recordReturn(Callee); }
+
+private:
+  fsim::Interpreter &Interp;
+  CoreTiming &Timing;
+  uint64_t IterationAddr;
+  unsigned TaskIterations;
+  std::vector<uint8_t> &AddrClass;
+  std::vector<uint64_t> &DirtyAddrs;
+  core::ReactiveController &Controller;
+  const std::vector<bool> &ControlSites;
+  const std::vector<bool> &RegionFunc;
+  bool ValueSpec;
+  MsspSimulator &Sim;
+  uint64_t InstRet = 0;
+};
+
+void appendU32(std::vector<uint8_t> &Out, uint32_t V) {
+  Out.push_back(static_cast<uint8_t>(V));
+  Out.push_back(static_cast<uint8_t>(V >> 8));
+  Out.push_back(static_cast<uint8_t>(V >> 16));
+  Out.push_back(static_cast<uint8_t>(V >> 24));
+}
+
+void appendU64(std::vector<uint8_t> &Out, uint64_t V) {
+  appendU32(Out, static_cast<uint32_t>(V));
+  appendU32(Out, static_cast<uint32_t>(V >> 32));
+}
+
+/// Canonical, injective serialization of a distillation request (both
+/// maps iterate sorted): count-prefixed fixed-width records, so equal
+/// bytes <=> equal requests.
+void serializeRequest(const distill::DistillRequest &Request,
+                      std::vector<uint8_t> &Out) {
+  Out.clear();
+  appendU32(Out, static_cast<uint32_t>(Request.BranchAssertions.size()));
+  for (const auto &[Site, Dir] : Request.BranchAssertions) {
+    appendU32(Out, Site);
+    Out.push_back(Dir ? 1 : 0);
+  }
+  appendU32(Out, static_cast<uint32_t>(Request.ValueConstants.size()));
+  for (const auto &[Loc, Value] : Request.ValueConstants) {
+    appendU32(Out, Loc.Block);
+    appendU32(Out, Loc.Index);
+    appendU64(Out, static_cast<uint64_t>(Value));
+  }
+}
+
+/// Packs a value-site coordinate into one FlatMap64 key.  Field widths
+/// (23/20/20 bits, top bit of the function field always clear) keep the
+/// key below the map's all-ones sentinel; synthesized programs are orders
+/// of magnitude smaller than these bounds.
+uint64_t packValueSiteKey(uint32_t Func, distill::LocKey Loc) {
+  assert(Func < (1u << 23) && Loc.Block < (1u << 20) &&
+         Loc.Index < (1u << 20) && "value-site coordinate out of pack range");
+  return (static_cast<uint64_t>(Func) << 40) |
+         (static_cast<uint64_t>(Loc.Block) << 20) | Loc.Index;
+}
+
 } // namespace
 
 MsspSimulator::MsspSimulator(const workload::SynthProgram &Program,
@@ -122,6 +276,18 @@ MsspSimulator::MsspSimulator(const workload::SynthProgram &Program,
   Controller.setRequestSink(this);
   if (Config.EnableValueSpeculation)
     ValueCtrl.setRequestSink(&ValueSink);
+
+  if (Config.FastPath.DenseTables) {
+    AssertState.assign(Program.Sites.size(), 0);
+    SitesByFunc.assign(Program.Mod.numFunctions(), {});
+    for (const workload::SynthSiteInfo &Info : Program.Sites)
+      SitesByFunc[Info.FunctionId].push_back(Info.Site);
+    for (std::vector<ir::SiteId> &Sites : SitesByFunc)
+      std::sort(Sites.begin(), Sites.end());
+    ValueConstsByFunc.assign(Program.Mod.numFunctions(), {});
+  }
+  if (Config.FastPath.IncrementalDigest)
+    initDirtyTracking();
 }
 
 MsspSimulator::~MsspSimulator() = default;
@@ -146,11 +312,24 @@ void MsspSimulator::onValueRequest(const core::OptRequest &Request) {
 }
 
 uint32_t MsspSimulator::valueSiteId(uint32_t Func, distill::LocKey Loc) {
+  if (Config.FastPath.DenseTables) {
+    const uint64_t Key = packValueSiteKey(Func, Loc);
+    const auto [Id, Inserted] = ValueSiteMap.tryEmplace(
+        Key, static_cast<uint32_t>(ValueSites.size()));
+    if (Inserted)
+      ValueSites.push_back({Func, Loc});
+    return Id;
+  }
   const auto [It, Inserted] = ValueSiteIds.try_emplace(
       {Func, Loc}, static_cast<uint32_t>(ValueSites.size()));
   if (Inserted)
     ValueSites.push_back({Func, Loc});
   return It->second;
+}
+
+void MsspSimulator::noteRegionLoad(const fsim::InstLocation &L,
+                                   uint64_t Value, uint64_t InstRet) {
+  ValueCtrl.onLoad(valueSiteId(L.Func, {L.Block, L.Index}), Value, InstRet);
 }
 
 uint64_t MsspSimulator::stateDigest(const fsim::Interpreter &Interp) const {
@@ -174,65 +353,189 @@ void MsspSimulator::restoreMasterFromChecker() {
   Master.adoptPositionFrom(Checker);
 }
 
-void MsspSimulator::rebuildRegion(uint32_t FunctionId) {
+void MsspSimulator::initDirtyTracking() {
+  uint64_t MaxAddr = 0;
+  for (uint64_t Addr : WritableAddrs)
+    MaxAddr = std::max(MaxAddr, Addr);
+  AddrClass.assign(WritableAddrs.empty() ? 0 : MaxAddr + 1, 0);
+  for (uint64_t Addr : WritableAddrs)
+    AddrClass[Addr] = 1;
+  DirtyAddrs.reserve(WritableAddrs.size());
+}
+
+bool MsspSimulator::dirtyStateMatches() const {
+  // Exact over the writable set: both executions start each task with
+  // identical writable memory (same initial image; equal after a match;
+  // copied equal after a squash), so words neither stored to are still
+  // equal and only the dirty set needs comparing.  Unlike the FNV digest
+  // there is no hash at all, hence no collision case.
+  if (Master.halted() != Checker.halted())
+    return false;
+  for (uint64_t Addr : DirtyAddrs)
+    if (Master.loadWord(Addr) != Checker.loadWord(Addr))
+      return false;
+  return true;
+}
+
+void MsspSimulator::restoreMasterDirty() {
+  // Clean writable words are equal by the task-start invariant, so
+  // copying the dirty set transplants the checker's full memory state.
+  for (uint64_t Addr : DirtyAddrs)
+    Master.storeWord(Addr, Checker.loadWord(Addr));
+  Master.adoptPositionFrom(Checker);
+}
+
+void MsspSimulator::clearDirtyAddrs() {
+  for (uint64_t Addr : DirtyAddrs)
+    AddrClass[Addr] = 1;
+  DirtyAddrs.clear();
+}
+
+void MsspSimulator::setAssertion(ir::SiteId Site, bool Direction) {
+  if (Config.FastPath.DenseTables) {
+    assert(Site < AssertState.size() && "assertion for unknown site");
+    AssertState[Site] = Direction ? 2 : 1;
+  } else {
+    Assertions[Site] = Direction;
+  }
+}
+
+void MsspSimulator::clearAssertion(ir::SiteId Site) {
+  if (Config.FastPath.DenseTables) {
+    assert(Site < AssertState.size() && "assertion for unknown site");
+    AssertState[Site] = 0;
+  } else {
+    Assertions.erase(Site);
+  }
+}
+
+void MsspSimulator::setValueConstant(uint32_t Func, distill::LocKey Loc,
+                                     int64_t Value) {
+  if (Config.FastPath.DenseTables) {
+    auto &Consts = ValueConstsByFunc[Func];
+    const auto It = std::lower_bound(
+        Consts.begin(), Consts.end(), Loc,
+        [](const auto &Entry, distill::LocKey K) { return Entry.first < K; });
+    if (It != Consts.end() && It->first == Loc)
+      It->second = Value;
+    else
+      Consts.insert(It, {Loc, Value});
+  } else {
+    ValueConstants[Func][Loc] = Value;
+  }
+}
+
+void MsspSimulator::clearValueConstant(uint32_t Func, distill::LocKey Loc) {
+  if (Config.FastPath.DenseTables) {
+    auto &Consts = ValueConstsByFunc[Func];
+    const auto It = std::lower_bound(
+        Consts.begin(), Consts.end(), Loc,
+        [](const auto &Entry, distill::LocKey K) { return Entry.first < K; });
+    if (It != Consts.end() && It->first == Loc)
+      Consts.erase(It);
+  } else {
+    ValueConstants[Func].erase(Loc);
+  }
+}
+
+distill::DistillRequest
+MsspSimulator::buildDistillRequest(uint32_t FunctionId) const {
   distill::DistillRequest Request;
-  for (const auto &[Site, Dir] : Assertions)
-    if (Program.Sites[Site].FunctionId == FunctionId)
-      Request.BranchAssertions[Site] = Dir;
-  const auto ValueIt = ValueConstants.find(FunctionId);
-  if (ValueIt != ValueConstants.end())
-    Request.ValueConstants = ValueIt->second;
-  distill::DistillResult Distilled =
-      distill::distillFunction(Program.Mod.function(FunctionId), Request);
-  const ir::Function *Installed =
-      Cache.install(FunctionId, std::move(Distilled.Distilled));
+  if (Config.FastPath.DenseTables) {
+    for (ir::SiteId Site : SitesByFunc[FunctionId]) {
+      const uint8_t State = AssertState[Site];
+      if (State != 0)
+        Request.BranchAssertions[Site] = State == 2;
+    }
+    for (const auto &[Loc, Value] : ValueConstsByFunc[FunctionId])
+      Request.ValueConstants[Loc] = Value;
+  } else {
+    for (const auto &[Site, Dir] : Assertions)
+      if (Program.Sites[Site].FunctionId == FunctionId)
+        Request.BranchAssertions[Site] = Dir;
+    const auto ValueIt = ValueConstants.find(FunctionId);
+    if (ValueIt != ValueConstants.end())
+      Request.ValueConstants = ValueIt->second;
+  }
+  return Request;
+}
+
+void MsspSimulator::rebuildRegion(uint32_t FunctionId) {
+  const distill::DistillRequest Request = buildDistillRequest(FunctionId);
+  const ir::Function *Installed = nullptr;
+  if (Config.FastPath.MemoizedDistill) {
+    serializeRequest(Request, KeyBuf);
+    const uint64_t KeyHash = hash64(KeyBuf.data(), KeyBuf.size(), FunctionId);
+    Installed = Cache.findKeyed(FunctionId, KeyHash, KeyBuf);
+    if (Installed) {
+      ++Result.DistillCacheHits;
+    } else {
+      ++Result.DistillCacheMisses;
+      distill::DistillResult Distilled =
+          distill::distillFunction(Program.Mod.function(FunctionId), Request);
+      Installed = Cache.installKeyed(FunctionId, KeyHash, KeyBuf,
+                                     std::move(Distilled.Distilled));
+    }
+  } else {
+    distill::DistillResult Distilled =
+        distill::distillFunction(Program.Mod.function(FunctionId), Request);
+    Installed = Cache.install(FunctionId, std::move(Distilled.Distilled));
+  }
   Master.setCodeVersion(FunctionId, Installed);
+  // Counts redeployments, not distiller runs, so the value is identical
+  // with and without memoization (golden-pinned).
   ++Result.Regenerations;
 }
 
 void MsspSimulator::processOptCompletions() {
+  if (Pending.empty())
+    return;
+
   // Collect the requests whose optimization latency has elapsed.
-  std::vector<PendingOpt> Ready;
+  ReadyBuf.clear();
   for (size_t I = 0; I < Pending.size();) {
     if (Pending[I].ReadyCycle <= MasterClock) {
-      Ready.push_back(Pending[I]);
+      ReadyBuf.push_back(Pending[I]);
       Pending[I] = Pending.back();
       Pending.pop_back();
     } else {
       ++I;
     }
   }
-  if (Ready.empty())
+  if (ReadyBuf.empty())
     return;
 
   // Apply all ready assertion changes, then rebuild each affected region
   // once -- several controller transitions can fold into one
-  // re-optimization (Sec. 4.3).
-  std::vector<uint32_t> Regions;
-  for (const PendingOpt &P : Ready) {
+  // re-optimization (Sec. 4.3).  Regions are kept sorted-unique; rebuild
+  // order across distinct functions is immaterial (no shared state).
+  RegionsBuf.clear();
+  for (const PendingOpt &P : ReadyBuf) {
     const core::OptRequest &Rq = P.Request;
     uint32_t Func = 0;
     if (P.IsValue) {
       const ValueSite &Site = ValueSites[Rq.Site];
       Func = Site.Func;
       if (Rq.Kind == core::OptRequestKind::Deploy)
-        ValueConstants[Func][Site.Loc] =
-            static_cast<int64_t>(ValueCtrl.deployedValue(Rq.Site));
+        setValueConstant(Func, Site.Loc,
+                         static_cast<int64_t>(ValueCtrl.deployedValue(Rq.Site)));
       else
-        ValueConstants[Func].erase(Site.Loc);
+        clearValueConstant(Func, Site.Loc);
     } else {
       if (Rq.Kind == core::OptRequestKind::Deploy)
-        Assertions[Rq.Site] = Rq.Direction;
+        setAssertion(Rq.Site, Rq.Direction);
       else
-        Assertions.erase(Rq.Site);
+        clearAssertion(Rq.Site);
       Func = Program.Sites[Rq.Site].FunctionId;
     }
-    if (std::find(Regions.begin(), Regions.end(), Func) == Regions.end())
-      Regions.push_back(Func);
+    const auto It =
+        std::lower_bound(RegionsBuf.begin(), RegionsBuf.end(), Func);
+    if (It == RegionsBuf.end() || *It != Func)
+      RegionsBuf.insert(It, Func);
   }
-  for (uint32_t Func : Regions)
+  for (uint32_t Func : RegionsBuf)
     rebuildRegion(Func);
-  for (const PendingOpt &P : Ready) {
+  for (const PendingOpt &P : ReadyBuf) {
     if (P.IsValue)
       ValueCtrl.completeRequest(P.Request.Site);
     else
@@ -240,29 +543,9 @@ void MsspSimulator::processOptCompletions() {
   }
 }
 
-MsspResult MsspSimulator::run() {
-  std::vector<bool> ControlSites(Program.Sites.size(), false);
-  for (const workload::SynthSiteInfo &Info : Program.Sites)
-    ControlSites[Info.Site] = Info.IsControlSite;
-
-  std::vector<bool> IsRegionFunc(Program.Mod.numFunctions(), false);
-  for (uint32_t F : Program.RegionFunctions)
-    IsRegionFunc[F] = true;
-  LoadHook OnLoad;
-  if (Config.EnableValueSpeculation)
-    OnLoad = [this, IsRegionFunc](const fsim::InstLocation &L,
-                                  uint64_t Value, uint64_t InstRet) {
-      if (L.Func < IsRegionFunc.size() && IsRegionFunc[L.Func])
-        ValueCtrl.onLoad(valueSiteId(L.Func, {L.Block, L.Index}), Value,
-                         InstRet);
-    };
-
-  TaskObserver MasterObs(Master, MasterTiming, Program.IterationAddr,
-                         Config.TaskIterations);
-  CheckerObserver CheckerObs(Checker, TrailTiming, Program.IterationAddr,
-                             Config.TaskIterations, Controller, ControlSites,
-                             std::move(OnLoad));
-
+template <bool Fast, class MasterObsT, class CheckerObsT>
+uint64_t MsspSimulator::taskLoop(MasterObsT &MasterObs,
+                                 CheckerObsT &CheckerObs) {
   std::deque<uint64_t> CommitTimes; ///< in-flight verified-commit times
   std::vector<uint64_t> SlaveFree(Config.Machine.NumTrailing, 0);
   uint64_t PrevCommit = 0;
@@ -279,12 +562,20 @@ MsspResult MsspSimulator::run() {
 
     // Master executes one task of distilled code.
     const uint64_t MStart = MasterTiming.cycles();
-    const fsim::StopReason MReason = Master.run(RunForever, &MasterObs);
+    fsim::StopReason MReason;
+    if constexpr (Fast)
+      MReason = Master.runWith(RunForever, MasterObs);
+    else
+      MReason = Master.run(RunForever, &MasterObs);
     MasterClock += MasterTiming.cycles() - MStart;
 
     // The trailing execution covers the same task with original code.
     const uint64_t VStartCycles = TrailTiming.cycles();
-    const fsim::StopReason CReason = Checker.run(RunForever, &CheckerObs);
+    fsim::StopReason CReason;
+    if constexpr (Fast)
+      CReason = Checker.runWith(RunForever, CheckerObs);
+    else
+      CReason = Checker.run(RunForever, &CheckerObs);
     const uint64_t VCycles = TrailTiming.cycles() - VStartCycles;
     assert(MReason != fsim::StopReason::Fault &&
            CReason != fsim::StopReason::Fault && "simulated program faulted");
@@ -299,15 +590,25 @@ MsspResult MsspSimulator::run() {
     const uint64_t Commit = std::max(VerifyEnd + Hop, PrevCommit);
     PrevCommit = Commit;
 
-    if (stateDigest(Master) != stateDigest(Checker)) {
+    bool Match;
+    if constexpr (Fast)
+      Match = dirtyStateMatches();
+    else
+      Match = stateDigest(Master) == stateDigest(Checker);
+    if (!Match) {
       // Task misspeculation: detected when verification completes; the
       // master restarts from the trailing execution's state.
       ++Result.TaskSquashes;
-      restoreMasterFromChecker();
+      if constexpr (Fast)
+        restoreMasterDirty();
+      else
+        restoreMasterFromChecker();
       MasterClock = Commit + Hop + Config.Machine.Leading.PipelineDepth;
     } else {
       CommitTimes.push_back(Commit);
     }
+    if constexpr (Fast)
+      clearDirtyAddrs();
 
     const bool Done =
         (MReason == fsim::StopReason::Halted &&
@@ -318,7 +619,50 @@ MsspResult MsspSimulator::run() {
       break;
   }
 
-  Result.TotalCycles = std::max(MasterClock, PrevCommit);
+  return std::max(MasterClock, PrevCommit);
+}
+
+MsspResult MsspSimulator::run() {
+  std::vector<bool> ControlSites(Program.Sites.size(), false);
+  for (const workload::SynthSiteInfo &Info : Program.Sites)
+    ControlSites[Info.Site] = Info.IsControlSite;
+
+  std::vector<bool> IsRegionFunc(Program.Mod.numFunctions(), false);
+  for (uint32_t F : Program.RegionFunctions)
+    IsRegionFunc[F] = true;
+
+  uint64_t TotalCycles = 0;
+  if (Config.FastPath.IncrementalDigest) {
+    FastTaskObserver MasterObs(Master, MasterTiming, Program.IterationAddr,
+                               Config.TaskIterations, AddrClass, DirtyAddrs);
+    FastCheckerObserver CheckerObs(
+        Checker, TrailTiming, Program.IterationAddr, Config.TaskIterations,
+        AddrClass, DirtyAddrs, Controller, ControlSites, IsRegionFunc,
+        Config.EnableValueSpeculation, *this);
+    TotalCycles = taskLoop<true>(MasterObs, CheckerObs);
+  } else {
+    LoadHook OnLoad;
+    if (Config.EnableValueSpeculation)
+      // The interpreter only dispatches module function ids, all of which
+      // RegionFunc covers, so no per-load bounds check; the vector is
+      // moved into the closure, not copied.
+      OnLoad = [this, RegionFunc = std::move(IsRegionFunc)](
+                   const fsim::InstLocation &L, uint64_t Value,
+                   uint64_t InstRet) {
+        if (RegionFunc[L.Func])
+          ValueCtrl.onLoad(valueSiteId(L.Func, {L.Block, L.Index}), Value,
+                           InstRet);
+      };
+
+    TaskObserver MasterObs(Master, MasterTiming, Program.IterationAddr,
+                           Config.TaskIterations);
+    CheckerObserver CheckerObs(Checker, TrailTiming, Program.IterationAddr,
+                               Config.TaskIterations, Controller,
+                               ControlSites, std::move(OnLoad));
+    TotalCycles = taskLoop<false>(MasterObs, CheckerObs);
+  }
+
+  Result.TotalCycles = TotalCycles;
   Result.MasterInstructions = MasterTiming.instructions();
   Result.CheckerInstructions = TrailTiming.instructions();
   Result.MasterBranchMispredicts = MasterTiming.branchMispredicts();
@@ -335,24 +679,20 @@ uint64_t mssp::simulateSuperscalarBaseline(
   CoreTiming Timing(Machine.Leading, &L2, Machine.L2.LatencyCycles,
                     Machine.MemoryLatencyCycles);
 
-  /// Plain timing observer (no task boundaries).
-  class BaselineObserver : public fsim::ExecObserver {
+  /// Plain timing observer (no task boundaries), statically dispatched.
+  class BaselineObserver {
   public:
     explicit BaselineObserver(CoreTiming &T) : T(T) {}
-    void onInstruction(const ir::Instruction &I,
-                       const fsim::InstLocation &L) override {
-      T.onInstruction(I, L);
+    void onInstruction(const ir::Instruction &, const fsim::InstLocation &) {
+      T.recordInstruction();
     }
-    void onBranch(ir::SiteId S, bool Taken) override { T.onBranch(S, Taken); }
-    void onLoad(const fsim::InstLocation &L, uint64_t A,
-                uint64_t V) override {
-      T.onLoad(L, A, V);
+    void onBranch(ir::SiteId S, bool Taken) { T.recordBranch(S, Taken); }
+    void onLoad(const fsim::InstLocation &, uint64_t A, uint64_t) {
+      T.recordMemoryAccess(A);
     }
-    void onStore(uint64_t A, uint64_t V, uint64_t O) override {
-      T.onStore(A, V, O);
-    }
-    void onCall(uint32_t C) override { T.onCall(C); }
-    void onReturn(uint32_t C) override { T.onReturn(C); }
+    void onStore(uint64_t A, uint64_t, uint64_t) { T.recordMemoryAccess(A); }
+    void onCall(uint32_t C) { T.recordCall(C); }
+    void onReturn(uint32_t C) { T.recordReturn(C); }
 
   private:
     CoreTiming &T;
@@ -361,7 +701,7 @@ uint64_t mssp::simulateSuperscalarBaseline(
   BaselineObserver Obs(Timing);
   const uint64_t Fuel =
       MaxInstructions ? MaxInstructions : (~0ull >> 1);
-  const fsim::StopReason Reason = Interp.run(Fuel, &Obs);
+  const fsim::StopReason Reason = Interp.runWith(Fuel, Obs);
   assert(Reason != fsim::StopReason::Fault && "baseline program faulted");
   (void)Reason;
   return Timing.cycles();

@@ -42,6 +42,7 @@
 #include "fsim/Interpreter.h"
 #include "mssp/CoreTiming.h"
 #include "mssp/MachineConfig.h"
+#include "support/FlatHash.h"
 #include "workload/ProgramSynthesizer.h"
 
 #include <deque>
@@ -51,6 +52,27 @@
 
 namespace specctrl {
 namespace mssp {
+
+/// Fast-path toggles.  Each optimization preserves MsspResult bit-exactly
+/// (pinned by tests/mssp/MsspGoldenTest.cpp); the flags exist so the
+/// benchmark suite can measure them individually and so a regression can
+/// be bisected to one mechanism.  All default on.
+struct MsspFastPath {
+  /// Dirty-set task verification: the task loop runs on the statically
+  /// dispatched interpreter pipeline, which tracks stored-to writable
+  /// addresses so digest comparison and squash recovery cost O(stores in
+  /// task) instead of O(writable memory) -- and the per-instruction
+  /// observer virtual calls disappear with it.
+  bool IncrementalDigest = true;
+  /// Key code-cache entries by the exact distillation request, so FSM
+  /// evict/revisit oscillations re-deploy cached versions instead of
+  /// re-running the distiller.
+  bool MemoizedDistill = true;
+  /// SiteId/FunctionId-indexed vectors for assertions and value
+  /// constants, and a flat hash for the per-load value-site lookup,
+  /// replacing std::map on the hot paths.
+  bool DenseTables = true;
+};
 
 /// MSSP simulation parameters.
 struct MsspConfig {
@@ -75,6 +97,8 @@ struct MsspConfig {
   /// Stop after this many checker (architectural) instructions; 0 = run
   /// the program to completion.
   uint64_t MaxInstructions = 0;
+  /// Simulator-throughput optimizations (never change results).
+  MsspFastPath FastPath;
 };
 
 /// Simulation outputs.
@@ -85,7 +109,12 @@ struct MsspResult {
   uint64_t MasterInstructions = 0;  ///< distilled instructions executed
   uint64_t CheckerInstructions = 0; ///< original instructions executed
   uint64_t OptRequests = 0;      ///< controller deploy+revoke requests
-  uint64_t Regenerations = 0;    ///< region code versions actually built
+  /// Region code redeployments (each completed request batch rebuilds the
+  /// affected regions once -- whether freshly distilled or served from
+  /// the keyed code cache, so the count is invariant under memoization).
+  uint64_t Regenerations = 0;
+  uint64_t DistillCacheHits = 0;   ///< rebuilds served from the keyed cache
+  uint64_t DistillCacheMisses = 0; ///< rebuilds that ran the distiller
   uint64_t MasterBranchMispredicts = 0;
   core::ControlStats Controller; ///< final branch-controller statistics
   core::ControlStats ValueController; ///< value-controller statistics
@@ -109,6 +138,12 @@ public:
   /// Runs to completion (or the instruction cap) and returns the results.
   /// Single-shot: construct a new simulator for another run.
   MsspResult run();
+
+  /// Internal hook for the fast-path checker observer: feeds one region
+  /// load to the value-invariance controller.  Public only because the
+  /// observer lives in the implementation file.
+  void noteRegionLoad(const fsim::InstLocation &L, uint64_t Value,
+                      uint64_t InstRet);
 
 private:
   struct PendingOpt {
@@ -135,6 +170,29 @@ private:
   void restoreMasterFromChecker();
   void processOptCompletions();
   void rebuildRegion(uint32_t FunctionId);
+
+  /// Collects the deployed speculations for \p FunctionId from whichever
+  /// table representation is active.
+  distill::DistillRequest buildDistillRequest(uint32_t FunctionId) const;
+
+  // Deployed-speculation mutation, dispatched on FastPath.DenseTables.
+  void setAssertion(ir::SiteId Site, bool Direction);
+  void clearAssertion(ir::SiteId Site);
+  void setValueConstant(uint32_t Func, distill::LocKey Loc, int64_t Value);
+  void clearValueConstant(uint32_t Func, distill::LocKey Loc);
+
+  // Dirty-set verification (FastPath.IncrementalDigest).
+  void initDirtyTracking();
+  bool dirtyStateMatches() const;
+  void restoreMasterDirty();
+  void clearDirtyAddrs();
+
+  /// The task loop, instantiated once per execution path: Fast uses the
+  /// statically dispatched interpreter pipeline plus dirty-set
+  /// verification, the legacy instantiation the virtual-observer path and
+  /// full digests.  Returns the final commit time.
+  template <bool Fast, class MasterObsT, class CheckerObsT>
+  uint64_t taskLoop(MasterObsT &MasterObs, CheckerObsT &CheckerObs);
 
   const workload::SynthProgram &Program;
   MsspConfig Config;
@@ -170,6 +228,31 @@ private:
   std::vector<ValueSite> ValueSites; ///< id -> site
   std::vector<PendingOpt> Pending;
   std::vector<uint64_t> WritableAddrs;
+
+  // --- Dense-table representation (FastPath.DenseTables) ----------------
+  /// SiteId-indexed assertion state: 0 = none, 1 = assert not-taken,
+  /// 2 = assert taken.
+  std::vector<uint8_t> AssertState;
+  /// FunctionId -> its site ids, sorted (request-building iteration).
+  std::vector<std::vector<ir::SiteId>> SitesByFunc;
+  /// FunctionId -> deployed value constants, sorted by location.
+  std::vector<std::vector<std::pair<distill::LocKey, int64_t>>>
+      ValueConstsByFunc;
+  /// Packed (function, location) -> dense value-site id.
+  FlatMap64 ValueSiteMap;
+
+  // --- Dirty-set verification (FastPath.IncrementalDigest) --------------
+  /// Word-addr-indexed classification: 0 = not writable (stores ignored,
+  /// exactly as the full digest ignores them), 1 = writable and clean
+  /// this task, 2 = writable and dirty.
+  std::vector<uint8_t> AddrClass;
+  /// Writable addresses stored to by either execution this task.
+  std::vector<uint64_t> DirtyAddrs;
+
+  // Reusable completion buffers (processOptCompletions runs every task).
+  std::vector<PendingOpt> ReadyBuf;
+  std::vector<uint32_t> RegionsBuf;
+  std::vector<uint8_t> KeyBuf; ///< serialized request (memoization key)
 
   uint64_t MasterClock = 0;
   MsspResult Result;

@@ -1,0 +1,101 @@
+//===- support/FlatHash.h - Open-addressing integer hash map ----*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal open-addressing hash map from uint64_t keys to uint32_t
+/// values, built for per-event hot paths (the MSSP value-site lookup runs
+/// on every region load).  Linear probing over a power-of-two table keeps
+/// lookups a handful of cache-line touches with no node allocation; the
+/// all-ones key is reserved as the empty sentinel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_SUPPORT_FLATHASH_H
+#define SPECCTRL_SUPPORT_FLATHASH_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace specctrl {
+
+/// Open-addressing uint64_t -> uint32_t map with linear probing.
+class FlatMap64 {
+public:
+  /// Reserved sentinel; callers must never insert this key.
+  static constexpr uint64_t EmptyKey = ~0ull;
+
+  FlatMap64() : Slots(InitialCapacity) {}
+
+  /// Returns a pointer to the value for \p Key, or nullptr if absent.
+  const uint32_t *find(uint64_t Key) const {
+    assert(Key != EmptyKey && "sentinel key");
+    const size_t Mask = Slots.size() - 1;
+    for (size_t I = indexFor(Key, Mask);; I = (I + 1) & Mask) {
+      if (Slots[I].Key == Key)
+        return &Slots[I].Value;
+      if (Slots[I].Key == EmptyKey)
+        return nullptr;
+    }
+  }
+
+  /// Inserts (\p Key, \p Value) if absent.  Returns the stored value and
+  /// whether an insertion happened (mirroring std::map::try_emplace).
+  std::pair<uint32_t, bool> tryEmplace(uint64_t Key, uint32_t Value) {
+    assert(Key != EmptyKey && "sentinel key");
+    if ((Count + 1) * 4 >= Slots.size() * 3)
+      grow();
+    const size_t Mask = Slots.size() - 1;
+    for (size_t I = indexFor(Key, Mask);; I = (I + 1) & Mask) {
+      if (Slots[I].Key == Key)
+        return {Slots[I].Value, false};
+      if (Slots[I].Key == EmptyKey) {
+        Slots[I] = {Key, Value};
+        ++Count;
+        return {Value, true};
+      }
+    }
+  }
+
+  size_t size() const { return Count; }
+
+private:
+  struct Slot {
+    uint64_t Key = EmptyKey;
+    uint32_t Value = 0;
+  };
+
+  static constexpr size_t InitialCapacity = 64; ///< power of two
+
+  static size_t indexFor(uint64_t Key, size_t Mask) {
+    // Fibonacci multiplier spreads packed (sparse-field) keys before the
+    // power-of-two mask.
+    return static_cast<size_t>((Key * 0x9E3779B97F4A7C15ull) >> 32) & Mask;
+  }
+
+  void grow() {
+    std::vector<Slot> Old(Slots.size() * 2);
+    Old.swap(Slots);
+    const size_t Mask = Slots.size() - 1;
+    for (const Slot &S : Old) {
+      if (S.Key == EmptyKey)
+        continue;
+      size_t I = indexFor(S.Key, Mask);
+      while (Slots[I].Key != EmptyKey)
+        I = (I + 1) & Mask;
+      Slots[I] = S;
+    }
+  }
+
+  std::vector<Slot> Slots;
+  size_t Count = 0;
+};
+
+} // namespace specctrl
+
+#endif // SPECCTRL_SUPPORT_FLATHASH_H

@@ -1,0 +1,42 @@
+# Runs a report binary and compares its stdout against a golden file
+# and/or against a second invocation (e.g. serial vs --jobs 4).
+#
+# Usage:
+#   cmake -DBIN=<exe> -DARGS="<args>" [-DGOLDEN=<file>] [-DARGS2="<args>"]
+#         -P RunCompare.cmake
+#
+# ARGS/ARGS2 are whitespace-separated argument strings.  With GOLDEN set,
+# the first run's output must equal the file byte-for-byte; with ARGS2
+# set, the second run's output must equal the first's.
+
+if(NOT DEFINED BIN)
+  message(FATAL_ERROR "RunCompare.cmake: BIN not set")
+endif()
+
+separate_arguments(ARGS_LIST UNIX_COMMAND "${ARGS}")
+execute_process(COMMAND "${BIN}" ${ARGS_LIST}
+                OUTPUT_VARIABLE Out1 RESULT_VARIABLE Rc1)
+if(NOT Rc1 EQUAL 0)
+  message(FATAL_ERROR "${BIN} ${ARGS} exited with ${Rc1}")
+endif()
+
+if(DEFINED GOLDEN)
+  file(READ "${GOLDEN}" Want)
+  if(NOT Out1 STREQUAL Want)
+    message(FATAL_ERROR
+            "output of ${BIN} ${ARGS} differs from golden ${GOLDEN}")
+  endif()
+endif()
+
+if(DEFINED ARGS2)
+  separate_arguments(ARGS2_LIST UNIX_COMMAND "${ARGS2}")
+  execute_process(COMMAND "${BIN}" ${ARGS2_LIST}
+                  OUTPUT_VARIABLE Out2 RESULT_VARIABLE Rc2)
+  if(NOT Rc2 EQUAL 0)
+    message(FATAL_ERROR "${BIN} ${ARGS2} exited with ${Rc2}")
+  endif()
+  if(NOT Out1 STREQUAL Out2)
+    message(FATAL_ERROR
+            "output of ${BIN} differs between '${ARGS}' and '${ARGS2}'")
+  endif()
+endif()

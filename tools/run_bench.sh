@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Runs the perf-trajectory microbenches (MSSP simulator throughput +
+# trace pipeline) and records google-benchmark JSON next to the build:
+# BENCH_mssp.json and BENCH_trace_pipe.json.
+#
+# Usage: tools/run_bench.sh [build-dir] [output-json]
+#   build-dir    defaults to ./build
+#   output-json  defaults to <build-dir>/BENCH_mssp.json
+#
+# The MSSP half is also reachable as `cmake --build <build-dir> --target
+# bench-trajectory`.
+
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-${BUILD_DIR}/BENCH_mssp.json}"
+BIN="${BUILD_DIR}/bench/mssp_sim"
+PIPE_BIN="${BUILD_DIR}/bench/trace_pipe"
+PIPE_OUT="${BUILD_DIR}/BENCH_trace_pipe.json"
+
+if [ ! -x "${BIN}" ]; then
+  echo "error: ${BIN} not built (cmake --build ${BUILD_DIR} --target mssp_sim)" >&2
+  exit 1
+fi
+
+"${BIN}" \
+  --benchmark_out="${OUT}" \
+  --benchmark_out_format=json \
+  --benchmark_counters_tabular=true
+
+echo "wrote ${OUT}"
+
+if [ -x "${PIPE_BIN}" ]; then
+  "${PIPE_BIN}" \
+    --benchmark_out="${PIPE_OUT}" \
+    --benchmark_out_format=json \
+    --benchmark_counters_tabular=true
+
+  echo "wrote ${PIPE_OUT}"
+else
+  echo "note: ${PIPE_BIN} not built; skipped BENCH_trace_pipe.json" >&2
+fi
