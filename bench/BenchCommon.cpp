@@ -39,6 +39,13 @@ void bench::addStandardOptions(OptionSet &Opts) {
               "worker threads for experiment cells (0 = hardware "
               "concurrency; results are identical at any value)");
   Opts.addInt("seed", 0, "base seed mixed into every experiment cell");
+  Opts.addFlag("no-trace-arena",
+               "re-synthesize each sweep cell's trace instead of sharing "
+               "one materialization (results are identical either way)");
+  Opts.addString("trace-cache-dir", "",
+                 "disk tier for the trace arena: materialized traces are "
+                 "written here as v2 trace files and reused across "
+                 "invocations");
   addScaleOptions(Opts);
   Opts.addString("benchmarks", "",
                  "comma-separated benchmark subset (default: all twelve)");
@@ -51,7 +58,28 @@ SuiteOptions bench::readSuiteOptions(const OptionSet &Opts) {
   Out.Benchmarks = splitList(Opts.getString("benchmarks"));
   Out.Jobs = static_cast<unsigned>(Opts.getInt("jobs"));
   Out.Seed = static_cast<uint64_t>(Opts.getInt("seed"));
+  Out.UseTraceArena = !Opts.getFlag("no-trace-arena");
+  Out.TraceCacheDir = Opts.getString("trace-cache-dir");
   return Out;
+}
+
+std::shared_ptr<workload::TraceArena>
+bench::makeArena(const SuiteOptions &Opt) {
+  if (!Opt.UseTraceArena)
+    return nullptr;
+  workload::TraceArena::Config Cfg;
+  Cfg.CacheDir = Opt.TraceCacheDir;
+  return std::make_shared<workload::TraceArena>(std::move(Cfg));
+}
+
+const core::ControlStats &
+bench::runBenchWorkload(core::SpeculationController &Controller,
+                        const workload::WorkloadSpec &Spec,
+                        const workload::InputConfig &Input,
+                        workload::TraceArena *Arena) {
+  if (Arena)
+    return core::runWorkload(Controller, Spec, Input, *Arena);
+  return core::runWorkload(Controller, Spec, Input);
 }
 
 std::vector<workload::BenchmarkProfile>
@@ -82,6 +110,7 @@ bench::selectedSuite(const SuiteOptions &Opt) {
 engine::ExperimentPlan bench::suitePlan(const SuiteOptions &Opt) {
   engine::ExperimentPlan Plan;
   Plan.setBaseSeed(Opt.Seed);
+  Plan.setTraceArena(makeArena(Opt));
   for (workload::WorkloadSpec &Spec : selectedSuite(Opt))
     Plan.addBenchmark(std::move(Spec));
   return Plan;

@@ -27,8 +27,10 @@
 #include "support/Options.h"
 #include "workload/ProgramSynthesizer.h"
 #include "workload/SpecSuite.h"
+#include "workload/TraceArena.h"
 #include "workload/TraceGenerator.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,6 +47,11 @@ struct SuiteOptions {
   unsigned Jobs = 0;
   /// Base seed mixed into every experiment cell's seed.
   uint64_t Seed = 0;
+  /// Share one trace materialization across sweep cells (the default;
+  /// --no-trace-arena regenerates per cell instead).
+  bool UseTraceArena = true;
+  /// Disk tier for the arena (--trace-cache-dir); empty = memory only.
+  std::string TraceCacheDir;
 };
 
 /// Registers the workload-scaling options (--events-per-billion,
@@ -75,9 +82,26 @@ std::vector<workload::WorkloadSpec> selectedSuite(const SuiteOptions &Opt);
 std::vector<workload::BenchmarkProfile>
 selectedProfiles(const SuiteOptions &Opt);
 
+/// The suite's trace arena under the standard options: a fresh arena
+/// (with the --trace-cache-dir disk tier when set), or null under
+/// --no-trace-arena.  suitePlan installs it automatically; hand-rolled
+/// benches pass it to runBenchWorkload.
+std::shared_ptr<workload::TraceArena> makeArena(const SuiteOptions &Opt);
+
+/// Runs (Spec, Input) under \p Controller through \p Arena when non-null
+/// (materialize-once replay), else via direct generation.  Bit-identical
+/// results either way -- the single-run analogue of the plan arena.
+const core::ControlStats &
+runBenchWorkload(core::SpeculationController &Controller,
+                 const workload::WorkloadSpec &Spec,
+                 const workload::InputConfig &Input,
+                 workload::TraceArena *Arena);
+
 /// Starts an experiment plan over the selected suite: one benchmark axis
-/// per selected workload (reference input), base seed from --seed.  The
-/// bench adds its controller configs and runs it with runSuite.
+/// per selected workload (reference input), base seed from --seed, and --
+/// unless --no-trace-arena -- a per-plan trace arena so every config
+/// column replays one shared materialization per benchmark.  The bench
+/// adds its controller configs and runs it with runSuite.
 engine::ExperimentPlan suitePlan(const SuiteOptions &Opt);
 
 /// Executes \p Plan with --jobs workers.

@@ -78,6 +78,7 @@ int main(int Argc, char **Argv) {
   // the differing training input.
   engine::ExperimentPlan Plan;
   Plan.setBaseSeed(Opt.Seed);
+  Plan.setTraceArena(makeArena(Opt));
   for (WorkloadSpec &Spec : selectedSuite(Opt)) {
     std::vector<InputConfig> Inputs = {Spec.refInput(), Spec.trainInput()};
     Plan.addBenchmark(std::move(Spec), std::move(Inputs));

@@ -38,10 +38,15 @@ int main(int Argc, char **Argv) {
               "64 executions after leaving the biased state (suite-wide)");
 
   // Collect transition records across the whole suite under the baseline.
+  // The arena shares each benchmark's materialized trace with any other
+  // invocation via --trace-cache-dir (one config per benchmark here, so
+  // in-process reuse alone has nothing to amortize).
+  const std::shared_ptr<workload::TraceArena> Arena = makeArena(Opt);
   std::vector<double> WrongRates;
   for (const WorkloadSpec &Spec : selectedSuite(Opt)) {
     ReactiveController C(scaledBaseline(Opts));
-    const ControlStats &S = runWorkload(C, Spec, Spec.refInput());
+    const ControlStats &S =
+        runBenchWorkload(C, Spec, Spec.refInput(), Arena.get());
     for (const TransitionRecord &T : S.Transitions)
       if (T.Observed > 0)
         WrongRates.push_back(static_cast<double>(T.AgainstOriginal) /

@@ -41,9 +41,13 @@ int main(int Argc, char **Argv) {
   uint64_t SumEvicts = 0;
   unsigned N = 0;
 
+  // One config per benchmark, so the arena pays off across invocations
+  // (--trace-cache-dir) rather than within this one.
+  const std::shared_ptr<workload::TraceArena> Arena = makeArena(Opt);
   for (const WorkloadSpec &Spec : selectedSuite(Opt)) {
     ReactiveController C(scaledBaseline(Opts));
-    const ControlStats &S = runWorkload(C, Spec, Spec.refInput());
+    const ControlStats &S =
+        runBenchWorkload(C, Spec, Spec.refInput(), Arena.get());
     const workload::BenchmarkProfile &P = profileByName(Spec.Name);
     auto WithPaper = [](uint64_t Ours, uint32_t PaperValue) {
       return std::to_string(Ours) + " (" + std::to_string(PaperValue) + ")";

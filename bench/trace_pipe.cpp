@@ -16,13 +16,16 @@
 #include "core/Driver.h"
 #include "core/ReactiveController.h"
 #include "core/StaticControllers.h"
+#include "engine/ExperimentRunner.h"
 #include "profile/BranchProfile.h"
 #include "workload/SpecSuite.h"
+#include "workload/TraceArena.h"
 #include "workload/TraceFile.h"
 #include "workload/TraceGenerator.h"
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -138,6 +141,57 @@ void BM_TracePipe_Replay(benchmark::State &State) {
 BENCHMARK(BM_TracePipe_Replay<1>)->Arg(1)->Arg(4096)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TracePipe_Replay<2>)->Arg(1)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+/// A table4-shaped sweep (one workload, a ladder of reactive configs)
+/// through the experiment engine, with and without the trace arena:
+/// synthesize-once-and-replay vs regenerate-per-cell.  Arguments are
+/// (UseArena, Jobs); each iteration builds a fresh arena, so the reported
+/// time includes the one-time materialization cost the sweep amortizes.
+void BM_TraceArena(benchmark::State &State) {
+  const bool UseArena = State.range(0) != 0;
+  const unsigned Jobs = static_cast<unsigned>(State.range(1));
+  const double Ladder[] = {0.98, 0.99, 0.995, 0.998, 0.9995, 0.9999};
+
+  engine::ExperimentPlan Plan;
+  Plan.addBenchmark(pipeSpec());
+  for (double T : Ladder)
+    Plan.addConfig("t" + std::to_string(T),
+                   [T](const engine::CellContext &) {
+                     core::ReactiveConfig C = scaledReactive();
+                     C.SelectThreshold = T;
+                     return std::make_unique<core::ReactiveController>(C);
+                   });
+
+  engine::RunOptions Run;
+  Run.Jobs = Jobs;
+  uint64_t Events = 0;
+  workload::TraceArenaStats Arena;
+  for (auto _ : State) {
+    if (UseArena)
+      Plan.setTraceArena(std::make_shared<workload::TraceArena>());
+    const engine::RunReport Report = engine::runPlan(Plan, Run);
+    Events = Report.totalEvents();
+    if (UseArena) {
+      Arena = Plan.traceArena()->stats();
+      Plan.setTraceArena(nullptr);
+    }
+    benchmark::DoNotOptimize(Events);
+  }
+  State.SetItemsProcessed(State.iterations() * static_cast<int64_t>(Events));
+  if (UseArena) {
+    State.counters["materializations"] =
+        benchmark::Counter(static_cast<double>(Arena.Materializations));
+    State.counters["resident_bytes"] =
+        benchmark::Counter(static_cast<double>(Arena.ResidentBytes));
+  }
+}
+BENCHMARK(BM_TraceArena)
+    ->ArgNames({"arena", "jobs"})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 4})
+    ->Args({1, 4})
     ->Unit(benchmark::kMillisecond);
 
 /// Recording throughput of each format (generation included, identical in

@@ -107,6 +107,22 @@ const ControlStats &core::runWorkload(SpeculationController &Controller,
                                       const workload::InputConfig &Input,
                                       const TraceHook &Hook,
                                       size_t BatchEvents) {
-  workload::TraceGenerator Gen(Spec, Input);
-  return runTrace(Controller, Gen, Hook, BatchEvents);
+  // Delegate so generator setup lives in one place (the observer overload).
+  if (!Hook)
+    return runWorkload(Controller, Spec, Input,
+                       static_cast<TraceObserver *>(nullptr), BatchEvents);
+  LambdaTraceObserver Observer(Hook);
+  return runWorkload(Controller, Spec, Input, &Observer, BatchEvents);
+}
+
+const ControlStats &core::runWorkload(SpeculationController &Controller,
+                                      const workload::WorkloadSpec &Spec,
+                                      const workload::InputConfig &Input,
+                                      workload::TraceArena &Arena,
+                                      TraceObserver *Observer,
+                                      size_t BatchEvents,
+                                      TraceRunMetrics *Metrics) {
+  const std::unique_ptr<workload::EventSource> Source =
+      Arena.open(Spec, Input);
+  return runTrace(Controller, *Source, Observer, BatchEvents, Metrics);
 }

@@ -24,8 +24,12 @@ ReactiveController::ReactiveController(const ReactiveConfig &Config,
 }
 
 ReactiveController::SiteState &ReactiveController::state(SiteId Site) {
-  if (Site >= States.size())
+  if (Site >= States.size()) {
     States.resize(Site + 1);
+    // Grown in lockstep with the per-site stats vectors so step() can mark
+    // Touched with a plain store instead of re-checking bounds per event.
+    Stats.touch(Site);
+  }
   return States[Site];
 }
 
@@ -205,7 +209,6 @@ void ReactiveController::updateBiased(SiteId Site, SiteState &S, bool Taken,
 
 BranchVerdict ReactiveController::onBranch(SiteId Site, bool Taken,
                                            uint64_t InstRet) {
-  Stats.touch(Site);
   ++Stats.Branches;
   Stats.LastInstRet = InstRet;
   return step(Site, Taken, InstRet);
@@ -221,7 +224,6 @@ void ReactiveController::onBatch(
   Stats.LastInstRet = Events.back().InstRet;
   for (size_t I = 0; I < Events.size(); ++I) {
     const workload::BranchEvent &E = Events[I];
-    Stats.touch(E.Site);
     Verdicts[I] = step(E.Site, E.Taken, E.InstRet);
   }
 }
@@ -229,17 +231,21 @@ void ReactiveController::onBatch(
 BranchVerdict ReactiveController::step(SiteId Site, bool Taken,
                                        uint64_t InstRet) {
   SiteState &S = state(Site);
+  Stats.Touched[Site] = 1; // state() keeps the stats vectors sized
   if (!ExternalSink && S.Pending != PendingKind::None &&
       InstRet >= S.ReadyAt)
     applyPending(S);
 
-  // Account against the deployed code, whatever the FSM thinks.
+  // Account against the deployed code, whatever the FSM thinks.  Branchless
+  // on purpose: whether a given event speculates depends on interleaved
+  // per-site state, which the branch predictor cannot learn.
   BranchVerdict Verdict;
-  if (S.Deployed) {
-    Verdict.Speculated = true;
-    Verdict.Correct = Taken == S.DeployedDir;
-    ++(Verdict.Correct ? Stats.CorrectSpecs : Stats.IncorrectSpecs);
-  }
+  const bool Deployed = S.Deployed;
+  const bool Correct = Deployed & (Taken == S.DeployedDir);
+  Verdict.Speculated = Deployed;
+  Verdict.Correct = Correct;
+  Stats.CorrectSpecs += Correct;
+  Stats.IncorrectSpecs += Deployed & !Correct;
 
   // Fig. 6 transition vicinity.
   if (S.TransRemaining > 0) {

@@ -81,32 +81,38 @@ public:
 private:
   enum class PendingKind : uint8_t { None, Deploy, Revoke };
 
-  struct SiteState {
+  /// Field order packs the struct into exactly one cache line (bytes,
+  /// then u32s, then u64s), and the alignment keeps each site from
+  /// straddling two: step() touches one line per event, which bounds the
+  /// FSM's cache footprint on wide-site workloads.
+  struct alignas(64) SiteState {
     FsmState State = FsmState::Monitor;
     bool Deployed = false;
     bool DeployedDir = false;
     bool Blacklisted = false;
     PendingKind Pending = PendingKind::None;
     bool PendingDir = false;
-    uint64_t ReadyAt = 0;
+    // Fig. 6 transition recording.
+    uint8_t TransRemaining = 0;
+    uint8_t TransWrong = 0;
+    bool TransOriginalDir = false;
     uint32_t Optimizations = 0;
     // Monitor state.
     uint32_t MonitorExecs = 0;
     uint32_t MonitorSampled = 0;
     uint32_t MonitorTaken = 0;
-    // Biased state: continuous eviction counter.
-    uint64_t EvictCounter = 0;
     // Biased state: eviction by sampling.
     uint32_t WindowPos = 0;
     uint32_t SampleSeen = 0;
     uint32_t SampleWrong = 0;
+    uint64_t ReadyAt = 0;
+    // Biased state: continuous eviction counter.
+    uint64_t EvictCounter = 0;
     // Unbiased state.
     uint64_t WaitExecs = 0;
-    // Fig. 6 transition recording.
-    uint8_t TransRemaining = 0;
-    uint8_t TransWrong = 0;
-    bool TransOriginalDir = false;
   };
+  static_assert(sizeof(SiteState) == 64,
+                "SiteState must stay within one cache line");
 
   SiteState &state(SiteId Site);
   /// The per-event FSM work minus the whole-run accounting (which

@@ -36,6 +36,9 @@
 #include <vector>
 
 namespace specctrl {
+namespace workload {
+class TraceArena;
+} // namespace workload
 namespace engine {
 
 /// Grid coordinates of one cell (indices into the plan's axes).
@@ -124,10 +127,23 @@ public:
   /// Base seed mixed into every cell seed (default 0).
   void setBaseSeed(uint64_t Seed) { BaseSeed = Seed; }
 
+  /// Installs the plan's trace arena: every controller cell then replays
+  /// its (benchmark, input) trace out of one shared materialization
+  /// instead of re-synthesizing it (identical stream, so identical
+  /// results; see workload::TraceArena).  Null (the default) re-generates
+  /// per cell.  Shared_ptr so one arena -- and its disk tier -- can back
+  /// several plans.
+  void setTraceArena(std::shared_ptr<workload::TraceArena> Arena) {
+    this->Arena = std::move(Arena);
+  }
+
   const std::vector<BenchmarkAxis> &benchmarks() const { return Benchmarks; }
   const std::vector<ConfigAxis> &configs() const { return Configs; }
   const ObserverFactory &observerFactory() const { return MakeObserver; }
   uint64_t baseSeed() const { return BaseSeed; }
+  const std::shared_ptr<workload::TraceArena> &traceArena() const {
+    return Arena;
+  }
 
   /// Total number of grid cells.
   size_t numCells() const;
@@ -140,6 +156,7 @@ private:
   std::vector<BenchmarkAxis> Benchmarks;
   std::vector<ConfigAxis> Configs;
   ObserverFactory MakeObserver;
+  std::shared_ptr<workload::TraceArena> Arena;
   uint64_t BaseSeed = 0;
 };
 

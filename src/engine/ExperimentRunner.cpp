@@ -7,6 +7,7 @@
 #include "engine/ExperimentRunner.h"
 
 #include "engine/ThreadPool.h"
+#include "workload/TraceArena.h"
 #include "workload/TraceGenerator.h"
 
 #include <cassert>
@@ -53,10 +54,16 @@ void runCell(const ExperimentPlan &Plan, CellResult &Cell,
     if (Plan.observerFactory())
       Observer = Plan.observerFactory()(Ctx);
 
-    workload::TraceGenerator Gen(Bench.Spec, Input);
+    // With a plan arena the cell replays the shared materialization
+    // (first cell per key generates, the rest decode); without one it
+    // synthesizes its own stream.  Identical events either way.
+    const std::unique_ptr<workload::EventSource> Source =
+        Plan.traceArena()
+            ? Plan.traceArena()->open(Bench.Spec, Input)
+            : std::make_unique<workload::TraceGenerator>(Bench.Spec, Input);
     core::TraceRunMetrics Metrics;
     const core::ControlStats &Stats = core::runTrace(
-        *Controller, Gen, Observer.get(), BatchEvents, &Metrics);
+        *Controller, *Source, Observer.get(), BatchEvents, &Metrics);
     Cell.Stats = Stats;
     Cell.Events = Stats.EventsConsumed;
     Cell.Batches = Metrics.Batches;

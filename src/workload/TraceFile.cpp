@@ -66,26 +66,6 @@ int64_t unzigzag(uint32_t V) {
   return static_cast<int64_t>(V >> 1) ^ -static_cast<int64_t>(V & 1);
 }
 
-void putVarint(std::vector<uint8_t> &Out, uint32_t V) {
-  while (V >= 0x80) {
-    Out.push_back(static_cast<uint8_t>(V) | 0x80);
-    V >>= 7;
-  }
-  Out.push_back(static_cast<uint8_t>(V));
-}
-
-/// Decodes a varint from [P, End); nullptr on overrun/overlength.
-const uint8_t *getVarint(const uint8_t *P, const uint8_t *End, uint32_t &V) {
-  V = 0;
-  for (unsigned Shift = 0; Shift < 35 && P != End; Shift += 7) {
-    const uint8_t Byte = *P++;
-    V |= static_cast<uint32_t>(Byte & 0x7F) << Shift;
-    if (!(Byte & 0x80))
-      return P;
-  }
-  return nullptr;
-}
-
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -127,40 +107,61 @@ TraceWriterV2::TraceWriterV2(std::ostream &OS, uint32_t NumSites,
   putU32(OS, MinGap);
   putU32(OS, MaxGap);
   putU32(OS, this->BlockEvents);
-  Payload.reserve(this->BlockEvents * MaxEventBytes);
+  // Sized for the worst-case block up front so append() can emit through a
+  // raw pointer with no per-byte capacity checks.
+  Payload.resize(static_cast<size_t>(this->BlockEvents) * MaxEventBytes);
 }
 
 void TraceWriterV2::flushBlock() {
   if (BlockCount == 0)
     return;
   putU32(OS, BlockCount);
-  putU32(OS, static_cast<uint32_t>(Payload.size()));
-  putU64(OS, hash64(Payload.data(), Payload.size()));
+  putU32(OS, static_cast<uint32_t>(PayloadBytes));
+  putU64(OS, hash64(Payload.data(), PayloadBytes));
   OS.write(reinterpret_cast<const char *>(Payload.data()),
-           static_cast<std::streamsize>(Payload.size()));
+           static_cast<std::streamsize>(PayloadBytes));
   Written += BlockCount;
+  EncodedBytes += 16 + PayloadBytes; // frame (count, bytes, checksum)
+  ++Blocks;
   BlockCount = 0;
   PrevSite = 0;
-  Payload.clear();
+  PayloadBytes = 0;
 }
 
 bool TraceWriterV2::append(std::span<const BranchEvent> Events) {
   if (!Ok)
     return false;
+  uint8_t *const Base = Payload.data();
+  uint8_t *P = Base + PayloadBytes;
+  uint32_t Prev = PrevSite;
+  uint32_t Count = BlockCount;
   for (const BranchEvent &E : Events) {
     if (E.Site > TraceFileLimits::MaxSite ||
         E.Gap > TraceFileLimits::MaxGap) {
       Ok = false;
       return false;
     }
-    putVarint(Payload, zigzag(static_cast<int64_t>(E.Site) -
-                              static_cast<int64_t>(PrevSite)));
-    Payload.push_back(static_cast<uint8_t>(
-        (static_cast<uint8_t>(E.Taken) << 7) | E.Gap));
-    PrevSite = E.Site;
-    if (++BlockCount == BlockEvents)
+    uint32_t V = zigzag(static_cast<int64_t>(E.Site) -
+                        static_cast<int64_t>(Prev));
+    while (V >= 0x80) {
+      *P++ = static_cast<uint8_t>(V) | 0x80;
+      V >>= 7;
+    }
+    *P++ = static_cast<uint8_t>(V);
+    *P++ = static_cast<uint8_t>((static_cast<uint8_t>(E.Taken) << 7) | E.Gap);
+    Prev = E.Site;
+    if (++Count == BlockEvents) {
+      PayloadBytes = static_cast<size_t>(P - Base);
+      BlockCount = Count;
       flushBlock();
+      P = Base;
+      Prev = 0;
+      Count = 0;
+    }
   }
+  PayloadBytes = static_cast<size_t>(P - Base);
+  BlockCount = Count;
+  PrevSite = Prev;
   Ok = OS.good();
   return Ok;
 }
@@ -184,6 +185,114 @@ uint64_t workload::writeTraceV2(std::ostream &OS, TraceGenerator &Gen,
     if (!Writer.append(std::span<const BranchEvent>(Chunk.data(), N)))
       return 0;
   return Writer.finish() ? Writer.eventsWritten() : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Block payload decoding (shared by the file reader and the trace arena)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The shared decode loop.  Checked instantiation: every bound and range
+/// validated, counters committed only on whole-block success (untrusted
+/// input -- the file reader, arena verification).  Trusted instantiation:
+/// no validation at all (the arena replay cursor, whose blocks were fully
+/// verified or writer-produced at materialization time); the hot loop then
+/// reduces to a one-byte-varint fast path plus straight stores.
+///
+/// The checked path does site arithmetic in uint32 like the trusted one:
+/// sites are < 2^24 and |unzigzag delta| <= 2^31, so a negative or
+/// overflowing int64 site can never wrap back into [0, NumSites) -- the
+/// single unsigned compare is exactly equivalent to the signed range pair.
+template <bool Trusted>
+bool decodeBlockImpl(const uint8_t *P, const uint8_t *End,
+                     uint32_t EventCount, uint32_t NumSites,
+                     uint64_t &NextIndex, uint64_t &InstRet,
+                     BranchEvent *Out) {
+  uint64_t Index = NextIndex;
+  uint64_t Inst = InstRet;
+  uint32_t PrevSite = 0;
+  for (uint32_t I = 0; I < EventCount; ++I) {
+    uint32_t Delta;
+    if (Trusted) {
+      // Branchless 1/2-byte fast path.  Both loads are always in bounds:
+      // a one-byte varint is followed by the packed byte, so P[1] exists
+      // either way.  Wide-site workloads alternate varint lengths event
+      // to event, which the predictor cannot learn -- masking the second
+      // byte in unconditionally beats a mispredicting length branch.
+      const uint32_t B0 = P[0];
+      const uint32_t B1 = P[1];
+      const uint32_t More = B0 >> 7;
+      Delta = (B0 & 0x7F) | (((B1 & 0x7F) << 7) & (0u - More));
+      P += 1 + More;
+      if (More & (B1 >> 7)) { // rare >= 3-byte continuation
+        unsigned Shift = 14;
+        uint32_t Byte;
+        do {
+          Byte = *P++;
+          Delta |= (Byte & 0x7F) << Shift;
+          Shift += 7;
+        } while (Byte & 0x80);
+      }
+    } else {
+      // Shortest event: one varint byte + the packed taken/gap byte.
+      if (End - P < 2)
+        return false;
+      uint32_t Byte = *P++;
+      Delta = Byte & 0x7F;
+      if (Byte & 0x80) {
+        unsigned Shift = 7;
+        do {
+          if (P == End || Shift >= 35)
+            return false;
+          Byte = *P++;
+          Delta |= (Byte & 0x7F) << Shift;
+          Shift += 7;
+        } while (Byte & 0x80);
+        if (P == End) // the packed byte must still follow
+          return false;
+      }
+    }
+    const uint32_t Site =
+        PrevSite + static_cast<uint32_t>(unzigzag(Delta));
+    if (!Trusted && Site >= NumSites)
+      return false;
+    const uint32_t Packed = *P++;
+    BranchEvent &E = Out[I];
+    E.Site = Site;
+    E.Taken = (Packed >> 7) != 0;
+    E.Gap = Packed & 0x7F;
+    E.Index = Index++;
+    Inst += (Packed & 0x7F) + 1;
+    E.InstRet = Inst;
+    PrevSite = Site;
+  }
+  if (!Trusted && P != End)
+    return false;
+  NextIndex = Index;
+  InstRet = Inst;
+  return true;
+}
+
+} // namespace
+
+bool workload::decodeTraceBlockPayload(const uint8_t *Payload,
+                                       size_t PayloadBytes,
+                                       uint32_t EventCount, uint32_t NumSites,
+                                       uint64_t &NextIndex, uint64_t &InstRet,
+                                       BranchEvent *Out) {
+  return decodeBlockImpl<false>(Payload, Payload + PayloadBytes, EventCount,
+                                NumSites, NextIndex, InstRet, Out);
+}
+
+void workload::decodeTraceBlockPayloadTrusted(const uint8_t *Payload,
+                                              size_t PayloadBytes,
+                                              uint32_t EventCount,
+                                              uint64_t &NextIndex,
+                                              uint64_t &InstRet,
+                                              BranchEvent *Out) {
+  decodeBlockImpl<true>(Payload, Payload + PayloadBytes, EventCount, 0,
+                        NextIndex, InstRet, Out);
 }
 
 //===----------------------------------------------------------------------===//
@@ -255,42 +364,12 @@ bool TraceFileReader::refillBlock() {
     return false;
   }
 
-  const uint8_t *P = Payload.data();
-  const uint8_t *End = P + Payload.size();
-  int64_t PrevSite = 0;
-  for (uint32_t I = 0; I < BlockN; ++I) {
-    uint32_t Delta = 0;
-    P = getVarint(P, End, Delta);
-    if (!P || P == End) {
-      fail("malformed event encoding in trace block");
-      Block.clear();
-      return false;
-    }
-    const int64_t Site = PrevSite + unzigzag(Delta);
-    if (Site < 0 || Site >= static_cast<int64_t>(NumSites)) {
-      fail("trace event site out of range");
-      Block.clear();
-      return false;
-    }
-    const uint8_t Packed = *P++;
-    BranchEvent E;
-    E.Site = static_cast<SiteId>(Site);
-    E.Taken = (Packed >> 7) & 1;
-    E.Gap = Packed & 0x7F;
-    E.Index = NextIndex++;
-    InstRet += E.Gap + 1;
-    E.InstRet = InstRet;
-    Block.push_back(E);
-    PrevSite = Site;
-  }
-  if (P != End) {
-    fail("trailing bytes in trace block");
-    // The decoded events can't be trusted either: reject the whole block
-    // (and roll back the accounting it advanced).
-    NextIndex -= Block.size();
-    for (const BranchEvent &E : Block)
-      InstRet -= E.Gap + 1;
-    Block.clear();
+  Block.resize(BlockN);
+  // The shared decoder commits NextIndex/InstRet only on success, so a
+  // rejected block leaves the accounting untouched and stages no events.
+  if (!decodeTraceBlockPayload(Payload.data(), Payload.size(), BlockN,
+                               NumSites, NextIndex, InstRet, Block.data())) {
+    fail("malformed event encoding in trace block");
     return false;
   }
   return true;
@@ -376,7 +455,8 @@ size_t TraceFileReader::nextBatch(std::span<BranchEvent> Buffer) {
 //===----------------------------------------------------------------------===//
 
 uint64_t workload::migrateTrace(std::istream &In, std::ostream &Out,
-                                uint32_t BlockEvents) {
+                                uint32_t BlockEvents,
+                                TraceMigrateStats *Stats) {
   TraceFileReader Reader(In);
   if (!Reader.valid())
     return 0;
@@ -391,7 +471,13 @@ uint64_t workload::migrateTrace(std::istream &In, std::ostream &Out,
     return 0;
   if (!Writer.finish())
     return 0;
-  return Writer.eventsWritten() == Reader.totalEvents()
-             ? Writer.eventsWritten()
-             : 0;
+  if (Writer.eventsWritten() != Reader.totalEvents())
+    return 0;
+  if (Stats) {
+    Stats->Events = Writer.eventsWritten();
+    Stats->Blocks = Writer.blocksWritten();
+    Stats->EncodedBytes = Writer.encodedBytes();
+    Stats->CompressionVsV1 = Writer.compressionVsV1();
+  }
+  return Writer.eventsWritten();
 }

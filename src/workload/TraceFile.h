@@ -59,6 +59,27 @@ inline constexpr uint32_t TraceV2BlockEvents = 4096;
 /// stream went bad).
 uint64_t writeTrace(std::ostream &OS, TraceGenerator &Gen);
 
+/// Decodes one SCT2 block payload of \p EventCount events into \p Out
+/// (capacity >= EventCount), reconstructing Index/InstRet from the running
+/// counters, which are committed only when the whole block decodes cleanly.
+/// Returns false on malformed encoding, out-of-range site, or trailing
+/// payload bytes -- the all-or-nothing block contract shared by
+/// TraceFileReader and the in-memory trace arena.
+bool decodeTraceBlockPayload(const uint8_t *Payload, size_t PayloadBytes,
+                             uint32_t EventCount, uint32_t NumSites,
+                             uint64_t &NextIndex, uint64_t &InstRet,
+                             BranchEvent *Out);
+
+/// Validation-free variant of decodeTraceBlockPayload for payloads already
+/// proven well-formed (the arena replay path: images come straight from
+/// TraceWriterV2 or were fully decoded+checksummed at load time).  Same
+/// event reconstruction, no bounds or range checks, cannot fail; the
+/// payload size only delimits the encoded bytes and is never re-validated.
+void decodeTraceBlockPayloadTrusted(const uint8_t *Payload,
+                                    size_t PayloadBytes, uint32_t EventCount,
+                                    uint64_t &NextIndex, uint64_t &InstRet,
+                                    BranchEvent *Out);
+
 /// Streaming SCT2 writer: construct with the header facts, append event
 /// chunks (any chunking -- block framing is internal), then finish().
 class TraceWriterV2 {
@@ -75,16 +96,29 @@ public:
   bool finish();
 
   uint64_t eventsWritten() const { return Written; }
+  /// Block bytes emitted so far (framing + payload, header excluded).
+  uint64_t encodedBytes() const { return EncodedBytes; }
+  uint64_t blocksWritten() const { return Blocks; }
+  /// Compression achieved vs the 4 B/event v1 encoding, averaged over the
+  /// blocks written so far (e.g. 2.0 = half the bytes).
+  double compressionVsV1() const {
+    return EncodedBytes ? 4.0 * static_cast<double>(Written) /
+                              static_cast<double>(EncodedBytes)
+                        : 0.0;
+  }
 
 private:
   void flushBlock();
 
   std::ostream &OS;
   uint32_t BlockEvents;
-  std::vector<uint8_t> Payload;   ///< current block's encoded events
+  std::vector<uint8_t> Payload;   ///< worst-case-sized block encode buffer
+  size_t PayloadBytes = 0;        ///< encoded bytes in the current block
   uint32_t BlockCount = 0;        ///< events in the current block
   uint32_t PrevSite = 0;          ///< delta base within the current block
   uint64_t Written = 0;
+  uint64_t EncodedBytes = 0;
+  uint64_t Blocks = 0;
   bool Ok = true;
 };
 
@@ -145,11 +179,22 @@ private:
   std::vector<uint8_t> Payload; ///< reused block read buffer
 };
 
+/// Encoding accounting of one migration (optional out-param).
+struct TraceMigrateStats {
+  uint64_t Events = 0;       ///< events rewritten
+  uint64_t Blocks = 0;       ///< v2 blocks emitted
+  uint64_t EncodedBytes = 0; ///< block bytes (framing + payload)
+  /// Compression vs the 4 B/event v1 encoding (per-block average).
+  double CompressionVsV1 = 0.0;
+};
+
 /// Reads a trace in either format from \p In and rewrites it as SCT2 to
 /// \p Out.  Returns events migrated, or 0 on failure (invalid, truncated,
-/// or corrupt input; write error).
+/// or corrupt input; write error).  \p Stats, when non-null, receives the
+/// encoding accounting of a successful migration.
 uint64_t migrateTrace(std::istream &In, std::ostream &Out,
-                      uint32_t BlockEvents = TraceV2BlockEvents);
+                      uint32_t BlockEvents = TraceV2BlockEvents,
+                      TraceMigrateStats *Stats = nullptr);
 
 } // namespace workload
 } // namespace specctrl

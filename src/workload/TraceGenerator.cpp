@@ -27,8 +27,15 @@ TraceGenerator::TraceGenerator(const WorkloadSpec &Spec,
 void TraceGenerator::buildPhaseTables() {
   PhaseSites.assign(Spec.NumPhases, {});
   PhaseTables.assign(Spec.NumPhases, AliasTable());
+  // Reserve the whole-population upper bound up front so cold-start cost
+  // is one allocation per table, not push_back growth.
+  ExecCounts.reserve(Spec.numSites());
+  States.reserve(Spec.numSites());
+  std::vector<double> Weights;
+  Weights.reserve(Spec.numSites());
   for (unsigned P = 0; P < Spec.NumPhases; ++P) {
-    std::vector<double> Weights;
+    Weights.clear();
+    PhaseSites[P].reserve(Spec.numSites());
     for (SiteId S = 0; S < Spec.numSites(); ++S) {
       if (!Spec.siteActive(S, Input, P))
         continue;

@@ -1,0 +1,297 @@
+//===- tests/workload/TraceArenaTest.cpp ----------------------------------===//
+//
+// The trace arena's contract: an ArenaReplaySource streams events
+// bit-identical to the TraceGenerator for the same (spec, input) -- Index
+// and InstRet included -- at any consumer chunk size; a key materializes
+// exactly once no matter how many cursors open it; the disk tier
+// round-trips through ordinary v2 trace files and regenerates on
+// corruption; and traces beyond the SCT2 encoding limits fall back to a
+// private generator transparently.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/TraceArena.h"
+
+#include "workload/SpecSuite.h"
+#include "workload/TraceGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <vector>
+
+using namespace specctrl;
+using namespace specctrl::workload;
+
+namespace {
+
+/// Small enough that the 12-benchmark x 2-input sweep runs in seconds,
+/// large enough for multi-block traces (see BatchEquivalenceTest).
+constexpr SuiteScale TestScale{3.0e3, 0.1};
+
+/// The consumer chunk sizes under test: the pipeline default (= the
+/// arena's block size, the zero-copy path) and an odd size that never
+/// divides a block (the staging path).
+constexpr size_t TestBatches[] = {DefaultBatchEvents, 257};
+
+/// Drains \p Source in chunks of \p Batch and compares every event --
+/// all fields -- against a fresh generator stream for (Spec, Input).
+void expectStreamIdentity(EventSource &Source, const WorkloadSpec &Spec,
+                          const InputConfig &Input, size_t Batch) {
+  TraceGenerator Reference(Spec, Input);
+  std::vector<BranchEvent> Chunk(Batch);
+  BranchEvent Expected;
+  uint64_t Count = 0;
+  while (const size_t N = Source.nextBatch(Chunk)) {
+    for (size_t I = 0; I < N; ++I) {
+      ASSERT_TRUE(Reference.next(Expected))
+          << Spec.Name << "/" << Input.Name << ": replay stream too long "
+          << "at event " << Count;
+      ASSERT_EQ(Chunk[I], Expected)
+          << Spec.Name << "/" << Input.Name << " batch=" << Batch
+          << " event " << Count;
+      ++Count;
+    }
+  }
+  EXPECT_FALSE(Reference.next(Expected))
+      << Spec.Name << "/" << Input.Name << ": replay stream too short";
+  EXPECT_EQ(Count, Input.Events);
+}
+
+/// A scratch directory for disk-tier tests, removed on destruction.
+class TempDir {
+public:
+  TempDir() {
+    Path = std::filesystem::temp_directory_path() /
+           ("specctrl-arena-test-" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "-" + std::to_string(reinterpret_cast<uintptr_t>(this)));
+    std::filesystem::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+  std::string str() const { return Path.string(); }
+  std::filesystem::path Path;
+};
+
+/// The single cached trace file in \p Dir (asserts there is exactly one).
+std::filesystem::path cachedFile(const TempDir &Dir) {
+  std::filesystem::path Found;
+  unsigned N = 0;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir.Path)) {
+    Found = Entry.path();
+    ++N;
+  }
+  EXPECT_EQ(N, 1u);
+  return Found;
+}
+
+} // namespace
+
+TEST(TraceArenaTest, ReplayMatchesGeneratorAcrossSuiteAndChunkSizes) {
+  TraceArena Arena;
+  for (const BenchmarkProfile &P : suiteProfiles()) {
+    const WorkloadSpec Spec = makeBenchmark(P, TestScale);
+    for (const InputConfig &Input : {Spec.refInput(), Spec.trainInput()})
+      for (const size_t Batch : TestBatches) {
+        const std::unique_ptr<EventSource> Source = Arena.open(Spec, Input);
+        expectStreamIdentity(*Source, Spec, Input, Batch);
+      }
+  }
+  // Every open above replayed the arena (no fallbacks), and each of the
+  // 12 x 2 (spec, input) keys materialized exactly once despite four
+  // opens apiece.
+  const TraceArenaStats S = Arena.stats();
+  EXPECT_EQ(S.Materializations, 24u);
+  EXPECT_EQ(S.CursorOpens, 48u);
+  EXPECT_EQ(S.Fallbacks, 0u);
+  EXPECT_EQ(S.DiskLoads, 0u);
+  EXPECT_EQ(S.DiskStores, 0u);
+  EXPECT_GT(S.ResidentEvents, 0u);
+  // The SCT2 encoding must actually compress vs the 4 B/event v1 format.
+  EXPECT_LT(S.ResidentBytes, 4 * S.ResidentEvents);
+}
+
+TEST(TraceArenaTest, PerEventNextMatchesGenerator) {
+  const WorkloadSpec Spec = makeBenchmark("gzip", TestScale);
+  const InputConfig Input = Spec.refInput();
+  TraceArena Arena;
+  const std::unique_ptr<EventSource> Source = Arena.open(Spec, Input);
+  TraceGenerator Reference(Spec, Input);
+  BranchEvent Got, Expected;
+  uint64_t Count = 0;
+  while (Source->next(Got)) {
+    ASSERT_TRUE(Reference.next(Expected));
+    ASSERT_EQ(Got, Expected) << "event " << Count;
+    ++Count;
+  }
+  EXPECT_FALSE(Reference.next(Expected));
+  EXPECT_EQ(Count, Input.Events);
+}
+
+TEST(TraceArenaTest, CursorResetRestartsTheStream) {
+  const WorkloadSpec Spec = makeBenchmark("gzip", TestScale);
+  const InputConfig Input = Spec.refInput();
+  TraceArena Arena;
+  const std::shared_ptr<const MaterializedTrace> Trace =
+      Arena.materialize(Spec, Input);
+  ASSERT_TRUE(Trace);
+  ArenaReplaySource Source(Trace);
+
+  // Consume a ragged prefix, then reset: the stream must restart from
+  // event zero with Index/InstRet reconstruction rewound too.
+  std::vector<BranchEvent> Chunk(257);
+  ASSERT_GT(Source.nextBatch(Chunk), 0u);
+  ASSERT_GT(Source.nextBatch(Chunk), 0u);
+  Source.reset();
+  expectStreamIdentity(Source, Spec, Input, 4096);
+}
+
+TEST(TraceArenaTest, IndependentCursorsShareOneMaterialization) {
+  const WorkloadSpec Spec = makeBenchmark("gzip", TestScale);
+  const InputConfig Input = Spec.refInput();
+  TraceArena Arena;
+
+  // Two cursors advanced in lockstep see identical streams (independent
+  // decode positions over the same immutable bytes).
+  const std::unique_ptr<EventSource> A = Arena.open(Spec, Input);
+  const std::unique_ptr<EventSource> B = Arena.open(Spec, Input);
+  std::vector<BranchEvent> ChunkA(257), ChunkB(257);
+  while (true) {
+    const size_t NA = A->nextBatch(ChunkA);
+    const size_t NB = B->nextBatch(ChunkB);
+    ASSERT_EQ(NA, NB);
+    if (NA == 0)
+      break;
+    for (size_t I = 0; I < NA; ++I)
+      ASSERT_EQ(ChunkA[I], ChunkB[I]);
+  }
+
+  const TraceArenaStats S = Arena.stats();
+  EXPECT_EQ(S.Materializations, 1u);
+  EXPECT_EQ(S.CursorOpens, 2u);
+}
+
+TEST(TraceArenaTest, DistinctInputsMaterializeSeparately) {
+  const WorkloadSpec Spec = makeBenchmark("gzip", TestScale);
+  TraceArena Arena;
+  (void)Arena.open(Spec, Spec.refInput());
+  (void)Arena.open(Spec, Spec.trainInput());
+  (void)Arena.open(Spec, Spec.refInput()); // warm
+  const TraceArenaStats S = Arena.stats();
+  EXPECT_EQ(S.Materializations, 2u);
+  EXPECT_EQ(S.CursorOpens, 3u);
+}
+
+TEST(TraceArenaTest, DiskTierRoundTripsAcrossArenaInstances) {
+  const WorkloadSpec Spec = makeBenchmark("gzip", TestScale);
+  const InputConfig Input = Spec.refInput();
+  TempDir Dir;
+
+  {
+    TraceArena::Config Cfg;
+    Cfg.CacheDir = Dir.str();
+    TraceArena Cold(std::move(Cfg));
+    const std::unique_ptr<EventSource> Source = Cold.open(Spec, Input);
+    expectStreamIdentity(*Source, Spec, Input, DefaultBatchEvents);
+    const TraceArenaStats S = Cold.stats();
+    EXPECT_EQ(S.Materializations, 1u);
+    EXPECT_EQ(S.DiskStores, 1u);
+    EXPECT_EQ(S.DiskLoads, 0u);
+  }
+
+  // A fresh arena (a later process) serves the same key from disk --
+  // no regeneration -- and the replayed stream is still bit-identical.
+  TraceArena::Config Cfg;
+  Cfg.CacheDir = Dir.str();
+  TraceArena Warm(std::move(Cfg));
+  const std::unique_ptr<EventSource> Source = Warm.open(Spec, Input);
+  expectStreamIdentity(*Source, Spec, Input, DefaultBatchEvents);
+  const TraceArenaStats S = Warm.stats();
+  EXPECT_EQ(S.Materializations, 0u);
+  EXPECT_EQ(S.DiskLoads, 1u);
+  EXPECT_EQ(S.DiskStores, 0u);
+}
+
+TEST(TraceArenaTest, CorruptCacheFileIsRegeneratedNotServed) {
+  const WorkloadSpec Spec = makeBenchmark("gzip", TestScale);
+  const InputConfig Input = Spec.refInput();
+  TempDir Dir;
+
+  {
+    TraceArena::Config Cfg;
+    Cfg.CacheDir = Dir.str();
+    TraceArena Cold(std::move(Cfg));
+    (void)Cold.materialize(Spec, Input);
+  }
+
+  // Flip one payload byte in the cached file: every block is
+  // checksum-verified on load, so the corruption must be detected and the
+  // trace regenerated (and re-stored), never replayed.
+  const std::filesystem::path Cached = cachedFile(Dir);
+  {
+    std::fstream F(Cached, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(F.is_open());
+    F.seekp(-1, std::ios::end);
+    const char Flip = static_cast<char>(F.peek() ^ 0x40);
+    F.write(&Flip, 1);
+  }
+
+  TraceArena::Config Cfg;
+  Cfg.CacheDir = Dir.str();
+  TraceArena Arena(std::move(Cfg));
+  const std::unique_ptr<EventSource> Source = Arena.open(Spec, Input);
+  expectStreamIdentity(*Source, Spec, Input, DefaultBatchEvents);
+  const TraceArenaStats S = Arena.stats();
+  EXPECT_EQ(S.DiskLoads, 0u);
+  EXPECT_EQ(S.Materializations, 1u);
+  EXPECT_EQ(S.DiskStores, 1u); // the bad file was replaced
+}
+
+TEST(TraceArenaTest, UnencodableTraceFallsBackToGenerator) {
+  // Gaps above 127 are beyond the SCT2 packed taken/gap byte, so this
+  // workload cannot be materialized; open() must serve a private
+  // generator with the identical stream and count the fallback.
+  WorkloadSpec Spec;
+  Spec.Name = "wide-gap";
+  Spec.RefEvents = 5000;
+  Spec.TrainEvents = 1000;
+  Spec.MinGap = 120;
+  Spec.MaxGap = 200;
+  for (unsigned I = 0; I < 8; ++I) {
+    SiteSpec S;
+    S.Behavior.BiasA = 0.9;
+    Spec.Sites.push_back(S);
+  }
+  const InputConfig Input = Spec.refInput();
+
+  TraceArena Arena;
+  EXPECT_EQ(Arena.materialize(Spec, Input), nullptr);
+  const std::unique_ptr<EventSource> Source = Arena.open(Spec, Input);
+  expectStreamIdentity(*Source, Spec, Input, 257);
+
+  const TraceArenaStats S = Arena.stats();
+  EXPECT_EQ(S.Materializations, 0u);
+  EXPECT_EQ(S.Fallbacks, 1u);
+  EXPECT_EQ(S.CursorOpens, 1u);
+  EXPECT_EQ(S.ResidentBytes, 0u);
+}
+
+TEST(TraceArenaTest, MaterializedTraceReportsCompression) {
+  const WorkloadSpec Spec = makeBenchmark("gzip", TestScale);
+  TraceArena Arena;
+  const std::shared_ptr<const MaterializedTrace> Trace =
+      Arena.materialize(Spec, Spec.refInput());
+  ASSERT_TRUE(Trace);
+  EXPECT_EQ(Trace->totalEvents(), Spec.RefEvents);
+  EXPECT_EQ(Trace->numSites(), Spec.numSites());
+  EXPECT_GT(Trace->numBlocks(), 1u);
+  // ~2 B/event vs v1's fixed 4 B/event.
+  EXPECT_GT(Trace->compressionVsV1(), 1.5);
+}

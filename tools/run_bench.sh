@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Runs the perf-trajectory microbenches (MSSP simulator throughput +
-# trace pipeline) and records google-benchmark JSON next to the build:
-# BENCH_mssp.json and BENCH_trace_pipe.json.
+# trace pipeline + trace-arena sweep amortization) and records
+# google-benchmark JSON next to the build: BENCH_mssp.json,
+# BENCH_trace_pipe.json, and BENCH_arena.json.
 #
 # Usage: tools/run_bench.sh [build-dir] [output-json]
 #   build-dir    defaults to ./build
@@ -32,11 +33,21 @@ echo "wrote ${OUT}"
 
 if [ -x "${PIPE_BIN}" ]; then
   "${PIPE_BIN}" \
+    --benchmark_filter='-BM_TraceArena' \
     --benchmark_out="${PIPE_OUT}" \
     --benchmark_out_format=json \
     --benchmark_counters_tabular=true
 
   echo "wrote ${PIPE_OUT}"
+
+  ARENA_OUT="${BUILD_DIR}/BENCH_arena.json"
+  "${PIPE_BIN}" \
+    --benchmark_filter=BM_TraceArena \
+    --benchmark_out="${ARENA_OUT}" \
+    --benchmark_out_format=json \
+    --benchmark_counters_tabular=true
+
+  echo "wrote ${ARENA_OUT}"
 else
   echo "note: ${PIPE_BIN} not built; skipped BENCH_trace_pipe.json" >&2
 fi

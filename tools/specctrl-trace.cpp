@@ -25,6 +25,7 @@
 #include "workload/TraceFile.h"
 #include "workload/TraceGenerator.h"
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 
@@ -122,14 +123,18 @@ int main(int Argc, char **Argv) {
       std::cerr << "error: cannot write trace file\n";
       return 1;
     }
-    const uint64_t N = migrateTrace(In, Out);
+    workload::TraceMigrateStats Stats;
+    const uint64_t N = migrateTrace(In, Out, TraceV2BlockEvents, &Stats);
     if (N == 0) {
       std::cerr << "error: migration failed (invalid, truncated, or "
                    "corrupt input)\n";
       return 1;
     }
+    char Ratio[32];
+    std::snprintf(Ratio, sizeof(Ratio), "%.2f", Stats.CompressionVsV1);
     std::cout << "migrated " << formatMagnitude(static_cast<double>(N))
-              << " events to " << Dst << " (v2)\n";
+              << " events to " << Dst << " (v2, " << Stats.Blocks
+              << " blocks, " << Ratio << "x vs v1)\n";
     return 0;
   }
 
