@@ -1,0 +1,86 @@
+//===- analysis/ConstProp.h - Conditional constant facts --------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-granular conditional constant propagation (SCCP-style): registers
+/// carry a three-point lattice (unreached / known constant / unknown), the
+/// entry state is all-zero (SimIR frames are zero-initialized), and branch
+/// edges whose condition is a known constant only propagate along the
+/// taken side.  Executability here therefore mirrors -- and dominates --
+/// what the distiller's iterated fold + straighten pipeline can prove,
+/// which is exactly what the distillation safety verifier needs: a branch
+/// the distiller folded away must be decidable by this analysis, and a
+/// block it deleted must be non-executable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_ANALYSIS_CONSTPROP_H
+#define SPECCTRL_ANALYSIS_CONSTPROP_H
+
+#include "analysis/Dataflow.h"
+#include "ir/Instruction.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace specctrl {
+namespace analysis {
+
+/// A register's lattice value.
+struct ConstVal {
+  enum Kind : uint8_t {
+    Bottom, ///< no executable path defines it (unreached)
+    Const,  ///< known 64-bit constant on every executable path
+    Top,    ///< value varies or is data-dependent
+  };
+  Kind K = Bottom;
+  uint64_t Value = 0; ///< meaningful only when K == Const
+
+  static ConstVal bottom() { return {}; }
+  static ConstVal constant(uint64_t V) { return {Const, V}; }
+  static ConstVal top() { return {Top, 0}; }
+
+  bool isConst() const { return K == Const; }
+
+  friend bool operator==(const ConstVal &A, const ConstVal &B) {
+    return A.K == B.K && (A.K != Const || A.Value == B.Value);
+  }
+  friend bool operator!=(const ConstVal &A, const ConstVal &B) {
+    return !(A == B);
+  }
+};
+
+/// Conditional constant facts for one function.
+class ConstantFacts {
+public:
+  explicit ConstantFacts(const CFGInfo &G);
+
+  /// True if some execution from the entry can reach \p Block under the
+  /// branch conditions this analysis decides.  Non-executable blocks are
+  /// exactly the ones the distiller's fold + straighten fixpoint may
+  /// delete.
+  bool executable(uint32_t Block) const { return Executable[Block]; }
+
+  /// Lattice value of \p Reg immediately before instruction \p Index of
+  /// \p Block (Bottom for non-executable blocks).
+  ConstVal valueAt(uint32_t Block, uint32_t Index, uint8_t Reg) const;
+
+  /// Lattice value of the terminator's branch condition, or Top if the
+  /// block does not end in a conditional branch.
+  ConstVal branchCondition(uint32_t Block) const;
+
+private:
+  std::vector<ConstVal> transferTo(uint32_t Block, uint32_t Index) const;
+
+  const CFGInfo *G;
+  std::vector<bool> Executable;
+  std::vector<std::vector<ConstVal>> In; ///< per-block entry register state
+};
+
+} // namespace analysis
+} // namespace specctrl
+
+#endif // SPECCTRL_ANALYSIS_CONSTPROP_H

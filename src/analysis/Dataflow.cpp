@@ -1,0 +1,22 @@
+//===- analysis/Dataflow.cpp - SimIR dataflow framework -------------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+
+using namespace specctrl;
+using namespace specctrl::analysis;
+
+CFGInfo::CFGInfo(const ir::Function &F) : F(&F) {
+  const uint32_t N = F.numBlocks();
+  Succs.resize(N);
+  for (uint32_t B = 0; B < N; ++B)
+    Succs[B] = ir::successors(F.block(B).terminator());
+  Preds = ir::predecessors(F);
+  Rpo = ir::reversePostOrder(F);
+  RpoIndex.assign(N, InvalidBlock);
+  for (uint32_t I = 0; I < Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+}

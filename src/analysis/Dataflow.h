@@ -1,0 +1,164 @@
+//===- analysis/Dataflow.h - SimIR dataflow framework -----------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable forward/backward dataflow framework over SimIR functions:
+/// CFGInfo caches the adjacency and reverse-post-order of one function's
+/// control-flow graph, and solveDataflow runs an iterative worklist solver
+/// over it.  The concrete analyses (dominators, liveness, reaching
+/// definitions, constant facts, store summaries) and the distillation
+/// safety verifier are built on these pieces.
+///
+/// Design notes:
+///  * Blocks are addressed by their Function index; the entry is block 0.
+///  * Unreachable blocks are excluded from rpo() and keep their initial
+///    state -- clients that care (the verifier does) query reachable().
+///  * States are value types; the solver is deterministic: it sweeps the
+///    blocks in reverse post order (post order for backward problems)
+///    until a fixpoint, which for the reducible CFGs the synthesizer and
+///    distiller produce converges in a couple of sweeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_ANALYSIS_DATAFLOW_H
+#define SPECCTRL_ANALYSIS_DATAFLOW_H
+
+#include "ir/CFG.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace specctrl {
+namespace analysis {
+
+/// Sentinel block index ("no block").
+inline constexpr uint32_t InvalidBlock = ~uint32_t(0);
+
+/// Cached control-flow facts for one function: successor and predecessor
+/// lists, reachability from the entry, and a reverse post order.  All the
+/// analyses in this directory take a CFGInfo so the adjacency is computed
+/// once per function, not once per analysis.
+class CFGInfo {
+public:
+  explicit CFGInfo(const ir::Function &F);
+
+  const ir::Function &function() const { return *F; }
+  uint32_t numBlocks() const { return static_cast<uint32_t>(Succs.size()); }
+
+  const std::vector<uint32_t> &succs(uint32_t Block) const {
+    return Succs[Block];
+  }
+  const std::vector<uint32_t> &preds(uint32_t Block) const {
+    return Preds[Block];
+  }
+
+  /// Blocks reachable from the entry, in reverse post order.
+  const std::vector<uint32_t> &rpo() const { return Rpo; }
+
+  /// Position of \p Block within rpo(), or InvalidBlock if unreachable.
+  uint32_t rpoIndex(uint32_t Block) const { return RpoIndex[Block]; }
+
+  bool reachable(uint32_t Block) const {
+    return RpoIndex[Block] != InvalidBlock;
+  }
+
+private:
+  const ir::Function *F;
+  std::vector<std::vector<uint32_t>> Succs;
+  std::vector<std::vector<uint32_t>> Preds;
+  std::vector<uint32_t> Rpo;
+  std::vector<uint32_t> RpoIndex;
+};
+
+/// Analysis direction for solveDataflow.
+enum class Direction { Forward, Backward };
+
+/// Per-block fixpoint states: for forward problems In[B] is the state at
+/// block entry and Out[B] at block exit; for backward problems In[B] is
+/// the state before the block's first instruction and Out[B] the state
+/// after its terminator (i.e. Out feeds In through the transfer).
+template <class State> struct DataflowResult {
+  std::vector<State> In;
+  std::vector<State> Out;
+};
+
+/// Iterative worklist solver.
+///
+///  \p Boundary  state at the entry (forward) or at every exit (backward);
+///  \p Init      initial state of all other block boundaries (the lattice
+///               top for must-problems, bottom for may-problems);
+///  \p Transfer  callable State(const State &, uint32_t Block): applies the
+///               whole block in the chosen direction;
+///  \p Meet      callable State(State, const State &): combines states
+///               flowing in from multiple edges.
+///
+/// Unreachable blocks keep (Init, Init).
+template <Direction Dir, class State, class TransferFn, class MeetFn>
+DataflowResult<State> solveDataflow(const CFGInfo &G, const State &Boundary,
+                                    const State &Init, TransferFn Transfer,
+                                    MeetFn Meet) {
+  const uint32_t N = G.numBlocks();
+  DataflowResult<State> R;
+  R.In.assign(N, Init);
+  R.Out.assign(N, Init);
+  if (N == 0)
+    return R;
+
+  // Iteration order: RPO visits defs before uses for forward problems;
+  // its reverse (post order) does the same for backward ones.
+  std::vector<uint32_t> Order = G.rpo();
+  if (Dir == Direction::Backward)
+    std::reverse(Order.begin(), Order.end());
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t B : Order) {
+      // Meet over the incoming edges (preds forward, succs backward).
+      const std::vector<uint32_t> &Edges =
+          Dir == Direction::Forward ? G.preds(B) : G.succs(B);
+      State NewIn = Init;
+      bool Seeded = false;
+      if (Dir == Direction::Forward ? B == 0 : Edges.empty()) {
+        NewIn = Boundary;
+        Seeded = true;
+      }
+      for (uint32_t E : Edges) {
+        if (!G.reachable(E))
+          continue;
+        // Transfer results always flow along edges: block exits forward,
+        // block entries backward (both live in R.Out until the final
+        // reorientation below).
+        const State &EdgeState = R.Out[E];
+        NewIn = Seeded ? Meet(std::move(NewIn), EdgeState) : EdgeState;
+        Seeded = true;
+      }
+      State NewOut = Transfer(NewIn, B);
+      if (NewIn != R.In[B] || NewOut != R.Out[B]) {
+        R.In[B] = std::move(NewIn);
+        R.Out[B] = std::move(NewOut);
+        Changed = true;
+      }
+    }
+  }
+
+  if (Dir == Direction::Backward) {
+    // Present backward results in execution orientation: In = before the
+    // block runs, Out = after its terminator.  The solver above kept the
+    // meet result (post-block state) in In and the transfer result
+    // (pre-block state) in Out; swap.
+    R.In.swap(R.Out);
+  }
+  return R;
+}
+
+} // namespace analysis
+} // namespace specctrl
+
+#endif // SPECCTRL_ANALYSIS_DATAFLOW_H

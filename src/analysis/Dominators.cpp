@@ -1,0 +1,78 @@
+//===- analysis/Dominators.cpp - Dominator tree over SimIR CFGs -----------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+using namespace specctrl;
+using namespace specctrl::analysis;
+
+DominatorTree::DominatorTree(const CFGInfo &G) {
+  const uint32_t N = G.numBlocks();
+  Idom.assign(N, InvalidBlock);
+  Children.resize(N);
+  DfsIn.assign(N, InvalidBlock);
+  DfsOut.assign(N, InvalidBlock);
+  Depth.assign(N, InvalidBlock);
+  if (N == 0 || G.rpo().empty())
+    return;
+
+  // Cooper-Harvey-Kennedy: intersect walks toward the entry using RPO
+  // positions; iterate over the RPO until the idom array stabilizes.
+  const uint32_t Entry = G.rpo().front();
+  Idom[Entry] = Entry;
+
+  auto Intersect = [&](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (G.rpoIndex(A) > G.rpoIndex(B))
+        A = Idom[A];
+      while (G.rpoIndex(B) > G.rpoIndex(A))
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t B : G.rpo()) {
+      if (B == Entry)
+        continue;
+      uint32_t NewIdom = InvalidBlock;
+      for (uint32_t P : G.preds(B)) {
+        if (!G.reachable(P) || Idom[P] == InvalidBlock)
+          continue;
+        NewIdom = NewIdom == InvalidBlock ? P : Intersect(NewIdom, P);
+      }
+      if (NewIdom != InvalidBlock && NewIdom != Idom[B]) {
+        Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+
+  // Tree edges + preorder intervals for O(1) dominance queries.
+  for (uint32_t B : G.rpo())
+    if (B != Entry && Idom[B] != InvalidBlock)
+      Children[Idom[B]].push_back(B);
+
+  uint32_t Clock = 0;
+  std::vector<std::pair<uint32_t, size_t>> Stack; // (block, next child)
+  DfsIn[Entry] = Clock++;
+  Depth[Entry] = 0;
+  Stack.push_back({Entry, 0});
+  while (!Stack.empty()) {
+    auto &[Block, Next] = Stack.back();
+    if (Next < Children[Block].size()) {
+      const uint32_t Child = Children[Block][Next++];
+      DfsIn[Child] = Clock++;
+      Depth[Child] = Depth[Block] + 1;
+      Stack.push_back({Child, 0});
+      continue;
+    }
+    DfsOut[Block] = Clock++;
+    Stack.pop_back();
+  }
+}

@@ -1,0 +1,68 @@
+//===- analysis/Dominators.h - Dominator tree over SimIR CFGs ---*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree construction (Cooper-Harvey-Kennedy iterative algorithm
+/// over the reverse post order) with O(1) dominance queries via a
+/// preorder interval numbering of the tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_ANALYSIS_DOMINATORS_H
+#define SPECCTRL_ANALYSIS_DOMINATORS_H
+
+#include "analysis/Dataflow.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace specctrl {
+namespace analysis {
+
+/// The dominator tree of one function's CFG.  Unreachable blocks have no
+/// dominator (idom() == InvalidBlock) and dominate nothing.
+class DominatorTree {
+public:
+  explicit DominatorTree(const CFGInfo &G);
+
+  /// Immediate dominator of \p Block.  The entry's idom is itself;
+  /// unreachable blocks report InvalidBlock.
+  uint32_t idom(uint32_t Block) const { return Idom[Block]; }
+
+  /// Reflexive dominance: every reachable block dominates itself.
+  /// Involving an unreachable block on either side returns false.
+  bool dominates(uint32_t A, uint32_t B) const {
+    if (DfsIn[A] == InvalidBlock || DfsIn[B] == InvalidBlock)
+      return false;
+    return DfsIn[A] <= DfsIn[B] && DfsOut[B] <= DfsOut[A];
+  }
+
+  /// Strict dominance.
+  bool strictlyDominates(uint32_t A, uint32_t B) const {
+    return A != B && dominates(A, B);
+  }
+
+  /// Children of \p Block in the dominator tree (entry is the root).
+  const std::vector<uint32_t> &children(uint32_t Block) const {
+    return Children[Block];
+  }
+
+  /// Depth of \p Block in the tree (entry = 0; unreachable = InvalidBlock).
+  uint32_t depth(uint32_t Block) const { return Depth[Block]; }
+
+private:
+  std::vector<uint32_t> Idom;
+  std::vector<std::vector<uint32_t>> Children;
+  std::vector<uint32_t> DfsIn;  ///< preorder interval start (InvalidBlock
+                                ///< for unreachable blocks)
+  std::vector<uint32_t> DfsOut; ///< preorder interval end
+  std::vector<uint32_t> Depth;
+};
+
+} // namespace analysis
+} // namespace specctrl
+
+#endif // SPECCTRL_ANALYSIS_DOMINATORS_H

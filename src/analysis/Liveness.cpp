@@ -1,0 +1,43 @@
+//===- analysis/Liveness.cpp - Register liveness for SimIR ----------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+using namespace specctrl;
+using namespace specctrl::analysis;
+
+LivenessResult analysis::computeLiveness(const CFGInfo &G) {
+  const ir::Function &F = G.function();
+
+  auto Transfer = [&](const uint64_t &LiveOut, uint32_t Block) {
+    uint64_t Live = LiveOut;
+    const ir::BasicBlock &BB = F.block(Block);
+    for (size_t I = BB.size(); I-- > 0;) {
+      const ir::Instruction &Inst = BB.Insts[I];
+      Live &= ~defMask(Inst);
+      Live |= useMask(Inst);
+    }
+    return Live;
+  };
+  auto Meet = [](uint64_t A, const uint64_t &B) { return A | B; };
+
+  DataflowResult<uint64_t> R = solveDataflow<Direction::Backward, uint64_t>(
+      G, /*Boundary=*/0, /*Init=*/0, Transfer, Meet);
+
+  return {std::move(R.In), std::move(R.Out)};
+}
+
+uint64_t analysis::liveBefore(const CFGInfo &G, const LivenessResult &L,
+                              uint32_t Block, uint32_t Index) {
+  const ir::BasicBlock &BB = G.function().block(Block);
+  uint64_t Live = L.LiveOut[Block];
+  for (size_t I = BB.size(); I-- > Index;) {
+    const ir::Instruction &Inst = BB.Insts[I];
+    Live &= ~defMask(Inst);
+    Live |= useMask(Inst);
+  }
+  return Live;
+}

@@ -1,0 +1,63 @@
+//===- analysis/Liveness.h - Register liveness for SimIR --------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward register-liveness analysis over the dataflow framework.  SimIR
+/// registers are function-local and at most Function::MaxRegs == 64, so a
+/// block state is a single 64-bit mask (bit r == register r live).  The
+/// boundary is 0: nothing is live out of a function -- region functions
+/// communicate only through memory, which is exactly the property the
+/// distiller's dead-code elimination exploits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_ANALYSIS_LIVENESS_H
+#define SPECCTRL_ANALYSIS_LIVENESS_H
+
+#include "analysis/Dataflow.h"
+#include "ir/Instruction.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace specctrl {
+namespace analysis {
+
+/// Mask of registers the instruction reads.
+inline uint64_t useMask(const ir::Instruction &I) {
+  const unsigned Sources = ir::numRegSources(I.Op);
+  uint64_t M = 0;
+  if (Sources >= 1)
+    M |= 1ull << I.SrcA;
+  if (Sources >= 2)
+    M |= 1ull << I.SrcB;
+  return M;
+}
+
+/// Mask of registers the instruction writes.
+inline uint64_t defMask(const ir::Instruction &I) {
+  return I.writesRegister() ? 1ull << I.Dest : 0;
+}
+
+/// Per-block liveness masks.
+struct LivenessResult {
+  std::vector<uint64_t> LiveIn;  ///< live before the block's first inst
+  std::vector<uint64_t> LiveOut; ///< live after the block's terminator
+};
+
+/// Computes register liveness for \p G's function.  Unreachable blocks
+/// report 0/0.
+LivenessResult computeLiveness(const CFGInfo &G);
+
+/// Registers live immediately before instruction \p Index of \p Block
+/// (recomputed by a backward walk from LiveOut; O(block size)).
+uint64_t liveBefore(const CFGInfo &G, const LivenessResult &L, uint32_t Block,
+                    uint32_t Index);
+
+} // namespace analysis
+} // namespace specctrl
+
+#endif // SPECCTRL_ANALYSIS_LIVENESS_H

@@ -1,0 +1,140 @@
+//===- analysis/ReachingDefs.cpp - Reaching definitions for SimIR ---------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ReachingDefs.h"
+
+#include <cassert>
+
+using namespace specctrl;
+using namespace specctrl::analysis;
+
+namespace {
+
+void setBit(std::vector<uint64_t> &Bits, uint32_t Id) {
+  Bits[Id / 64] |= 1ull << (Id % 64);
+}
+
+bool testBit(const std::vector<uint64_t> &Bits, uint32_t Id) {
+  return (Bits[Id / 64] >> (Id % 64)) & 1;
+}
+
+} // namespace
+
+ReachingDefs::ReachingDefs(const CFGInfo &G) : G(&G) {
+  const ir::Function &F = G.function();
+  const uint32_t N = F.numBlocks();
+
+  // Enumerate definition sites: entry defs first (id == register number),
+  // then explicit defs in (block, index) order.
+  for (unsigned R = 0; R < F.numRegs(); ++R)
+    Defs.push_back({0, 0, static_cast<uint8_t>(R), /*IsEntry=*/true});
+  BlockDefIds.resize(N);
+  for (uint32_t B = 0; B < N; ++B) {
+    const ir::BasicBlock &BB = F.block(B);
+    for (uint32_t I = 0; I < BB.size(); ++I) {
+      if (!BB.Insts[I].writesRegister())
+        continue;
+      BlockDefIds[B].push_back(static_cast<uint32_t>(Defs.size()));
+      Defs.push_back({B, I, BB.Insts[I].Dest, /*IsEntry=*/false});
+    }
+  }
+
+  const size_t Words = (Defs.size() + 63) / 64;
+  // Per-register def masks, for kill sets.
+  std::vector<BitWords> RegDefs(F.numRegs(), BitWords(Words, 0));
+  for (uint32_t Id = 0; Id < Defs.size(); ++Id)
+    setBit(RegDefs[Defs[Id].Reg], Id);
+
+  auto Transfer = [&](const BitWords &InBits, uint32_t Block) {
+    BitWords Out = InBits;
+    const ir::BasicBlock &BB = F.block(Block);
+    size_t NextDef = 0;
+    for (uint32_t I = 0; I < BB.size(); ++I) {
+      const ir::Instruction &Inst = BB.Insts[I];
+      if (!Inst.writesRegister())
+        continue;
+      const BitWords &Killed = RegDefs[Inst.Dest];
+      for (size_t W = 0; W < Words; ++W)
+        Out[W] &= ~Killed[W];
+      setBit(Out, BlockDefIds[Block][NextDef++]);
+    }
+    return Out;
+  };
+  auto Meet = [Words](BitWords A, const BitWords &B) {
+    for (size_t W = 0; W < Words; ++W)
+      A[W] |= B[W];
+    return A;
+  };
+
+  BitWords Boundary(Words, 0);
+  for (unsigned R = 0; R < F.numRegs(); ++R)
+    setBit(Boundary, R);
+
+  DataflowResult<BitWords> R = solveDataflow<Direction::Forward, BitWords>(
+      G, Boundary, BitWords(Words, 0), Transfer, Meet);
+  In = std::move(R.In);
+}
+
+std::vector<uint32_t> ReachingDefs::idsFrom(const BitWords &Bits) const {
+  std::vector<uint32_t> Ids;
+  for (uint32_t Id = 0; Id < Defs.size(); ++Id)
+    if (testBit(Bits, Id))
+      Ids.push_back(Id);
+  return Ids;
+}
+
+std::vector<uint32_t> ReachingDefs::reachingIn(uint32_t Block) const {
+  return idsFrom(In[Block]);
+}
+
+std::vector<uint32_t> ReachingDefs::defsAt(uint32_t Block, uint32_t Index,
+                                           uint8_t Reg) const {
+  const ir::BasicBlock &BB = G->function().block(Block);
+  assert(Index <= BB.size() && "instruction index out of range");
+
+  // Walk the block prefix: the last in-block def of Reg before Index wins;
+  // otherwise fall back to the block-entry set filtered to Reg.
+  uint32_t LastDef = InvalidBlock;
+  size_t NextDef = 0;
+  for (uint32_t I = 0; I < Index && I < BB.size(); ++I) {
+    if (!BB.Insts[I].writesRegister())
+      continue;
+    const uint32_t Id = BlockDefIds[Block][NextDef++];
+    if (BB.Insts[I].Dest == Reg)
+      LastDef = Id;
+  }
+  if (LastDef != InvalidBlock)
+    return {LastDef};
+
+  std::vector<uint32_t> Ids;
+  for (uint32_t Id : idsFrom(In[Block]))
+    if (Defs[Id].Reg == Reg)
+      Ids.push_back(Id);
+  return Ids;
+}
+
+std::optional<int64_t> ReachingDefs::constantAt(uint32_t Block, uint32_t Index,
+                                                uint8_t Reg) const {
+  const ir::Function &F = G->function();
+  std::optional<int64_t> Value;
+  const std::vector<uint32_t> Ids = defsAt(Block, Index, Reg);
+  if (Ids.empty())
+    return std::nullopt;
+  for (uint32_t Id : Ids) {
+    const DefSite &D = Defs[Id];
+    int64_t V = 0;
+    if (!D.IsEntry) {
+      const ir::Instruction &Inst = F.block(D.Block).Insts[D.Index];
+      if (Inst.Op != ir::Opcode::MovImm)
+        return std::nullopt;
+      V = Inst.Imm;
+    }
+    if (Value && *Value != V)
+      return std::nullopt;
+    Value = V;
+  }
+  return Value;
+}

@@ -1,0 +1,75 @@
+//===- analysis/ReachingDefs.h - Reaching definitions for SimIR -*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward may-reach definition analysis.  Definition sites are every
+/// register-writing instruction plus one implicit *entry definition* per
+/// register: SimIR call frames are zero-initialized, so at the function
+/// entry every register is defined with the value 0.  Block states are
+/// bitvectors over definition ids; the solver unions them over the CFG.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_ANALYSIS_REACHINGDEFS_H
+#define SPECCTRL_ANALYSIS_REACHINGDEFS_H
+
+#include "analysis/Dataflow.h"
+#include "ir/Instruction.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace specctrl {
+namespace analysis {
+
+/// One definition site.
+struct DefSite {
+  uint32_t Block = 0; ///< meaningless for entry defs
+  uint32_t Index = 0;
+  uint8_t Reg = 0;
+  bool IsEntry = false; ///< implicit zero-initialized frame slot
+};
+
+/// Reaching definitions for one function.
+class ReachingDefs {
+public:
+  explicit ReachingDefs(const CFGInfo &G);
+
+  /// All definition sites; ids [0, numRegs) are the entry defs.
+  const std::vector<DefSite> &defs() const { return Defs; }
+
+  /// Definition ids reaching the entry of \p Block (sorted ascending).
+  std::vector<uint32_t> reachingIn(uint32_t Block) const;
+
+  /// Definition ids of \p Reg reaching instruction (\p Block, \p Index),
+  /// i.e. before that instruction executes (sorted ascending).
+  std::vector<uint32_t> defsAt(uint32_t Block, uint32_t Index,
+                               uint8_t Reg) const;
+
+  /// If every definition of \p Reg reaching (\p Block, \p Index) produces
+  /// the same statically known constant -- entry defs produce 0, MovImm
+  /// its immediate, anything else is unknown -- returns that constant.
+  std::optional<int64_t> constantAt(uint32_t Block, uint32_t Index,
+                                    uint8_t Reg) const;
+
+private:
+  using BitWords = std::vector<uint64_t>;
+
+  std::vector<uint32_t> idsFrom(const BitWords &Bits) const;
+
+  const CFGInfo *G;
+  std::vector<DefSite> Defs;
+  /// First explicit def id of each block (dense scan order), for mapping
+  /// (Block, Index) -> def id during queries.
+  std::vector<std::vector<uint32_t>> BlockDefIds;
+  std::vector<BitWords> In; ///< per-block reaching-def bitvectors
+};
+
+} // namespace analysis
+} // namespace specctrl
+
+#endif // SPECCTRL_ANALYSIS_REACHINGDEFS_H

@@ -1,0 +1,79 @@
+//===- analysis/StoreSummary.cpp - Function write-set summaries -----------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StoreSummary.h"
+
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace specctrl;
+using namespace specctrl::analysis;
+
+bool StoreSummary::mayWrite(uint64_t Addr) const {
+  if (MayWriteUnknown)
+    return true;
+  return std::binary_search(ConcreteAddrs.begin(), ConcreteAddrs.end(), Addr);
+}
+
+bool StoreSummary::subsumedBy(const StoreSummary &Other) const {
+  if (!Other.MayWriteUnknown) {
+    if (MayWriteUnknown)
+      return false;
+    if (!std::includes(Other.ConcreteAddrs.begin(), Other.ConcreteAddrs.end(),
+                       ConcreteAddrs.begin(), ConcreteAddrs.end()))
+      return false;
+  }
+  // Callee effects are accounted to the callee's own summary, so the call
+  // set must be contained regardless of the write sets.
+  return std::includes(Other.Callees.begin(), Other.Callees.end(),
+                       Callees.begin(), Callees.end());
+}
+
+StoreSummary specctrl::analysis::computeStoreSummary(const CFGInfo &G,
+                                                     const ConstantFacts &CF) {
+  const ir::Function &F = G.function();
+  StoreSummary S;
+
+  for (uint32_t B = 0; B < F.numBlocks(); ++B) {
+    if (!CF.executable(B))
+      continue;
+    const ir::BasicBlock &BB = F.block(B);
+    for (uint32_t I = 0; I < BB.size(); ++I) {
+      const ir::Instruction &Inst = BB.Insts[I];
+      if (Inst.Op == ir::Opcode::Call) {
+        S.Callees.push_back(Inst.Callee);
+        continue;
+      }
+      if (Inst.Op != ir::Opcode::Store)
+        continue;
+      const ConstVal Base = CF.valueAt(B, I, Inst.SrcA);
+      if (Base.isConst()) {
+        // Same wrap-around addressing the interpreter uses.
+        S.ConcreteAddrs.push_back(Base.Value +
+                                  static_cast<uint64_t>(Inst.Imm));
+      } else if (!S.MayWriteUnknown) {
+        S.MayWriteUnknown = true;
+        S.FirstUnknown = {B, I};
+      }
+    }
+  }
+
+  std::sort(S.ConcreteAddrs.begin(), S.ConcreteAddrs.end());
+  S.ConcreteAddrs.erase(
+      std::unique(S.ConcreteAddrs.begin(), S.ConcreteAddrs.end()),
+      S.ConcreteAddrs.end());
+  std::sort(S.Callees.begin(), S.Callees.end());
+  S.Callees.erase(std::unique(S.Callees.begin(), S.Callees.end()),
+                  S.Callees.end());
+  return S;
+}
+
+StoreSummary specctrl::analysis::computeStoreSummary(const ir::Function &F) {
+  const CFGInfo G(F);
+  const ConstantFacts CF(G);
+  return computeStoreSummary(G, CF);
+}

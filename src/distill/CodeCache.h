@@ -16,11 +16,16 @@
 #ifndef SPECCTRL_DISTILL_CODECACHE_H
 #define SPECCTRL_DISTILL_CODECACHE_H
 
+#include "analysis/DistillVerifier.h"
 #include "distill/Distiller.h"
+#include "ir/Verifier.h"
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -32,6 +37,18 @@ class CodeCache {
 public:
   /// Installs a new version for \p FuncId and returns a stable pointer.
   const ir::Function *install(uint32_t FuncId, ir::Function Version) {
+    // Deploy-time gate (SPECCTRL_VERIFY_DISTILL): nothing structurally
+    // broken may enter the cache, whatever produced it.
+    if (analysis::verifyDistillEnabled()) {
+      std::string Err;
+      if (!ir::verifyFunction(Version, &Err)) {
+        std::fprintf(stderr,
+                     "specctrl: refusing to install malformed code version "
+                     "for function %u: %s\n",
+                     FuncId, Err.c_str());
+        std::abort();
+      }
+    }
     Entry &E = Entries[FuncId];
     E.Versions.push_back(std::move(Version));
     return &E.Versions.back();

@@ -6,10 +6,13 @@
 
 #include "distill/Distiller.h"
 
+#include "analysis/DistillVerifier.h"
 #include "ir/CFG.h"
 #include "ir/Verifier.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 
 using namespace specctrl;
@@ -155,6 +158,7 @@ bool dropUnreachable(Function &F) {
 
   std::vector<uint32_t> Remap(F.numBlocks(), 0);
   std::vector<BasicBlock> Kept;
+  Kept.reserve(F.numBlocks());
   for (uint32_t B = 0; B < F.numBlocks(); ++B) {
     if (!Reachable[B])
       continue;
@@ -420,5 +424,20 @@ DistillResult distill::distillFunction(const Function &Original,
   const bool Ok = verifyFunction(F, &Error);
   assert(Ok && "distilled function failed verification");
   (void)Ok;
+
+  // Deploy-time safety gate (SPECCTRL_VERIFY_DISTILL): statically prove
+  // the distillation stays within the bounds task-level recovery can
+  // handle.  Any finding here is a distiller bug, so fail loudly.
+  if (analysis::verifyDistillEnabled()) {
+    const analysis::VerifyResult VR =
+        analysis::verifyDistillation(Original, Request, F);
+    if (!VR.ok()) {
+      std::fprintf(
+          stderr,
+          "specctrl: distillation failed speculation-safety checks:\n%s",
+          analysis::formatDiagnostics(VR, Original.name()).c_str());
+      std::abort();
+    }
+  }
   return Result;
 }

@@ -6,7 +6,12 @@
 
 #include "fsim/Interpreter.h"
 
+#include "analysis/DistillVerifier.h"
+#include "ir/Verifier.h"
+
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace specctrl;
 using namespace specctrl::fsim;
@@ -30,6 +35,18 @@ void Interpreter::setCodeVersion(uint32_t FuncId, const ir::Function *F) {
   assert(FuncId < CodeMap.size() && "function id out of range");
   const Function *Version = F ? F : &Mod.function(FuncId);
   assert(Version->numRegs() <= Function::MaxRegs && "bad code version");
+  // Deploy-time gate (SPECCTRL_VERIFY_DISTILL): never dispatch into a
+  // structurally broken code version.
+  if (F && analysis::verifyDistillEnabled()) {
+    std::string Err;
+    if (!ir::verifyFunction(*F, &Err)) {
+      std::fprintf(stderr,
+                   "specctrl: refusing to dispatch malformed code version "
+                   "for function %u: %s\n",
+                   FuncId, Err.c_str());
+      std::abort();
+    }
+  }
   CodeMap[FuncId] = Version;
 }
 

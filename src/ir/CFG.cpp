@@ -86,6 +86,7 @@ std::vector<uint32_t> ir::reversePostOrder(const Function &F) {
   std::vector<uint32_t> Order;
   if (F.numBlocks() == 0)
     return Order;
+  Order.reserve(F.numBlocks());
   std::vector<bool> Seen(F.numBlocks(), false);
   postOrder(F, 0, Seen, Order);
   std::reverse(Order.begin(), Order.end());

@@ -7,6 +7,7 @@
 #include "ir/Parser.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 
@@ -47,13 +48,15 @@ public:
     return Text.substr(Start, Pos - Start);
   }
 
-  /// Reads a (possibly negative) decimal integer.
+  /// Reads a (possibly negative) decimal integer.  Values outside the
+  /// int64 range are a parse failure, not a silent clamp.
   bool integer(int64_t &Out) {
     skipSpace();
     const char *Begin = Text.c_str() + Pos;
     char *End = nullptr;
+    errno = 0;
     const long long V = std::strtoll(Begin, &End, 10);
-    if (End == Begin)
+    if (End == Begin || errno == ERANGE)
       return false;
     Pos += static_cast<size_t>(End - Begin);
     Out = V;
@@ -74,14 +77,15 @@ public:
     return true;
   }
 
-  /// Reads "bbN" and returns N.
+  /// Reads "bbN" and returns N.  Indices that would wrap uint32 are a
+  /// parse failure.
   bool block(uint32_t &Out) {
     skipSpace();
     if (Text.compare(Pos, 2, "bb") != 0)
       return false;
     Pos += 2;
     int64_t V = 0;
-    if (!integer(V) || V < 0)
+    if (!integer(V) || V < 0 || V > static_cast<int64_t>(UINT32_MAX))
       return false;
     Out = static_cast<uint32_t>(V);
     return true;
@@ -209,7 +213,8 @@ std::optional<Instruction> ir::parseInstruction(const std::string &Line,
         !L.block(Else))
       return Fail("malformed br");
     int64_t Site = 0;
-    if (!L.eat(";") || !L.eat("site") || !L.integer(Site) || Site < 0)
+    if (!L.eat(";") || !L.eat("site") || !L.integer(Site) || Site < 0 ||
+        Site >= static_cast<int64_t>(InvalidSite))
       return Fail("br without '; site N' annotation");
     Out = Instruction::makeBr(Cond, Then, Else,
                               static_cast<SiteId>(Site));
@@ -222,7 +227,8 @@ std::optional<Instruction> ir::parseInstruction(const std::string &Line,
     if (!L.eat("@"))
       return Fail("malformed call");
     int64_t Callee = 0;
-    if (!L.integer(Callee) || Callee < 0)
+    if (!L.integer(Callee) || Callee < 0 ||
+        Callee > static_cast<int64_t>(UINT32_MAX))
       return Fail("malformed call target");
     Out = Instruction::makeCall(static_cast<uint32_t>(Callee));
   } else {
@@ -268,7 +274,8 @@ std::optional<Function> ir::parseFunction(const std::string &Text,
       return Fail("malformed function header");
     break;
   }
-  if (Id < 0 || Regs < 1 || Regs > static_cast<int64_t>(Function::MaxRegs))
+  if (Id < 0 || Id > static_cast<int64_t>(UINT32_MAX) || Regs < 1 ||
+      Regs > static_cast<int64_t>(Function::MaxRegs))
     return Fail("function id/register count out of range");
 
   Function F(Name, static_cast<uint32_t>(Id),
@@ -279,8 +286,11 @@ std::optional<Function> ir::parseFunction(const std::string &Text,
     LineLexer L(Line);
     if (L.atEndOrComment())
       continue;
-    if (L.eat("}"))
+    if (L.eat("}")) {
+      if (F.numBlocks() == 0)
+        return Fail("function has no blocks");
       return F;
+    }
     // Block label?
     {
       LineLexer Probe(Line);
@@ -297,8 +307,7 @@ std::optional<Function> ir::parseFunction(const std::string &Text,
     if (!InBlock)
       return Fail("instruction before the first block label");
     ParseError Inner;
-    std::string Trimmed = Line;
-    const std::optional<Instruction> I = parseInstruction(Trimmed, &Inner);
+    const std::optional<Instruction> I = parseInstruction(Line, &Inner);
     if (!I)
       return Fail(Inner.Message);
     F.block(F.numBlocks() - 1).Insts.push_back(*I);

@@ -21,7 +21,7 @@ std::string bb(uint32_t B) { return "bb" + std::to_string(B); }
 } // namespace
 
 std::string ir::instructionToString(const Instruction &I) {
-  const std::string Name = opcodeName(I.Op);
+  const char *Name = opcodeName(I.Op);
   switch (I.Op) {
   case Opcode::Nop:
   case Opcode::Ret:

@@ -1,0 +1,371 @@
+//===- tests/analysis/DataflowTest.cpp - Dataflow framework tests ---------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ConstProp.h"
+#include "analysis/Dataflow.h"
+#include "analysis/Dominators.h"
+#include "analysis/Liveness.h"
+#include "analysis/ReachingDefs.h"
+#include "analysis/StoreSummary.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace specctrl;
+using namespace specctrl::analysis;
+using namespace specctrl::ir;
+
+namespace {
+
+/// entry -> then/else -> join diamond.  r1 = load, r2 = r1 < 10,
+/// branch r2; both arms write r3, the join stores r3.
+Function makeDiamond() {
+  Function F("diamond", 0, 8);
+  IRBuilder B(F);
+  const uint32_t Entry = B.makeBlock();
+  const uint32_t Then = B.makeBlock();
+  const uint32_t Else = B.makeBlock();
+  const uint32_t Join = B.makeBlock();
+  B.setBlock(Entry);
+  B.load(1, 0, 100);
+  B.cmpLtImm(2, 1, 10);
+  B.br(2, Then, Else, 5);
+  B.setBlock(Then);
+  B.movImm(3, 111);
+  B.jmp(Join);
+  B.setBlock(Else);
+  B.movImm(3, 222);
+  B.jmp(Join);
+  B.setBlock(Join);
+  B.store(0, 200, 3);
+  B.ret();
+  EXPECT_TRUE(verifyFunction(F));
+  return F;
+}
+
+/// entry -> header <-> body, header exits to tail.  r1 counts upward,
+/// body accumulates into r2, tail stores r2.
+Function makeLoop() {
+  Function F("loop", 0, 8);
+  IRBuilder B(F);
+  const uint32_t Entry = B.makeBlock();
+  const uint32_t Header = B.makeBlock();
+  const uint32_t Body = B.makeBlock();
+  const uint32_t Tail = B.makeBlock();
+  B.setBlock(Entry);
+  B.movImm(1, 0);
+  B.jmp(Header);
+  B.setBlock(Header);
+  B.cmpLtImm(3, 1, 4);
+  B.br(3, Body, Tail, 9);
+  B.setBlock(Body);
+  B.binary(Opcode::Add, 2, 2, 1);
+  B.addImm(1, 1, 1);
+  B.jmp(Header);
+  B.setBlock(Tail);
+  B.store(0, 300, 2);
+  B.ret();
+  EXPECT_TRUE(verifyFunction(F));
+  return F;
+}
+
+TEST(CFGInfoTest, DiamondStructure) {
+  const Function F = makeDiamond();
+  const CFGInfo G(F);
+
+  ASSERT_EQ(G.succs(0).size(), 2u);
+  EXPECT_EQ(G.succs(0)[0], 1u);
+  EXPECT_EQ(G.succs(0)[1], 2u);
+  ASSERT_EQ(G.preds(3).size(), 2u);
+  EXPECT_TRUE(G.succs(3).empty());
+
+  // RPO visits the entry first and the join last.
+  ASSERT_EQ(G.rpo().size(), 4u);
+  EXPECT_EQ(G.rpo().front(), 0u);
+  EXPECT_EQ(G.rpo().back(), 3u);
+  for (uint32_t B = 0; B < 4; ++B)
+    EXPECT_TRUE(G.reachable(B));
+}
+
+TEST(CFGInfoTest, UnreachableBlockExcluded) {
+  Function F("unreach", 0, 4);
+  IRBuilder B(F);
+  const uint32_t Entry = B.makeBlock();
+  const uint32_t Dead = B.makeBlock();
+  B.setBlock(Entry);
+  B.ret();
+  B.setBlock(Dead);
+  B.ret();
+  const CFGInfo G(F);
+  EXPECT_TRUE(G.reachable(Entry));
+  EXPECT_FALSE(G.reachable(Dead));
+  EXPECT_EQ(G.rpo().size(), 1u);
+  EXPECT_EQ(G.rpoIndex(Dead), InvalidBlock);
+}
+
+TEST(DominatorTest, Diamond) {
+  const Function F = makeDiamond();
+  const CFGInfo G(F);
+  const DominatorTree DT(G);
+
+  EXPECT_EQ(DT.idom(0), 0u);
+  EXPECT_EQ(DT.idom(1), 0u);
+  EXPECT_EQ(DT.idom(2), 0u);
+  EXPECT_EQ(DT.idom(3), 0u); // join is NOT dominated by either arm
+
+  EXPECT_TRUE(DT.dominates(0, 3));
+  EXPECT_TRUE(DT.strictlyDominates(0, 1));
+  EXPECT_FALSE(DT.dominates(1, 3));
+  EXPECT_FALSE(DT.strictlyDominates(0, 0));
+  EXPECT_EQ(DT.depth(0), 0u);
+  EXPECT_EQ(DT.depth(3), 1u);
+}
+
+TEST(DominatorTest, LoopHeaderDominatesBody) {
+  const Function F = makeLoop();
+  const CFGInfo G(F);
+  const DominatorTree DT(G);
+
+  EXPECT_EQ(DT.idom(1), 0u);
+  EXPECT_EQ(DT.idom(2), 1u); // body
+  EXPECT_EQ(DT.idom(3), 1u); // tail
+  EXPECT_TRUE(DT.dominates(1, 2));
+  EXPECT_FALSE(DT.dominates(2, 3));
+}
+
+TEST(LivenessTest, JoinValueLiveThroughBothArms) {
+  const Function F = makeDiamond();
+  const CFGInfo G(F);
+  const LivenessResult L = computeLiveness(G);
+
+  // r3 is defined in each arm and used at the join: live into the join,
+  // not live into the arms, not live into the entry.
+  EXPECT_TRUE((L.LiveIn[3] >> 3) & 1);
+  EXPECT_FALSE((L.LiveIn[1] >> 3) & 1);
+  EXPECT_FALSE((L.LiveIn[0] >> 3) & 1);
+  // r0 (store base) is live everywhere up to the join.
+  EXPECT_TRUE((L.LiveIn[0] >> 0) & 1);
+  // Nothing is live out of the exit block.
+  EXPECT_EQ(L.LiveOut[3], 0u);
+}
+
+TEST(LivenessTest, LoopCarriedValue) {
+  const Function F = makeLoop();
+  const CFGInfo G(F);
+  const LivenessResult L = computeLiveness(G);
+
+  // The accumulator r2 is live around the backedge: into the header, the
+  // body, and the tail.
+  EXPECT_TRUE((L.LiveIn[1] >> 2) & 1);
+  EXPECT_TRUE((L.LiveIn[2] >> 2) & 1);
+  EXPECT_TRUE((L.LiveIn[3] >> 2) & 1);
+  // The counter r1 dies at the loop exit.
+  EXPECT_TRUE((L.LiveIn[1] >> 1) & 1);
+  EXPECT_FALSE((L.LiveIn[3] >> 1) & 1);
+}
+
+TEST(LivenessTest, LiveBeforeWalksTheBlock) {
+  const Function F = makeDiamond();
+  const CFGInfo G(F);
+  const LivenessResult L = computeLiveness(G);
+
+  // Before the cmp in the entry block r1 is live (the cmp uses it); after
+  // it (before the br) only r2 matters.
+  EXPECT_TRUE((liveBefore(G, L, 0, 1) >> 1) & 1);
+  EXPECT_FALSE((liveBefore(G, L, 0, 2) >> 1) & 1);
+  EXPECT_TRUE((liveBefore(G, L, 0, 2) >> 2) & 1);
+}
+
+TEST(ReachingDefsTest, EntryDefsModelZeroedFrames) {
+  const Function F = makeDiamond();
+  const CFGInfo G(F);
+  const ReachingDefs RD(G);
+
+  // Before the first instruction, r0's only def is the implicit entry def
+  // with value 0.
+  const auto Ids = RD.defsAt(0, 0, 0);
+  ASSERT_EQ(Ids.size(), 1u);
+  EXPECT_TRUE(RD.defs()[Ids[0]].IsEntry);
+  EXPECT_EQ(RD.constantAt(0, 0, 0), std::optional<int64_t>(0));
+}
+
+TEST(ReachingDefsTest, JoinMergesBothArmDefs) {
+  const Function F = makeDiamond();
+  const CFGInfo G(F);
+  const ReachingDefs RD(G);
+
+  // Two defs of r3 reach the join store; their constants differ, so no
+  // single constant is known.
+  EXPECT_EQ(RD.defsAt(3, 0, 3).size(), 2u);
+  EXPECT_EQ(RD.constantAt(3, 0, 3), std::nullopt);
+}
+
+TEST(ReachingDefsTest, AgreeingConstantsFold) {
+  Function F("agree", 0, 4);
+  IRBuilder B(F);
+  const uint32_t Entry = B.makeBlock();
+  const uint32_t Then = B.makeBlock();
+  const uint32_t Else = B.makeBlock();
+  const uint32_t Join = B.makeBlock();
+  B.setBlock(Entry);
+  B.load(1, 0, 50);
+  B.br(1, Then, Else, 2);
+  B.setBlock(Then);
+  B.movImm(2, 7);
+  B.jmp(Join);
+  B.setBlock(Else);
+  B.movImm(2, 7);
+  B.jmp(Join);
+  B.setBlock(Join);
+  B.store(0, 60, 2);
+  B.ret();
+
+  const CFGInfo G(F);
+  const ReachingDefs RD(G);
+  EXPECT_EQ(RD.constantAt(Join, 0, 2), std::optional<int64_t>(7));
+}
+
+TEST(ConstPropTest, EntryRegistersAreZero) {
+  const Function F = makeDiamond();
+  const CFGInfo G(F);
+  const ConstantFacts CF(G);
+
+  const ConstVal R0 = CF.valueAt(0, 0, 0);
+  ASSERT_TRUE(R0.isConst());
+  EXPECT_EQ(R0.Value, 0u);
+  // The load result is unknown.
+  EXPECT_EQ(CF.valueAt(0, 1, 1).K, ConstVal::Top);
+  // Both arms stay executable: the branch condition is data-dependent.
+  EXPECT_TRUE(CF.executable(1));
+  EXPECT_TRUE(CF.executable(2));
+  EXPECT_EQ(CF.branchCondition(0).K, ConstVal::Top);
+}
+
+TEST(ConstPropTest, DecidedBranchKillsOneArm) {
+  Function F("decided", 0, 4);
+  IRBuilder B(F);
+  const uint32_t Entry = B.makeBlock();
+  const uint32_t Then = B.makeBlock();
+  const uint32_t Else = B.makeBlock();
+  const uint32_t Join = B.makeBlock();
+  B.setBlock(Entry);
+  B.movImm(1, 3);
+  B.cmpLtImm(2, 1, 10); // 3 < 10 -> 1
+  B.br(2, Then, Else, 1);
+  B.setBlock(Then);
+  B.movImm(3, 1);
+  B.jmp(Join);
+  B.setBlock(Else);
+  B.movImm(3, 2);
+  B.jmp(Join);
+  B.setBlock(Join);
+  B.store(0, 70, 3);
+  B.ret();
+
+  const CFGInfo G(F);
+  const ConstantFacts CF(G);
+  const ConstVal Cond = CF.branchCondition(Entry);
+  ASSERT_TRUE(Cond.isConst());
+  EXPECT_EQ(Cond.Value, 1u);
+  EXPECT_TRUE(CF.executable(Then));
+  EXPECT_FALSE(CF.executable(Else));
+  // Only the taken arm's constant flows to the join.
+  const ConstVal R3 = CF.valueAt(Join, 0, 3);
+  ASSERT_TRUE(R3.isConst());
+  EXPECT_EQ(R3.Value, 1u);
+  // Queries inside the dead arm answer Bottom.
+  EXPECT_EQ(CF.valueAt(Else, 0, 3).K, ConstVal::Bottom);
+}
+
+TEST(ConstPropTest, DisagreeingArmsMeetToTop) {
+  const Function F = makeDiamond();
+  const CFGInfo G(F);
+  const ConstantFacts CF(G);
+  EXPECT_EQ(CF.valueAt(3, 0, 3).K, ConstVal::Top);
+}
+
+TEST(StoreSummaryTest, ConcreteAddressesResolve) {
+  const Function F = makeDiamond();
+  const StoreSummary S = computeStoreSummary(F);
+  EXPECT_FALSE(S.MayWriteUnknown);
+  ASSERT_EQ(S.ConcreteAddrs.size(), 1u);
+  EXPECT_EQ(S.ConcreteAddrs[0], 200u);
+  EXPECT_TRUE(S.mayWrite(200));
+  EXPECT_FALSE(S.mayWrite(201));
+  EXPECT_TRUE(S.Callees.empty());
+}
+
+TEST(StoreSummaryTest, UnknownBaseSetsFlag) {
+  Function F("unk", 0, 4);
+  IRBuilder B(F);
+  B.makeBlock();
+  B.load(1, 0, 10);
+  B.store(1, 0, 2); // base is data-dependent
+  B.ret();
+  const StoreSummary S = computeStoreSummary(F);
+  EXPECT_TRUE(S.MayWriteUnknown);
+  EXPECT_EQ(S.FirstUnknown.Block, 0u);
+  EXPECT_EQ(S.FirstUnknown.Index, 1u);
+  EXPECT_TRUE(S.mayWrite(12345));
+}
+
+TEST(StoreSummaryTest, DeadBlockStoresExcluded) {
+  Function F("deadstore", 0, 4);
+  IRBuilder B(F);
+  const uint32_t Entry = B.makeBlock();
+  const uint32_t Live = B.makeBlock();
+  const uint32_t Dead = B.makeBlock();
+  B.setBlock(Entry);
+  B.movImm(1, 1);
+  B.br(1, Live, Dead, 3); // constant-true branch
+  B.setBlock(Live);
+  B.store(0, 80, 0);
+  B.ret();
+  B.setBlock(Dead);
+  B.store(0, 81, 0);
+  B.ret();
+  const StoreSummary S = computeStoreSummary(F);
+  ASSERT_EQ(S.ConcreteAddrs.size(), 1u);
+  EXPECT_EQ(S.ConcreteAddrs[0], 80u);
+}
+
+TEST(StoreSummaryTest, SubsetRelation) {
+  StoreSummary Small;
+  Small.ConcreteAddrs = {10, 20};
+  StoreSummary Big;
+  Big.ConcreteAddrs = {10, 20, 30};
+  StoreSummary Unknown;
+  Unknown.MayWriteUnknown = true;
+
+  EXPECT_TRUE(Small.subsumedBy(Big));
+  EXPECT_FALSE(Big.subsumedBy(Small));
+  EXPECT_TRUE(Small.subsumedBy(Unknown));
+  EXPECT_FALSE(Unknown.subsumedBy(Small));
+  EXPECT_TRUE(Unknown.subsumedBy(Unknown));
+
+  StoreSummary Caller;
+  Caller.Callees = {2};
+  EXPECT_FALSE(Caller.subsumedBy(Big));
+  Big.Callees = {1, 2};
+  EXPECT_TRUE(Caller.subsumedBy(Big));
+}
+
+TEST(StoreSummaryTest, CallsAreCollected) {
+  Function F("caller", 0, 4);
+  IRBuilder B(F);
+  B.makeBlock();
+  B.call(3);
+  B.call(1);
+  B.call(3);
+  B.ret();
+  const StoreSummary S = computeStoreSummary(F);
+  ASSERT_EQ(S.Callees.size(), 2u);
+  EXPECT_EQ(S.Callees[0], 1u);
+  EXPECT_EQ(S.Callees[1], 3u);
+}
+
+} // namespace

@@ -132,12 +132,14 @@ TEST(InterpreterTest, CallFramesAreIsolated) {
     B.store(0, 60, 1);
     B.ret();
   }
+  // createFunction may reallocate the table; capture the id before growing.
+  const uint32_t CalleeId = Callee.id();
   Function &Main = M.createFunction("main", 4);
   {
     IRBuilder B(Main);
     B.setBlock(B.makeBlock());
     B.movImm(1, 42);
-    B.call(Callee.id());
+    B.call(CalleeId);
     B.store(0, 61, 1); // must still be 42
     B.halt();
   }
@@ -171,18 +173,20 @@ TEST(InterpreterTest, CodeVersionSwapTakesEffectOnNextCall) {
     B.store(0, 10, 2);
     B.ret();
   }
+  // createFunction may reallocate the table; capture the id before growing.
+  const uint32_t RegionId = Region.id();
   Function &Main = M.createFunction("main", 4);
   {
     IRBuilder B(Main);
     B.setBlock(B.makeBlock());
-    B.call(Region.id());
-    B.call(Region.id());
+    B.call(RegionId);
+    B.call(RegionId);
     B.halt();
   }
   M.setEntry(Main.id());
 
   // The alternative version adds 100 instead of 1.
-  Function Alt("region.v2", Region.id(), 4);
+  Function Alt("region.v2", RegionId, 4);
   {
     IRBuilder B(Alt);
     B.setBlock(B.makeBlock());
@@ -198,7 +202,7 @@ TEST(InterpreterTest, CodeVersionSwapTakesEffectOnNextCall) {
   // simpler: run 1 instruction at a time until mem[10]==1).
   while (I.loadWord(10) != 1)
     ASSERT_EQ(I.run(1), StopReason::FuelExhausted);
-  I.setCodeVersion(Region.id(), &Alt);
+  I.setCodeVersion(RegionId, &Alt);
   EXPECT_EQ(I.run(1u << 20), StopReason::Halted);
   EXPECT_EQ(I.loadWord(10), 101u);
 }

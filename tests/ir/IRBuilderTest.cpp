@@ -71,11 +71,13 @@ TEST(IRBuilderTest, ModuleEntryAndCallees) {
     B.setBlock(B.makeBlock());
     B.ret();
   }
+  // createFunction may reallocate the table; capture the id before growing.
+  const uint32_t CalleeId = Callee.id();
   Function &Main = M.createFunction("main", 2);
   {
     IRBuilder B(Main);
     B.setBlock(B.makeBlock());
-    B.call(Callee.id());
+    B.call(CalleeId);
     B.halt();
   }
   M.setEntry(Main.id());

@@ -152,7 +152,7 @@ TEST(ParserTest, DistilledFunctionRoundTrips) {
   SynthProgram P = synthesize(Spec);
   distill::DistillRequest Request;
   for (const SynthSiteInfo &Info : P.Sites)
-    if (!Info.IsControlSite)
+    if (!Info.IsControlSite && Info.FunctionId == P.RegionFunctions[0])
       Request.BranchAssertions[Info.Site] = true;
   const distill::DistillResult R = distill::distillFunction(
       P.Mod.function(P.RegionFunctions[0]), Request);

@@ -1,0 +1,90 @@
+//===- tests/ir/RoundTripTest.cpp - Printer/Parser round-trip property ----===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property: print -> parse -> print is byte-identical for every program
+/// the synthesizer can produce and for every distillation of those
+/// programs.  This is what makes the textual form a reliable interchange
+/// format for specctrl-opt and specctrl-lint.
+///
+//===----------------------------------------------------------------------===//
+
+#include "distill/Distiller.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "workload/ProgramSynthesizer.h"
+#include "workload/SpecSuite.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace specctrl;
+using namespace specctrl::ir;
+
+namespace {
+
+std::string moduleText(const Module &M) {
+  std::ostringstream OS;
+  printModule(M, OS);
+  return OS.str();
+}
+
+std::string functionText(const Function &F) {
+  std::ostringstream OS;
+  printFunction(F, OS);
+  return OS.str();
+}
+
+TEST(RoundTripTest, SuiteModulesRoundTripByteIdentical) {
+  for (const workload::BenchmarkProfile &Profile :
+       workload::suiteProfiles()) {
+    const workload::SynthProgram P =
+        workload::synthesize(workload::makeSynthSpecFor(Profile, 1000));
+    const std::string First = moduleText(P.Mod);
+
+    ParseError Error;
+    const std::optional<Module> Reparsed = parseModule(First, &Error);
+    ASSERT_TRUE(Reparsed.has_value())
+        << Profile.Name << ": line " << Error.Line << ": " << Error.Message;
+    EXPECT_TRUE(verifyModule(*Reparsed));
+    EXPECT_EQ(moduleText(*Reparsed), First) << Profile.Name;
+  }
+}
+
+TEST(RoundTripTest, SuiteDistillationsRoundTripByteIdentical) {
+  for (const workload::BenchmarkProfile &Profile :
+       workload::suiteProfiles()) {
+    const workload::SynthProgram P =
+        workload::synthesize(workload::makeSynthSpecFor(Profile, 1000));
+    for (uint32_t FuncId : P.RegionFunctions) {
+      const Function &Original = P.Mod.function(FuncId);
+
+      // Assert every site of this function; the distilled body exercises
+      // the printer's jump/straight-line forms.
+      distill::DistillRequest Request;
+      for (const workload::SynthSiteInfo &S : P.Sites)
+        if (S.FunctionId == FuncId && !S.IsControlSite)
+          Request.BranchAssertions[S.Site] = S.Behavior.BiasA >= 0.5;
+
+      const Function Distilled =
+          distill::distillFunction(Original, Request).Distilled;
+      EXPECT_TRUE(verifyFunction(Distilled));
+
+      const std::string First = functionText(Distilled);
+      ParseError Error;
+      const std::optional<Function> Reparsed = parseFunction(First, &Error);
+      ASSERT_TRUE(Reparsed.has_value())
+          << Profile.Name << "/" << Original.name() << ": line "
+          << Error.Line << ": " << Error.Message;
+      EXPECT_EQ(functionText(*Reparsed), First)
+          << Profile.Name << "/" << Original.name();
+    }
+  }
+}
+
+} // namespace
