@@ -46,6 +46,16 @@ void bench::addStandardOptions(OptionSet &Opts) {
                  "disk tier for the trace arena: materialized traces are "
                  "written here as v2 trace files and reused across "
                  "invocations");
+  Opts.addString("exec-tier", "",
+                 "SimIR execution backend: reference|threaded (default "
+                 "SPECCTRL_EXEC_TIER, else reference; results are "
+                 "bit-identical either way)");
+  Opts.addFlag("verify-distill",
+               "verify every distilled code version before dispatch "
+               "(SPECCTRL_VERIFY)");
+  Opts.addFlag("arena-verbose",
+               "log each trace-arena materialization to stderr "
+               "(SPECCTRL_ARENA_VERBOSE)");
   addScaleOptions(Opts);
   Opts.addString("benchmarks", "",
                  "comma-separated benchmark subset (default: all twelve)");
@@ -60,6 +70,25 @@ SuiteOptions bench::readSuiteOptions(const OptionSet &Opts) {
   Out.Seed = static_cast<uint64_t>(Opts.getInt("seed"));
   Out.UseTraceArena = !Opts.getFlag("no-trace-arena");
   Out.TraceCacheDir = Opts.getString("trace-cache-dir");
+
+  // CLI overrides layer on top of the environment-parsed RunConfig and
+  // are pushed back into the process-wide config so libraries that read
+  // RunConfig::global() (distill verifier, trace arena, backend
+  // factories) see the same values as the bench.
+  RunConfig Cfg = RunConfig::global();
+  const std::string TierName = Opts.getString("exec-tier");
+  if (!TierName.empty() && !parseExecTier(TierName, Cfg.Tier)) {
+    std::fprintf(stderr,
+                 "specctrl: --exec-tier=%s is not a tier "
+                 "(reference|threaded); keeping %s\n",
+                 TierName.c_str(), execTierName(Cfg.Tier));
+  }
+  if (Opts.getFlag("verify-distill"))
+    Cfg.VerifyDistill = true;
+  if (Opts.getFlag("arena-verbose"))
+    Cfg.ArenaVerbose = true;
+  RunConfig::setGlobal(Cfg);
+  Out.Tier = Cfg.Tier;
   return Out;
 }
 

@@ -25,6 +25,7 @@
 #include "engine/ExperimentRunner.h"
 #include "profile/BranchProfile.h"
 #include "support/Options.h"
+#include "support/RunConfig.h"
 #include "workload/ProgramSynthesizer.h"
 #include "workload/SpecSuite.h"
 #include "workload/TraceArena.h"
@@ -52,6 +53,9 @@ struct SuiteOptions {
   bool UseTraceArena = true;
   /// Disk tier for the arena (--trace-cache-dir); empty = memory only.
   std::string TraceCacheDir;
+  /// SimIR execution tier for MSSP-backed benches (--exec-tier, default
+  /// from SPECCTRL_EXEC_TIER).  Never changes results, only throughput.
+  ExecTier Tier = ExecTier::Reference;
 };
 
 /// Registers the workload-scaling options (--events-per-billion,

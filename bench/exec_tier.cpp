@@ -1,0 +1,160 @@
+//===- bench/exec_tier.cpp - Execution-backend throughput microbenches ----===//
+//
+// google-benchmark microbenches comparing the two SimIR execution tiers
+// behind fsim::ExecBackend (the PR-6 tentpole):
+//
+//   reference  the seed switch-dispatch interpreter (fsim::Interpreter),
+//              kept verbatim as the bit-exactness oracle;
+//   threaded   the pre-decoded direct-threaded tier (exec/
+//              ThreadedBackend) with superinstruction fusion for the
+//              distiller's hot patterns.
+//
+// BM_ExecRegion is the headline number: the Figure 7 default workload
+// (bzip2-like, 90k iterations) with every region distilled under its
+// dominant-direction assertion set -- exactly the code the MSSP master
+// executes -- run end to end on a bare backend with no observer.  Items
+// are MSSP tasks (4 iterations each), so items_per_second is directly
+// comparable against BM_Mssp's tasks/sec in BENCH_mssp.json.  The
+// acceptance bar is threaded >= 5x that baseline.
+//
+// BM_ExecOriginal runs the undistilled program (the checker's side), and
+// BM_MsspTier the full MSSP simulation under each tier, showing how much
+// of the raw-dispatch win survives the timing model and task protocol.
+// The equivalence suite (tests/exec/ExecBackendEquivalenceTest.cpp) and
+// the fig7 golden CSV under --exec-tier threaded pin both tiers to
+// bit-identical results, so every delta here is free throughput.
+//
+//===----------------------------------------------------------------------===//
+
+#include "distill/Distiller.h"
+#include "exec/ThreadedBackend.h"
+#include "mssp/MsspSimulator.h"
+#include "workload/SpecSuite.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+using namespace specctrl;
+using namespace specctrl::mssp;
+using namespace specctrl::workload;
+
+namespace {
+
+/// Figure 7's default per-run length (matches bench/mssp_sim.cpp).
+constexpr uint64_t Fig7Iterations = 90000;
+/// MSSP default task granularity (MsspConfig::TaskIterations).
+constexpr uint64_t TaskIters = 4;
+
+const SynthProgram &fig7Program() {
+  static const SynthProgram Program =
+      synthesize(makeSynthSpecFor(profileByName("bzip2"), Fig7Iterations));
+  return Program;
+}
+
+/// Each region distilled under its dominant-direction assertion set (the
+/// steady-state code the MSSP master runs once the controller deploys).
+const std::vector<distill::DistillResult> &fig7DistilledRegions() {
+  static const std::vector<distill::DistillResult> Results = [] {
+    const SynthProgram &P = fig7Program();
+    std::vector<distill::DistillResult> Out;
+    Out.reserve(P.RegionFunctions.size());
+    for (uint32_t FuncId : P.RegionFunctions) {
+      distill::DistillRequest Request;
+      for (const SynthSiteInfo &Info : P.Sites)
+        if (!Info.IsControlSite && Info.FunctionId == FuncId)
+          Request.BranchAssertions[Info.Site] = Info.Behavior.BiasA >= 0.5;
+      Out.push_back(
+          distill::distillFunction(P.Mod.function(FuncId), Request));
+    }
+    return Out;
+  }();
+  return Results;
+}
+
+void reportExec(benchmark::State &State, uint64_t InstRet) {
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(
+                              (Fig7Iterations + TaskIters - 1) / TaskIters));
+  State.counters["sim_insts_per_sec"] = benchmark::Counter(
+      static_cast<double>(InstRet) * State.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+/// Distilled-region execution: the fig7 program with every region's
+/// deployed code version installed, run to halt on a bare backend.
+void BM_ExecRegion(benchmark::State &State, ExecTier Tier) {
+  const SynthProgram &P = fig7Program();
+  const std::vector<distill::DistillResult> &Regions =
+      fig7DistilledRegions();
+  uint64_t InstRet = 0;
+  for (auto _ : State) {
+    std::unique_ptr<fsim::ExecBackend> Backend =
+        exec::createBackend(Tier, P.Mod, P.InitialMemory);
+    for (size_t I = 0; I < Regions.size(); ++I)
+      Backend->setCodeVersion(P.RegionFunctions[I], &Regions[I].Distilled);
+    const fsim::StopReason Reason = Backend->run(~0ull >> 1);
+    if (Reason != fsim::StopReason::Halted)
+      State.SkipWithError("program did not halt");
+    InstRet = Backend->instructionsRetired();
+    benchmark::DoNotOptimize(InstRet);
+  }
+  reportExec(State, InstRet);
+}
+BENCHMARK_CAPTURE(BM_ExecRegion, reference, ExecTier::Reference)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ExecRegion, threaded, ExecTier::Threaded)
+    ->Unit(benchmark::kMillisecond);
+
+/// The undistilled program (what the checker executes).
+void BM_ExecOriginal(benchmark::State &State, ExecTier Tier) {
+  const SynthProgram &P = fig7Program();
+  uint64_t InstRet = 0;
+  for (auto _ : State) {
+    std::unique_ptr<fsim::ExecBackend> Backend =
+        exec::createBackend(Tier, P.Mod, P.InitialMemory);
+    const fsim::StopReason Reason = Backend->run(~0ull >> 1);
+    if (Reason != fsim::StopReason::Halted)
+      State.SkipWithError("program did not halt");
+    InstRet = Backend->instructionsRetired();
+    benchmark::DoNotOptimize(InstRet);
+  }
+  reportExec(State, InstRet);
+}
+BENCHMARK_CAPTURE(BM_ExecOriginal, reference, ExecTier::Reference)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ExecOriginal, threaded, ExecTier::Threaded)
+    ->Unit(benchmark::kMillisecond);
+
+/// The full MSSP simulation (fig7 closed-loop defaults, full fast path)
+/// under each tier: how much of the dispatch win survives the timing
+/// model, digesting, and the task protocol.
+void BM_MsspTier(benchmark::State &State, ExecTier Tier) {
+  MsspConfig Cfg;
+  Cfg.Tier = Tier;
+  Cfg.Control.MonitorPeriod = 1000;
+  Cfg.Control.EnableEviction = true;
+  Cfg.Control.EvictSaturation = 2000;
+  Cfg.Control.WaitPeriod = 100000;
+  Cfg.OptLatencyCycles = 0;
+  MsspResult R;
+  for (auto _ : State) {
+    MsspSimulator Sim(fig7Program(), Cfg);
+    R = Sim.run();
+    benchmark::DoNotOptimize(R.TotalCycles);
+  }
+  State.SetItemsProcessed(State.iterations() * static_cast<int64_t>(R.Tasks));
+  State.counters["sim_insts_per_sec"] = benchmark::Counter(
+      static_cast<double>(R.MasterInstructions + R.CheckerInstructions) *
+          State.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_MsspTier, reference, ExecTier::Reference)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MsspTier, threaded, ExecTier::Threaded)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

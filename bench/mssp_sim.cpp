@@ -22,6 +22,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "mssp/MsspSimulator.h"
+#include "support/RunConfig.h"
 #include "workload/SpecSuite.h"
 
 #include <benchmark/benchmark.h>
@@ -43,6 +44,11 @@ const SynthProgram &fig7Program() {
 
 MsspConfig fig7Config(int Mask, bool ValueSpec) {
   MsspConfig Cfg;
+  // SPECCTRL_EXEC_TIER=threaded swaps in the pre-decoded backend; the
+  // golden suite pins both tiers to identical MsspResults, so any
+  // throughput delta here is free (bench/exec_tier.cpp measures both
+  // side by side).
+  Cfg.Tier = RunConfig::global().Tier;
   Cfg.Control.MonitorPeriod = 1000;
   Cfg.Control.EnableEviction = true;
   Cfg.Control.EvictSaturation = 2000;
@@ -129,7 +135,8 @@ BENCHMARK(BM_MsspValueSpec)->Arg(0)->Arg(7)
 void BM_MsspBaseline(benchmark::State &State) {
   uint64_t Cycles = 0;
   for (auto _ : State) {
-    Cycles = simulateSuperscalarBaseline(fig7Program(), MachineConfig());
+    Cycles = simulateSuperscalarBaseline(fig7Program(), MachineConfig(), 0,
+                                         RunConfig::global().Tier);
     benchmark::DoNotOptimize(Cycles);
   }
   State.counters["sim_cycles_per_sec"] = benchmark::Counter(

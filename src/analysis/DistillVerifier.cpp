@@ -10,6 +10,7 @@
 #include "analysis/Dataflow.h"
 #include "analysis/StoreSummary.h"
 #include "ir/Verifier.h"
+#include "support/RunConfig.h"
 
 #include <cstdlib>
 #include <map>
@@ -254,6 +255,5 @@ std::string specctrl::analysis::formatDiagnostics(const VerifyResult &R,
 }
 
 bool specctrl::analysis::verifyDistillEnabled() {
-  const char *Env = std::getenv("SPECCTRL_VERIFY_DISTILL");
-  return Env && *Env && !(Env[0] == '0' && Env[1] == '\0');
+  return RunConfig::global().VerifyDistill;
 }

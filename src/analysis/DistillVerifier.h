@@ -98,8 +98,9 @@ std::string formatDiagnostic(const Diagnostic &D, const std::string &FnName);
 std::string formatDiagnostics(const VerifyResult &R,
                               const std::string &FnName);
 
-/// True when the SPECCTRL_VERIFY_DISTILL environment variable enables the
-/// deploy-time verification hooks (unset, empty, or "0" disable them).
+/// True when RunConfig enables the deploy-time verification hooks
+/// (SPECCTRL_VERIFY=1 in the environment, SPECCTRL_VERIFY_DISTILL as a
+/// deprecated alias, or a CLI override via RunConfig::setGlobal).
 bool verifyDistillEnabled();
 
 } // namespace analysis

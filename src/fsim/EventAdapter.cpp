@@ -13,13 +13,13 @@ namespace fsim {
 
 namespace {
 
-/// Fills a chunk buffer from onBranch callbacks, pausing the interpreter
-/// when the buffer is full.  The interpreter retires a branch before the
-/// callback fires, so instructionsRetired() here already includes it --
-/// matching BranchEvent::InstRet ("up to and including this branch").
+/// Fills a chunk buffer from onBranch callbacks, pausing the backend when
+/// the buffer is full.  The backend retires a branch before the callback
+/// fires, so instructionsRetired() here already includes it -- matching
+/// BranchEvent::InstRet ("up to and including this branch").
 class ChunkCollector final : public ExecObserver {
 public:
-  ChunkCollector(Interpreter &Interp, std::span<workload::BranchEvent> Buffer,
+  ChunkCollector(ExecBackend &Interp, std::span<workload::BranchEvent> Buffer,
                  uint64_t &PrevInstRet, uint64_t &NextIndex)
       : Interp(Interp), Buffer(Buffer), PrevInstRet(PrevInstRet),
         NextIndex(NextIndex) {}
@@ -40,7 +40,7 @@ public:
   size_t Count = 0;
 
 private:
-  Interpreter &Interp;
+  ExecBackend &Interp;
   std::span<workload::BranchEvent> Buffer;
   uint64_t &PrevInstRet;
   uint64_t &NextIndex;

@@ -5,10 +5,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Adapts a running fsim::Interpreter to the batched workload::EventSource
-/// interface, so real SimIR execution can feed the same controller pipeline
+/// Adapts a running fsim::ExecBackend (the reference interpreter or the
+/// direct-threaded tier) to the batched workload::EventSource interface,
+/// so real SimIR execution can feed the same controller pipeline
 /// (core::runTrace, trace recording, the engine) as synthetic generation
-/// and file replay.  The adapter resumes the interpreter in slices: each
+/// and file replay.  The adapter resumes the backend in slices: each
 /// nextBatch call runs the program until the caller's chunk buffer is full
 /// or the program ends, translating onBranch callbacks into BranchEvent
 /// records with the stream's Gap/Index/InstRet bookkeeping.
@@ -18,7 +19,7 @@
 #ifndef SPECCTRL_FSIM_EVENTADAPTER_H
 #define SPECCTRL_FSIM_EVENTADAPTER_H
 
-#include "fsim/Interpreter.h"
+#include "fsim/ExecBackend.h"
 #include "workload/EventStream.h"
 
 #include <cstdint>
@@ -26,14 +27,15 @@
 namespace specctrl {
 namespace fsim {
 
-/// Streams the conditional-branch events of an interpreter run.  The
-/// adapter owns the stream position (event index, last branch's retired
-/// count) but not the interpreter, which the caller constructs and may
-/// inspect between batches; interleaving other run() calls on the same
-/// interpreter corrupts the stream.
+/// Streams the conditional-branch events of a backend run.  The adapter
+/// owns the stream position (event index, last branch's retired count) but
+/// not the backend, which the caller constructs and may inspect between
+/// batches; interleaving other run() calls on the same backend corrupts
+/// the stream.  Any ExecBackend works -- both tiers produce identical
+/// streams (pinned by ExecBackendEquivalenceTest).
 class InterpreterEventSource final : public workload::EventSource {
 public:
-  explicit InterpreterEventSource(Interpreter &Interp) : Interp(Interp) {}
+  explicit InterpreterEventSource(ExecBackend &Interp) : Interp(Interp) {}
 
   InterpreterEventSource(const InterpreterEventSource &) = delete;
   InterpreterEventSource &operator=(const InterpreterEventSource &) = delete;
@@ -46,7 +48,7 @@ public:
   StopReason stopReason() const { return LastStop; }
 
 private:
-  Interpreter &Interp;
+  ExecBackend &Interp;
   /// Instructions retired as of the previous branch (Gap baseline).
   uint64_t PrevInstRet = 0;
   /// 0-based index of the next event to emit.

@@ -1,0 +1,13 @@
+//===- fsim/ExecBackend.cpp - SimIR execution-backend interface -----------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fsim/ExecBackend.h"
+
+using namespace specctrl::fsim;
+
+// Key functions: anchor the vtables here.
+ExecObserver::~ExecObserver() = default;
+ExecBackend::~ExecBackend() = default;

@@ -17,8 +17,6 @@ using namespace specctrl;
 using namespace specctrl::fsim;
 using namespace specctrl::ir;
 
-ExecObserver::~ExecObserver() = default;
-
 Interpreter::Interpreter(const ir::Module &M, std::vector<uint64_t> Memory)
     : Mod(M), Memory(std::move(Memory)) {
   assert(M.numFunctions() > 0 && "module has no functions");
@@ -61,6 +59,29 @@ void Interpreter::adoptPositionFrom(const Interpreter &Other) {
   RegStack = Other.RegStack;
   Halted = Other.Halted;
   Faulted = Other.Faulted;
+}
+
+ArchPosition Interpreter::archPosition() const {
+  ArchPosition Out;
+  Out.Frames.reserve(Stack.size());
+  for (const Frame &F : Stack)
+    Out.Frames.push_back({F.Code, F.FuncId, F.Block, F.Index, F.RegBase});
+  Out.Regs = RegStack;
+  Out.Halted = Halted;
+  Out.Faulted = Faulted;
+  return Out;
+}
+
+void Interpreter::setArchPosition(const ArchPosition &Position) {
+  Stack.clear();
+  Stack.reserve(Position.Frames.size());
+  for (const ArchFrame &F : Position.Frames) {
+    assert(F.Code && "arch frame without a code version");
+    Stack.push_back({F.Code, F.FuncId, F.Block, F.Index, F.RegBase});
+  }
+  RegStack = Position.Regs;
+  Halted = Position.Halted;
+  Faulted = Position.Faulted;
 }
 
 // The virtual-observer dispatch loop below is the project's original

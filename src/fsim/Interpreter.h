@@ -21,6 +21,7 @@
 #ifndef SPECCTRL_FSIM_INTERPRETER_H
 #define SPECCTRL_FSIM_INTERPRETER_H
 
+#include "fsim/ExecBackend.h"
 #include "ir/Function.h"
 
 #include <cassert>
@@ -30,56 +31,11 @@
 namespace specctrl {
 namespace fsim {
 
-/// Identifies a static instruction across code versions.
-struct InstLocation {
-  uint32_t Func = 0;
-  uint32_t Block = 0;
-  uint32_t Index = 0;
-};
-
-/// Callback interface for execution events.  The default implementations
-/// do nothing, so observers override only what they need.
-class ExecObserver {
-public:
-  virtual ~ExecObserver();
-
-  /// Called after every retired instruction.
-  virtual void onInstruction(const ir::Instruction &I, const InstLocation &L) {
-    (void)I;
-    (void)L;
-  }
-  /// Called after a conditional branch resolves.
-  virtual void onBranch(ir::SiteId Site, bool Taken) {
-    (void)Site;
-    (void)Taken;
-  }
-  /// Called after a load retires.
-  virtual void onLoad(const InstLocation &L, uint64_t Addr, uint64_t Value) {
-    (void)L;
-    (void)Addr;
-    (void)Value;
-  }
-  /// Called after a store retires; \p Old is the overwritten value (undo
-  /// logs for task squash are built from this).
-  virtual void onStore(uint64_t Addr, uint64_t Value, uint64_t Old) {
-    (void)Addr;
-    (void)Value;
-    (void)Old;
-  }
-  virtual void onCall(uint32_t Callee) { (void)Callee; }
-  virtual void onReturn(uint32_t Callee) { (void)Callee; }
-};
-
-/// Why Interpreter::run returned.
-enum class StopReason {
-  Halted,        ///< the program executed Halt
-  FuelExhausted, ///< the instruction budget ran out (resumable)
-  Stopped,       ///< an observer called requestStop() (resumable)
-  Fault,         ///< memory out of range or call-stack overflow
-};
-
-/// A resumable SimIR interpreter over a module and a flat word memory.
-class Interpreter {
+/// A resumable SimIR interpreter over a module and a flat word memory: the
+/// reference ExecBackend (ExecTier::Reference).  Declared final so the
+/// compiler can devirtualize the backend interface when the concrete type
+/// is known (the MSSP fast path and the hot loops below rely on this).
+class Interpreter final : public ExecBackend {
 public:
   /// Creates an interpreter positioned at the entry of \p M's entry
   /// function.  \p Memory is the initial memory image (word-addressed).
@@ -88,14 +44,14 @@ public:
   /// Swaps the code executed for function \p FuncId (nullptr restores the
   /// module's original).  Takes effect at the next call of the function;
   /// active activations keep running their current version.
-  void setCodeVersion(uint32_t FuncId, const ir::Function *F);
+  void setCodeVersion(uint32_t FuncId, const ir::Function *F) override;
 
   /// Returns the code version currently dispatched for \p FuncId.
-  const ir::Function &codeFor(uint32_t FuncId) const;
+  const ir::Function &codeFor(uint32_t FuncId) const override;
 
   /// Executes up to \p MaxInstructions instructions, reporting events to
   /// \p Obs (may be null).  Resumable: call again to continue.
-  StopReason run(uint64_t MaxInstructions, ExecObserver *Obs = nullptr);
+  StopReason run(uint64_t MaxInstructions, ExecObserver *Obs = nullptr) override;
 
   /// Statically dispatched variant of run(): \p Obs is any type providing
   /// the ExecObserver hook signatures (onLoad/onStore/onBranch/onCall/
@@ -109,29 +65,34 @@ public:
 
   /// Requests that run() return after the current instruction retires.
   /// Callable from observer callbacks (e.g. to pause at task boundaries).
-  void requestStop() { StopFlag = true; }
+  void requestStop() override { StopFlag = true; }
 
   /// Adopts another interpreter's architectural position and registers
   /// (call stack, register stack, halt flag) -- but not its memory, which
   /// the caller reconciles (MSSP recovery copies only the written words).
-  /// Both interpreters must execute the same module.
+  /// Both interpreters must execute the same module.  Concrete-type fast
+  /// path; the ExecBackend overload round-trips through ArchPosition.
   void adoptPositionFrom(const Interpreter &Other);
+  using ExecBackend::adoptPositionFrom;
+
+  ArchPosition archPosition() const override;
+  void setArchPosition(const ArchPosition &Position) override;
 
   /// True once Halt has retired (further run() calls return Halted).
-  bool halted() const { return Halted; }
+  bool halted() const override { return Halted; }
 
-  uint64_t instructionsRetired() const { return InstRet; }
+  uint64_t instructionsRetired() const override { return InstRet; }
 
-  std::vector<uint64_t> &memory() { return Memory; }
-  const std::vector<uint64_t> &memory() const { return Memory; }
+  std::vector<uint64_t> &memory() override { return Memory; }
+  const std::vector<uint64_t> &memory() const override { return Memory; }
 
   /// Reads a memory word (0 beyond the image, matching load semantics).
-  uint64_t loadWord(uint64_t Addr) const {
+  uint64_t loadWord(uint64_t Addr) const override {
     return Addr < Memory.size() ? Memory[Addr] : 0;
   }
   /// Writes a memory word, growing the image if needed.  Inline: runs on
   /// every simulated store.
-  void storeWord(uint64_t Addr, uint64_t Value) {
+  void storeWord(uint64_t Addr, uint64_t Value) override {
     if (Addr >= Memory.size()) {
       if (Addr >= MaxMemoryWords) {
         Faulted = true;

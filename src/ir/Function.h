@@ -95,15 +95,27 @@ private:
 
 /// A SimIR module: a set of functions addressed by id, plus the designated
 /// entry function.  Function id == index into the function table.
+///
+/// Function references are invalidated by createFunction (the table is a
+/// vector and may reallocate).  Holders that cache Function& / BasicBlock&
+/// across possible mutation should snapshot generation() when they take the
+/// reference and compare before reuse -- the decode cache in src/exec does
+/// exactly this and aborts on a stale handle.
 class Module {
 public:
   /// Creates a function and returns a reference valid until the next
-  /// createFunction call.
+  /// createFunction call (which may reallocate the table and bumps
+  /// generation()).
   Function &createFunction(std::string Name, unsigned NumRegs) {
     const uint32_t Id = static_cast<uint32_t>(Functions.size());
     Functions.emplace_back(std::move(Name), Id, NumRegs);
+    ++Generation;
     return Functions.back();
   }
+
+  /// Bumped on every structural mutation that can invalidate outstanding
+  /// Function references.  Cheap to read; used for stale-handle detection.
+  uint64_t generation() const { return Generation; }
 
   uint32_t numFunctions() const {
     return static_cast<uint32_t>(Functions.size());
@@ -127,6 +139,7 @@ public:
 private:
   std::vector<Function> Functions;
   uint32_t EntryId = 0;
+  uint64_t Generation = 0;
 };
 
 } // namespace ir

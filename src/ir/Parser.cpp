@@ -357,6 +357,9 @@ std::optional<Module> ir::parseModule(const std::string &Text,
       fail(Error, LineNo, "function ids must be sequential");
       return false;
     }
+    // Slot is invalidated by the next FlushChunk's createFunction
+    // (Module::Functions may reallocate; see Module::generation()), so
+    // it must be filled before this lambda returns.
     Function &Slot = M.createFunction(F->name(), F->numRegs());
     Slot.blocks() = std::move(F->blocks());
     Chunk.clear();

@@ -7,6 +7,8 @@
 #include "mssp/MsspSimulator.h"
 
 #include "distill/Distiller.h"
+#include "exec/ThreadedBackend.h"
+#include "fsim/Interpreter.h"
 #include "support/Hash.h"
 
 #include <algorithm>
@@ -24,7 +26,7 @@ constexpr uint64_t RunForever = ~0ull >> 1;
 /// iterations of the main loop) and forwards events to a timing model.
 class TaskObserver : public fsim::ExecObserver {
 public:
-  TaskObserver(fsim::Interpreter &Interp, CoreTiming &Timing,
+  TaskObserver(fsim::ExecBackend &Interp, CoreTiming &Timing,
                uint64_t IterationAddr, unsigned TaskIterations)
       : Interp(Interp), Timing(Timing), IterationAddr(IterationAddr),
         TaskIterations(TaskIterations) {}
@@ -50,7 +52,7 @@ public:
   void onReturn(uint32_t Callee) override { Timing.onReturn(Callee); }
 
 private:
-  fsim::Interpreter &Interp;
+  fsim::ExecBackend &Interp;
   CoreTiming &Timing;
   uint64_t IterationAddr;
   unsigned TaskIterations;
@@ -64,7 +66,7 @@ using LoadHook =
 /// controller feeding + value-invariance feeding.
 class CheckerObserver : public TaskObserver {
 public:
-  CheckerObserver(fsim::Interpreter &Interp, CoreTiming &Timing,
+  CheckerObserver(fsim::ExecBackend &Interp, CoreTiming &Timing,
                   uint64_t IterationAddr, unsigned TaskIterations,
                   core::ReactiveController &Controller,
                   const std::vector<bool> &ControlSites, LoadHook OnLoad)
@@ -107,7 +109,7 @@ private:
 /// member the interpreter's templated loop inlines (no virtual calls).
 class FastTaskObserver {
 public:
-  FastTaskObserver(fsim::Interpreter &Interp, CoreTiming &Timing,
+  FastTaskObserver(fsim::ExecBackend &Interp, CoreTiming &Timing,
                    uint64_t IterationAddr, unsigned TaskIterations,
                    std::vector<uint8_t> &AddrClass,
                    std::vector<uint64_t> &DirtyAddrs)
@@ -141,7 +143,7 @@ public:
   void onReturn(uint32_t Callee) { Timing.recordReturn(Callee); }
 
 private:
-  fsim::Interpreter &Interp;
+  fsim::ExecBackend &Interp;
   CoreTiming &Timing;
   uint64_t IterationAddr;
   unsigned TaskIterations;
@@ -154,7 +156,7 @@ private:
 /// the std::function load hook of the legacy path compiled away.
 class FastCheckerObserver {
 public:
-  FastCheckerObserver(fsim::Interpreter &Interp, CoreTiming &Timing,
+  FastCheckerObserver(fsim::ExecBackend &Interp, CoreTiming &Timing,
                       uint64_t IterationAddr, unsigned TaskIterations,
                       std::vector<uint8_t> &AddrClass,
                       std::vector<uint64_t> &DirtyAddrs,
@@ -199,7 +201,7 @@ public:
   void onReturn(uint32_t Callee) { Timing.recordReturn(Callee); }
 
 private:
-  fsim::Interpreter &Interp;
+  fsim::ExecBackend &Interp;
   CoreTiming &Timing;
   uint64_t IterationAddr;
   unsigned TaskIterations;
@@ -260,8 +262,10 @@ uint64_t packValueSiteKey(uint32_t Func, distill::LocKey Loc) {
 MsspSimulator::MsspSimulator(const workload::SynthProgram &Program,
                              const MsspConfig &Config)
     : Program(Program), Config(Config),
-      Master(Program.Mod, Program.InitialMemory),
-      Checker(Program.Mod, Program.InitialMemory),
+      Master(exec::createBackend(Config.Tier, Program.Mod,
+                                 Program.InitialMemory)),
+      Checker(exec::createBackend(Config.Tier, Program.Mod,
+                                  Program.InitialMemory)),
       SharedL2(Config.Machine.L2),
       MasterTiming(Config.Machine.Leading, &SharedL2,
                    Config.Machine.L2.LatencyCycles,
@@ -332,7 +336,7 @@ void MsspSimulator::noteRegionLoad(const fsim::InstLocation &L,
   ValueCtrl.onLoad(valueSiteId(L.Func, {L.Block, L.Index}), Value, InstRet);
 }
 
-uint64_t MsspSimulator::stateDigest(const fsim::Interpreter &Interp) const {
+uint64_t MsspSimulator::stateDigest(const fsim::ExecBackend &Interp) const {
   uint64_t H = 0xCBF29CE484222325ull;
   auto Mix = [&H](uint64_t V) {
     H ^= V;
@@ -349,8 +353,8 @@ void MsspSimulator::restoreMasterFromChecker() {
   // (plus the register/stack position) transplants the trailing
   // execution's architectural state into the master.
   for (uint64_t Addr : WritableAddrs)
-    Master.storeWord(Addr, Checker.loadWord(Addr));
-  Master.adoptPositionFrom(Checker);
+    Master->storeWord(Addr, Checker->loadWord(Addr));
+  Master->adoptPositionFrom(*Checker);
 }
 
 void MsspSimulator::initDirtyTracking() {
@@ -369,10 +373,10 @@ bool MsspSimulator::dirtyStateMatches() const {
   // copied equal after a squash), so words neither stored to are still
   // equal and only the dirty set needs comparing.  Unlike the FNV digest
   // there is no hash at all, hence no collision case.
-  if (Master.halted() != Checker.halted())
+  if (Master->halted() != Checker->halted())
     return false;
   for (uint64_t Addr : DirtyAddrs)
-    if (Master.loadWord(Addr) != Checker.loadWord(Addr))
+    if (Master->loadWord(Addr) != Checker->loadWord(Addr))
       return false;
   return true;
 }
@@ -381,8 +385,8 @@ void MsspSimulator::restoreMasterDirty() {
   // Clean writable words are equal by the task-start invariant, so
   // copying the dirty set transplants the checker's full memory state.
   for (uint64_t Addr : DirtyAddrs)
-    Master.storeWord(Addr, Checker.loadWord(Addr));
-  Master.adoptPositionFrom(Checker);
+    Master->storeWord(Addr, Checker->loadWord(Addr));
+  Master->adoptPositionFrom(*Checker);
 }
 
 void MsspSimulator::clearDirtyAddrs() {
@@ -481,7 +485,7 @@ void MsspSimulator::rebuildRegion(uint32_t FunctionId) {
         distill::distillFunction(Program.Mod.function(FunctionId), Request);
     Installed = Cache.install(FunctionId, std::move(Distilled.Distilled));
   }
-  Master.setCodeVersion(FunctionId, Installed);
+  Master->setCodeVersion(FunctionId, Installed);
   // Counts redeployments, not distiller runs, so the value is identical
   // with and without memoization (golden-pinned).
   ++Result.Regenerations;
@@ -543,8 +547,9 @@ void MsspSimulator::processOptCompletions() {
   }
 }
 
-template <bool Fast, class MasterObsT, class CheckerObsT>
-uint64_t MsspSimulator::taskLoop(MasterObsT &MasterObs,
+template <bool Fast, class BackendT, class MasterObsT, class CheckerObsT>
+uint64_t MsspSimulator::taskLoop(BackendT &MasterB, BackendT &CheckerB,
+                                 MasterObsT &MasterObs,
                                  CheckerObsT &CheckerObs) {
   std::deque<uint64_t> CommitTimes; ///< in-flight verified-commit times
   std::vector<uint64_t> SlaveFree(Config.Machine.NumTrailing, 0);
@@ -564,18 +569,18 @@ uint64_t MsspSimulator::taskLoop(MasterObsT &MasterObs,
     const uint64_t MStart = MasterTiming.cycles();
     fsim::StopReason MReason;
     if constexpr (Fast)
-      MReason = Master.runWith(RunForever, MasterObs);
+      MReason = MasterB.runWith(RunForever, MasterObs);
     else
-      MReason = Master.run(RunForever, &MasterObs);
+      MReason = MasterB.run(RunForever, &MasterObs);
     MasterClock += MasterTiming.cycles() - MStart;
 
     // The trailing execution covers the same task with original code.
     const uint64_t VStartCycles = TrailTiming.cycles();
     fsim::StopReason CReason;
     if constexpr (Fast)
-      CReason = Checker.runWith(RunForever, CheckerObs);
+      CReason = CheckerB.runWith(RunForever, CheckerObs);
     else
-      CReason = Checker.run(RunForever, &CheckerObs);
+      CReason = CheckerB.run(RunForever, &CheckerObs);
     const uint64_t VCycles = TrailTiming.cycles() - VStartCycles;
     assert(MReason != fsim::StopReason::Fault &&
            CReason != fsim::StopReason::Fault && "simulated program faulted");
@@ -594,7 +599,7 @@ uint64_t MsspSimulator::taskLoop(MasterObsT &MasterObs,
     if constexpr (Fast)
       Match = dirtyStateMatches();
     else
-      Match = stateDigest(Master) == stateDigest(Checker);
+      Match = stateDigest(MasterB) == stateDigest(CheckerB);
     if (!Match) {
       // Task misspeculation: detected when verification completes; the
       // master restarts from the trailing execution's state.
@@ -614,7 +619,7 @@ uint64_t MsspSimulator::taskLoop(MasterObsT &MasterObs,
         (MReason == fsim::StopReason::Halted &&
          CReason == fsim::StopReason::Halted) ||
         (Config.MaxInstructions != 0 &&
-         Checker.instructionsRetired() >= Config.MaxInstructions);
+         CheckerB.instructionsRetired() >= Config.MaxInstructions);
     if (Done)
       break;
   }
@@ -633,13 +638,23 @@ MsspResult MsspSimulator::run() {
 
   uint64_t TotalCycles = 0;
   if (Config.FastPath.IncrementalDigest) {
-    FastTaskObserver MasterObs(Master, MasterTiming, Program.IterationAddr,
+    FastTaskObserver MasterObs(*Master, MasterTiming, Program.IterationAddr,
                                Config.TaskIterations, AddrClass, DirtyAddrs);
     FastCheckerObserver CheckerObs(
-        Checker, TrailTiming, Program.IterationAddr, Config.TaskIterations,
+        *Checker, TrailTiming, Program.IterationAddr, Config.TaskIterations,
         AddrClass, DirtyAddrs, Controller, ControlSites, IsRegionFunc,
         Config.EnableValueSpeculation, *this);
-    TotalCycles = taskLoop<true>(MasterObs, CheckerObs);
+    // The fast path instantiates the loop over the concrete backend so
+    // runWith can inline the observers into its dispatch loop.
+    if (Config.Tier == ExecTier::Threaded)
+      TotalCycles =
+          taskLoop<true>(static_cast<exec::ThreadedBackend &>(*Master),
+                         static_cast<exec::ThreadedBackend &>(*Checker),
+                         MasterObs, CheckerObs);
+    else
+      TotalCycles = taskLoop<true>(static_cast<fsim::Interpreter &>(*Master),
+                                   static_cast<fsim::Interpreter &>(*Checker),
+                                   MasterObs, CheckerObs);
   } else {
     LoadHook OnLoad;
     if (Config.EnableValueSpeculation)
@@ -654,12 +669,13 @@ MsspResult MsspSimulator::run() {
                            InstRet);
       };
 
-    TaskObserver MasterObs(Master, MasterTiming, Program.IterationAddr,
+    TaskObserver MasterObs(*Master, MasterTiming, Program.IterationAddr,
                            Config.TaskIterations);
-    CheckerObserver CheckerObs(Checker, TrailTiming, Program.IterationAddr,
+    CheckerObserver CheckerObs(*Checker, TrailTiming, Program.IterationAddr,
                                Config.TaskIterations, Controller,
                                ControlSites, std::move(OnLoad));
-    TotalCycles = taskLoop<false>(MasterObs, CheckerObs);
+    TotalCycles = taskLoop<false, fsim::ExecBackend>(*Master, *Checker,
+                                                     MasterObs, CheckerObs);
   }
 
   Result.TotalCycles = TotalCycles;
@@ -673,8 +689,9 @@ MsspResult MsspSimulator::run() {
 
 uint64_t mssp::simulateSuperscalarBaseline(
     const workload::SynthProgram &Program, const MachineConfig &Machine,
-    uint64_t MaxInstructions) {
-  fsim::Interpreter Interp(Program.Mod, Program.InitialMemory);
+    uint64_t MaxInstructions, ExecTier Tier) {
+  std::unique_ptr<fsim::ExecBackend> Interp =
+      exec::createBackend(Tier, Program.Mod, Program.InitialMemory);
   CacheModel L2(Machine.L2);
   CoreTiming Timing(Machine.Leading, &L2, Machine.L2.LatencyCycles,
                     Machine.MemoryLatencyCycles);
@@ -701,7 +718,11 @@ uint64_t mssp::simulateSuperscalarBaseline(
   BaselineObserver Obs(Timing);
   const uint64_t Fuel =
       MaxInstructions ? MaxInstructions : (~0ull >> 1);
-  const fsim::StopReason Reason = Interp.runWith(Fuel, Obs);
+  fsim::StopReason Reason;
+  if (Tier == ExecTier::Threaded)
+    Reason = static_cast<exec::ThreadedBackend &>(*Interp).runWith(Fuel, Obs);
+  else
+    Reason = static_cast<fsim::Interpreter &>(*Interp).runWith(Fuel, Obs);
   assert(Reason != fsim::StopReason::Fault && "baseline program faulted");
   (void)Reason;
   return Timing.cycles();

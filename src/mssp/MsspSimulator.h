@@ -39,7 +39,7 @@
 #include "core/ReactiveController.h"
 #include "core/ValueInvariance.h"
 #include "distill/CodeCache.h"
-#include "fsim/Interpreter.h"
+#include "fsim/ExecBackend.h"
 #include "mssp/CoreTiming.h"
 #include "mssp/MachineConfig.h"
 #include "support/FlatHash.h"
@@ -99,6 +99,10 @@ struct MsspConfig {
   uint64_t MaxInstructions = 0;
   /// Simulator-throughput optimizations (never change results).
   MsspFastPath FastPath;
+  /// Execution backend for both the master and the checker (never changes
+  /// results -- the tiers are bit-exact; pinned by the fig7 golden CSV
+  /// under --exec-tier threaded).  Benches thread RunConfig's tier here.
+  ExecTier Tier = ExecTier::Reference;
 };
 
 /// Simulation outputs.
@@ -166,7 +170,7 @@ private:
   /// Maps a load location to a dense value-site id (lazily).
   uint32_t valueSiteId(uint32_t Func, distill::LocKey Loc);
 
-  uint64_t stateDigest(const fsim::Interpreter &Interp) const;
+  uint64_t stateDigest(const fsim::ExecBackend &Interp) const;
   void restoreMasterFromChecker();
   void processOptCompletions();
   void rebuildRegion(uint32_t FunctionId);
@@ -188,17 +192,20 @@ private:
   void clearDirtyAddrs();
 
   /// The task loop, instantiated once per execution path: Fast uses the
-  /// statically dispatched interpreter pipeline plus dirty-set
-  /// verification, the legacy instantiation the virtual-observer path and
-  /// full digests.  Returns the final commit time.
-  template <bool Fast, class MasterObsT, class CheckerObsT>
-  uint64_t taskLoop(MasterObsT &MasterObs, CheckerObsT &CheckerObs);
+  /// statically dispatched backend pipeline (BackendT is the concrete
+  /// backend, so runWith inlines the observers) plus dirty-set
+  /// verification; the legacy instantiation uses the virtual-observer
+  /// path and full digests with BackendT = fsim::ExecBackend.  Returns
+  /// the final commit time.
+  template <bool Fast, class BackendT, class MasterObsT, class CheckerObsT>
+  uint64_t taskLoop(BackendT &MasterB, BackendT &CheckerB,
+                    MasterObsT &MasterObs, CheckerObsT &CheckerObs);
 
   const workload::SynthProgram &Program;
   MsspConfig Config;
 
-  fsim::Interpreter Master;
-  fsim::Interpreter Checker;
+  std::unique_ptr<fsim::ExecBackend> Master;
+  std::unique_ptr<fsim::ExecBackend> Checker;
   CacheModel SharedL2;
   CoreTiming MasterTiming;
   CoreTiming TrailTiming;
@@ -259,10 +266,12 @@ private:
 };
 
 /// Baseline: the original program on the leading core alone ("vanilla"
-/// superscalar, the B bars of Figs. 7-8).  Returns total cycles.
+/// superscalar, the B bars of Figs. 7-8).  Returns total cycles.  The
+/// execution tier never changes the cycle count (bit-exact backends).
 uint64_t simulateSuperscalarBaseline(const workload::SynthProgram &Program,
                                      const MachineConfig &Machine,
-                                     uint64_t MaxInstructions = 0);
+                                     uint64_t MaxInstructions = 0,
+                                     ExecTier Tier = ExecTier::Reference);
 
 } // namespace mssp
 } // namespace specctrl

@@ -1,0 +1,100 @@
+//===- support/RunConfig.cpp - Process-wide run configuration -------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RunConfig.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace specctrl;
+
+namespace {
+
+/// True when \p Name is set to anything but "" or "0".
+bool envFlag(const char *Name, bool &Present) {
+  const char *Env = std::getenv(Name);
+  Present = Env != nullptr;
+  return Env && *Env && !(Env[0] == '0' && Env[1] == '\0');
+}
+
+/// Reads a boolean knob: canonical name wins; the deprecated alias is
+/// honored only when the canonical name is unset, with a note.
+bool envBool(const char *Canonical, const char *Deprecated, bool Default,
+             std::string *Warnings) {
+  bool Present = false;
+  const bool Value = envFlag(Canonical, Present);
+  if (Present)
+    return Value;
+  const bool AliasValue = envFlag(Deprecated, Present);
+  if (!Present)
+    return Default;
+  if (Warnings) {
+    *Warnings += Deprecated;
+    *Warnings += " is deprecated; use ";
+    *Warnings += Canonical;
+    *Warnings += "\n";
+  }
+  return AliasValue;
+}
+
+} // namespace
+
+const char *specctrl::execTierName(ExecTier Tier) {
+  switch (Tier) {
+  case ExecTier::Reference:
+    return "reference";
+  case ExecTier::Threaded:
+    return "threaded";
+  }
+  return "reference";
+}
+
+bool specctrl::parseExecTier(const std::string &Name, ExecTier &Out) {
+  if (Name == "reference") {
+    Out = ExecTier::Reference;
+    return true;
+  }
+  if (Name == "threaded") {
+    Out = ExecTier::Threaded;
+    return true;
+  }
+  return false;
+}
+
+RunConfig RunConfig::fromEnv(std::string *Warnings) {
+  RunConfig Out;
+  Out.VerifyDistill = envBool("SPECCTRL_VERIFY", "SPECCTRL_VERIFY_DISTILL",
+                              false, Warnings);
+  Out.ArenaVerbose = envBool("SPECCTRL_ARENA_VERBOSE", "SPECCTRL_ARENA_DEBUG",
+                             false, Warnings);
+  if (const char *Env = std::getenv("SPECCTRL_EXEC_TIER")) {
+    if (!parseExecTier(Env, Out.Tier) && Warnings) {
+      *Warnings += "SPECCTRL_EXEC_TIER=";
+      *Warnings += Env;
+      *Warnings += " is not a tier (reference|threaded); keeping reference\n";
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+RunConfig &globalSlot() {
+  static RunConfig Config = [] {
+    std::string Warnings;
+    RunConfig Parsed = RunConfig::fromEnv(&Warnings);
+    if (!Warnings.empty())
+      std::fprintf(stderr, "specctrl: %s", Warnings.c_str());
+    return Parsed;
+  }();
+  return Config;
+}
+
+} // namespace
+
+const RunConfig &RunConfig::global() { return globalSlot(); }
+
+void RunConfig::setGlobal(const RunConfig &Config) { globalSlot() = Config; }

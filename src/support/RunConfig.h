@@ -1,0 +1,81 @@
+//===- support/RunConfig.h - Process-wide run configuration -----*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single typed carrier for cross-cutting run knobs that used to be
+/// scattered env peeks (`SPECCTRL_VERIFY_DISTILL` in the distiller, code
+/// cache, and interpreter; `SPECCTRL_ARENA_DEBUG` in the trace arena) plus
+/// the execution-tier selection for the SimIR backends.  The environment
+/// is parsed exactly once into RunConfig::global(); tool and bench mains
+/// may override it from the command line (BenchCommon's --exec-tier /
+/// --verify-distill / --arena-verbose) before any work starts, and
+/// libraries read the parsed struct instead of calling getenv.
+///
+/// Canonical environment variables:
+///
+///   SPECCTRL_VERIFY=1            deploy-time distill verification gate
+///   SPECCTRL_ARENA_VERBOSE=1     per-materialization trace-arena logging
+///   SPECCTRL_EXEC_TIER=reference|threaded   default SimIR execution tier
+///
+/// The pre-RunConfig spellings SPECCTRL_VERIFY_DISTILL and
+/// SPECCTRL_ARENA_DEBUG keep working as deprecated aliases (a one-line
+/// warning is printed once when one is honored).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_SUPPORT_RUNCONFIG_H
+#define SPECCTRL_SUPPORT_RUNCONFIG_H
+
+#include <cstdint>
+#include <string>
+
+namespace specctrl {
+
+/// Which SimIR execution backend to construct (see fsim/ExecBackend.h).
+/// Reference is the seed interpreter -- the bit-exactness oracle; Threaded
+/// is the pre-decoded direct-threaded tier in src/exec.
+enum class ExecTier : uint8_t {
+  Reference,
+  Threaded,
+};
+
+/// Stable lowercase name ("reference" / "threaded").
+const char *execTierName(ExecTier Tier);
+
+/// Parses an ExecTier name; returns false (leaving \p Out untouched) on an
+/// unknown spelling.
+bool parseExecTier(const std::string &Name, ExecTier &Out);
+
+/// Typed run configuration, parsed once per process.
+struct RunConfig {
+  /// Deploy-time static speculation-safety verification: the distiller,
+  /// code cache, and backends verify every code version before it can be
+  /// dispatched (analysis/DistillVerifier.h).
+  bool VerifyDistill = false;
+  /// Per-materialization trace-arena logging to stderr.
+  bool ArenaVerbose = false;
+  /// Default SimIR execution tier for backend factories.
+  ExecTier Tier = ExecTier::Reference;
+
+  /// Parses the environment (canonical names first, deprecated aliases
+  /// second).  Pure: no warnings are printed; when \p Warnings is non-null
+  /// any deprecated-alias notes are appended to it, one per line.
+  static RunConfig fromEnv(std::string *Warnings = nullptr);
+
+  /// The process-wide configuration.  First use parses the environment
+  /// (printing any deprecation warnings to stderr once); later reads are
+  /// plain loads.
+  static const RunConfig &global();
+
+  /// Replaces the process-wide configuration (CLI override).  Call from
+  /// main before spawning workers; not synchronized against concurrent
+  /// global() readers.
+  static void setGlobal(const RunConfig &Config);
+};
+
+} // namespace specctrl
+
+#endif // SPECCTRL_SUPPORT_RUNCONFIG_H

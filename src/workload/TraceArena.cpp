@@ -7,6 +7,7 @@
 #include "workload/TraceArena.h"
 
 #include "support/Hash.h"
+#include "support/RunConfig.h"
 #include "workload/TraceGenerator.h"
 
 #include <bit>
@@ -173,9 +174,8 @@ size_t ArenaReplaySource::nextBatch(std::span<BranchEvent> Buffer) {
 TraceArena::TraceArena() : TraceArena(Config{}) {}
 
 TraceArena::TraceArena(Config C) : Cfg(std::move(C)) {
-  if (const char *Env = std::getenv("SPECCTRL_ARENA_DEBUG"))
-    if (Env[0] && Env[0] != '0')
-      Cfg.Verbose = true;
+  if (RunConfig::global().ArenaVerbose)
+    Cfg.Verbose = true;
 }
 
 std::string TraceArena::keyOf(const WorkloadSpec &Spec,

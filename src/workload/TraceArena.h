@@ -137,7 +137,7 @@ public:
     /// Events per SCT2 block (default matches the pipeline chunk size).
     uint32_t BlockEvents = TraceV2BlockEvents;
     /// Log materializations (events, encoded bytes, per-block compression
-    /// ratio, tier) to stderr.  Also enabled by SPECCTRL_ARENA_DEBUG=1.
+    /// ratio, tier) to stderr.  Also enabled by SPECCTRL_ARENA_VERBOSE=1 (RunConfig).
     bool Verbose = false;
   };
 

@@ -1,0 +1,248 @@
+//===- tests/exec/ExecBackendEquivalenceTest.cpp --------------------------===//
+//
+// The execution-backend contract: exec::ThreadedBackend must be
+// bit-exact against fsim::Interpreter::run -- identical observer event
+// streams, final memory, retire counts, and StopReasons -- on every
+// module of the 12-benchmark seed suite and on all 48 of its
+// distillation pairs (each region function distilled under its
+// dominant-direction assertion set, exactly the code versions the MSSP
+// master dispatches).  Also pins mid-run fuel slicing and requestStop
+// resume: stopping either backend anywhere and resuming may not perturb
+// the merged event stream.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ThreadedBackend.h"
+
+#include "distill/Distiller.h"
+#include "fsim/Interpreter.h"
+#include "workload/ProgramSynthesizer.h"
+#include "workload/SpecSuite.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+using namespace specctrl;
+using namespace specctrl::workload;
+
+namespace {
+
+/// Test run length: long enough to exercise every region, controller
+/// gadget, and fused pattern; short enough that 48 A/B pairs stay in the
+/// fast-label budget.
+constexpr uint64_t TestIterations = 1500;
+constexpr uint64_t AllFuel = ~0ull >> 1;
+
+/// One recorded observer event, any hook, packed into comparable words.
+struct Event {
+  enum Kind : uint8_t { Inst, Branch, Load, Store, Call, Ret };
+  uint8_t K = Inst;
+  uint64_t A = 0;
+  uint64_t B = 0;
+  uint64_t C = 0;
+  uint64_t D = 0;
+
+  bool operator==(const Event &O) const {
+    return K == O.K && A == O.A && B == O.B && C == O.C && D == O.D;
+  }
+};
+
+uint64_t packLoc(const fsim::InstLocation &L) {
+  return (static_cast<uint64_t>(L.Func) << 42) |
+         (static_cast<uint64_t>(L.Block) << 21) | L.Index;
+}
+
+/// Records every hook invocation in order.
+class RecordingObserver : public fsim::ExecObserver {
+public:
+  std::vector<Event> Events;
+
+  void onInstruction(const ir::Instruction &I,
+                     const fsim::InstLocation &L) override {
+    Events.push_back({Event::Inst, static_cast<uint64_t>(I.Op), packLoc(L),
+                      static_cast<uint64_t>(I.Imm), I.Dest});
+  }
+  void onBranch(ir::SiteId Site, bool Taken) override {
+    Events.push_back({Event::Branch, Site, Taken ? 1ull : 0ull, 0, 0});
+  }
+  void onLoad(const fsim::InstLocation &L, uint64_t Addr,
+              uint64_t Value) override {
+    Events.push_back({Event::Load, packLoc(L), Addr, Value, 0});
+  }
+  void onStore(uint64_t Addr, uint64_t Value, uint64_t Old) override {
+    Events.push_back({Event::Store, Addr, Value, Old, 0});
+  }
+  void onCall(uint32_t Callee) override {
+    Events.push_back({Event::Call, Callee, 0, 0, 0});
+  }
+  void onReturn(uint32_t Callee) override {
+    Events.push_back({Event::Ret, Callee, 0, 0, 0});
+  }
+};
+
+/// Requests a stop on its backend after a fixed number of retired
+/// instructions (on top of recording).
+class StopAfterObserver : public RecordingObserver {
+public:
+  StopAfterObserver(fsim::ExecBackend &Backend, uint64_t StopAfter)
+      : Backend(Backend), Remaining(StopAfter) {}
+
+  void onInstruction(const ir::Instruction &I,
+                     const fsim::InstLocation &L) override {
+    RecordingObserver::onInstruction(I, L);
+    if (Remaining && --Remaining == 0)
+      Backend.requestStop();
+  }
+
+private:
+  fsim::ExecBackend &Backend;
+  uint64_t Remaining;
+};
+
+/// The per-region dominant-direction distillation request (the
+/// DistillerFuzz / MSSP idiom).
+distill::DistillRequest regionRequest(const SynthProgram &P,
+                                      uint32_t FuncId) {
+  distill::DistillRequest Request;
+  for (const SynthSiteInfo &Info : P.Sites)
+    if (!Info.IsControlSite && Info.FunctionId == FuncId)
+      Request.BranchAssertions[Info.Site] = Info.Behavior.BiasA >= 0.5;
+  return Request;
+}
+
+void expectSameEvents(const std::vector<Event> &Ref,
+                      const std::vector<Event> &Thr, const char *What) {
+  ASSERT_EQ(Ref.size(), Thr.size()) << What << ": event counts differ";
+  for (size_t I = 0; I < Ref.size(); ++I)
+    ASSERT_TRUE(Ref[I] == Thr[I])
+        << What << ": first divergence at event " << I << " (kind "
+        << unsigned(Ref[I].K) << " vs " << unsigned(Thr[I].K) << ")";
+}
+
+/// Runs \p Backend to completion, recording, and returns the StopReason.
+fsim::StopReason runRecorded(fsim::ExecBackend &Backend,
+                             RecordingObserver &Obs) {
+  return Backend.run(AllFuel, &Obs);
+}
+
+void expectSameFinalState(const fsim::ExecBackend &Ref,
+                          const fsim::ExecBackend &Thr, const char *What) {
+  EXPECT_EQ(Ref.instructionsRetired(), Thr.instructionsRetired()) << What;
+  EXPECT_EQ(Ref.halted(), Thr.halted()) << What;
+  EXPECT_EQ(Ref.memory(), Thr.memory()) << What << ": final memory differs";
+}
+
+class BackendEquivalence : public ::testing::TestWithParam<std::string> {
+protected:
+  SynthProgram synthProgram() {
+    return synthesize(
+        makeSynthSpecFor(profileByName(GetParam()), TestIterations));
+  }
+};
+
+} // namespace
+
+// The original (undistilled) module: both backends run it to halt with
+// identical event streams and state.
+TEST_P(BackendEquivalence, OriginalProgramMatches) {
+  const SynthProgram P = synthProgram();
+  fsim::Interpreter Ref(P.Mod, P.InitialMemory);
+  exec::ThreadedBackend Thr(P.Mod, P.InitialMemory);
+
+  RecordingObserver RefObs, ThrObs;
+  EXPECT_EQ(runRecorded(Ref, RefObs), fsim::StopReason::Halted);
+  EXPECT_EQ(runRecorded(Thr, ThrObs), fsim::StopReason::Halted);
+
+  expectSameEvents(RefObs.Events, ThrObs.Events, "original");
+  expectSameFinalState(Ref, Thr, "original");
+}
+
+// Every distillation pair: each region function distilled under its
+// dominant-direction assertions and dispatched alone (4 regions x 12
+// benchmarks = the 48 seed-suite pairs).  The distilled version takes
+// speculative paths the original never would; both backends must take
+// exactly the same ones.
+TEST_P(BackendEquivalence, DistilledPairsMatch) {
+  const SynthProgram P = synthProgram();
+  for (uint32_t FuncId : P.RegionFunctions) {
+    const distill::DistillResult Result = distill::distillFunction(
+        P.Mod.function(FuncId), regionRequest(P, FuncId));
+
+    fsim::Interpreter Ref(P.Mod, P.InitialMemory);
+    exec::ThreadedBackend Thr(P.Mod, P.InitialMemory);
+    Ref.setCodeVersion(FuncId, &Result.Distilled);
+    Thr.setCodeVersion(FuncId, &Result.Distilled);
+
+    RecordingObserver RefObs, ThrObs;
+    EXPECT_EQ(runRecorded(Ref, RefObs), fsim::StopReason::Halted);
+    EXPECT_EQ(runRecorded(Thr, ThrObs), fsim::StopReason::Halted);
+
+    const std::string What =
+        GetParam() + "/region-fn-" + std::to_string(FuncId);
+    expectSameEvents(RefObs.Events, ThrObs.Events, What.c_str());
+    expectSameFinalState(Ref, Thr, What.c_str());
+  }
+}
+
+// Fuel slicing: running the threaded backend in odd-sized fuel slices
+// (cutting through fused pairs, call frames, and region boundaries) must
+// produce the reference's single-shot event stream, byte for byte.
+TEST_P(BackendEquivalence, FuelSlicingMatchesSingleShot) {
+  const SynthProgram P = synthProgram();
+  fsim::Interpreter Ref(P.Mod, P.InitialMemory);
+  RecordingObserver RefObs;
+  EXPECT_EQ(runRecorded(Ref, RefObs), fsim::StopReason::Halted);
+
+  exec::ThreadedBackend Thr(P.Mod, P.InitialMemory);
+  RecordingObserver ThrObs;
+  fsim::StopReason Reason = fsim::StopReason::FuelExhausted;
+  // 997 is prime, so slice boundaries drift across every block shape and
+  // land mid-pair often.
+  while (Reason == fsim::StopReason::FuelExhausted)
+    Reason = Thr.run(997, &ThrObs);
+  EXPECT_EQ(Reason, fsim::StopReason::Halted);
+
+  expectSameEvents(RefObs.Events, ThrObs.Events, "sliced");
+  expectSameFinalState(Ref, Thr, "sliced");
+}
+
+// Mid-run requestStop on both backends at the same instruction, then
+// resume: the stop must be honored at the same point (StopReason::
+// Stopped, equal retire counts) and the merged streams must match.
+TEST_P(BackendEquivalence, RequestStopResumeMatches) {
+  const SynthProgram P = synthProgram();
+  constexpr uint64_t StopAt = 12345;
+
+  fsim::Interpreter Ref(P.Mod, P.InitialMemory);
+  exec::ThreadedBackend Thr(P.Mod, P.InitialMemory);
+  StopAfterObserver RefObs(Ref, StopAt), ThrObs(Thr, StopAt);
+
+  EXPECT_EQ(Ref.run(AllFuel, &RefObs), fsim::StopReason::Stopped);
+  EXPECT_EQ(Thr.run(AllFuel, &ThrObs), fsim::StopReason::Stopped);
+  EXPECT_EQ(Ref.instructionsRetired(), StopAt);
+  EXPECT_EQ(Thr.instructionsRetired(), StopAt);
+
+  // Resume to completion (run() clears the stop flag on entry).
+  EXPECT_EQ(Ref.run(AllFuel, &RefObs), fsim::StopReason::Halted);
+  EXPECT_EQ(Thr.run(AllFuel, &ThrObs), fsim::StopReason::Halted);
+
+  expectSameEvents(RefObs.Events, ThrObs.Events, "stop-resume");
+  expectSameFinalState(Ref, Thr, "stop-resume");
+}
+
+namespace {
+
+std::vector<std::string> suiteNames() {
+  std::vector<std::string> Names;
+  for (const BenchmarkProfile &P : suiteProfiles())
+    Names.push_back(P.Name);
+  return Names;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BackendEquivalence,
+                         ::testing::ValuesIn(suiteNames()),
+                         [](const auto &Info) { return Info.param; });

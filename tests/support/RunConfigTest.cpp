@@ -1,0 +1,149 @@
+//===- tests/support/RunConfigTest.cpp ------------------------------------===//
+//
+// The typed run configuration: canonical environment names, the
+// deprecated aliases (honored only when the canonical name is unset,
+// with a one-line note), and the execution-tier parsing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RunConfig.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+using namespace specctrl;
+
+namespace {
+
+/// Scoped save/clear/restore for every variable fromEnv reads, so the
+/// tests are hermetic under the ctest harness (which itself exports
+/// SPECCTRL_VERIFY=1).
+class ScopedEnv {
+public:
+  ScopedEnv() {
+    for (const char *Name : Names) {
+      const char *Value = std::getenv(Name);
+      Saved.emplace_back(Name, Value ? std::string(Value) : std::string());
+      HadValue.push_back(Value != nullptr);
+      ::unsetenv(Name);
+    }
+  }
+  ~ScopedEnv() {
+    for (size_t I = 0; I < Saved.size(); ++I) {
+      if (HadValue[I])
+        ::setenv(Saved[I].first, Saved[I].second.c_str(), 1);
+      else
+        ::unsetenv(Saved[I].first);
+    }
+  }
+
+  void set(const char *Name, const char *Value) {
+    ::setenv(Name, Value, 1);
+  }
+
+private:
+  static constexpr const char *Names[5] = {
+      "SPECCTRL_VERIFY", "SPECCTRL_VERIFY_DISTILL", "SPECCTRL_ARENA_VERBOSE",
+      "SPECCTRL_ARENA_DEBUG", "SPECCTRL_EXEC_TIER"};
+  std::vector<std::pair<const char *, std::string>> Saved;
+  std::vector<bool> HadValue;
+};
+
+} // namespace
+
+TEST(ExecTier, NamesRoundTrip) {
+  EXPECT_STREQ(execTierName(ExecTier::Reference), "reference");
+  EXPECT_STREQ(execTierName(ExecTier::Threaded), "threaded");
+
+  ExecTier Tier = ExecTier::Reference;
+  EXPECT_TRUE(parseExecTier("threaded", Tier));
+  EXPECT_EQ(Tier, ExecTier::Threaded);
+  EXPECT_TRUE(parseExecTier("reference", Tier));
+  EXPECT_EQ(Tier, ExecTier::Reference);
+
+  Tier = ExecTier::Threaded;
+  EXPECT_FALSE(parseExecTier("jit", Tier));
+  EXPECT_EQ(Tier, ExecTier::Threaded) << "unknown names leave Out untouched";
+}
+
+TEST(RunConfig, DefaultsWithEmptyEnvironment) {
+  ScopedEnv Env;
+  std::string Warnings;
+  const RunConfig Cfg = RunConfig::fromEnv(&Warnings);
+  EXPECT_FALSE(Cfg.VerifyDistill);
+  EXPECT_FALSE(Cfg.ArenaVerbose);
+  EXPECT_EQ(Cfg.Tier, ExecTier::Reference);
+  EXPECT_TRUE(Warnings.empty());
+}
+
+TEST(RunConfig, CanonicalNamesParseSilently) {
+  ScopedEnv Env;
+  Env.set("SPECCTRL_VERIFY", "1");
+  Env.set("SPECCTRL_ARENA_VERBOSE", "1");
+  Env.set("SPECCTRL_EXEC_TIER", "threaded");
+  std::string Warnings;
+  const RunConfig Cfg = RunConfig::fromEnv(&Warnings);
+  EXPECT_TRUE(Cfg.VerifyDistill);
+  EXPECT_TRUE(Cfg.ArenaVerbose);
+  EXPECT_EQ(Cfg.Tier, ExecTier::Threaded);
+  EXPECT_TRUE(Warnings.empty()) << Warnings;
+}
+
+TEST(RunConfig, ZeroAndEmptyMeanOff) {
+  ScopedEnv Env;
+  Env.set("SPECCTRL_VERIFY", "0");
+  Env.set("SPECCTRL_ARENA_VERBOSE", "");
+  const RunConfig Cfg = RunConfig::fromEnv(nullptr);
+  EXPECT_FALSE(Cfg.VerifyDistill);
+  EXPECT_FALSE(Cfg.ArenaVerbose);
+}
+
+TEST(RunConfig, DeprecatedAliasesWorkWithWarning) {
+  ScopedEnv Env;
+  Env.set("SPECCTRL_VERIFY_DISTILL", "1");
+  Env.set("SPECCTRL_ARENA_DEBUG", "1");
+  std::string Warnings;
+  const RunConfig Cfg = RunConfig::fromEnv(&Warnings);
+  EXPECT_TRUE(Cfg.VerifyDistill);
+  EXPECT_TRUE(Cfg.ArenaVerbose);
+  EXPECT_NE(Warnings.find("SPECCTRL_VERIFY_DISTILL is deprecated"),
+            std::string::npos)
+      << Warnings;
+  EXPECT_NE(Warnings.find("SPECCTRL_ARENA_DEBUG is deprecated"),
+            std::string::npos)
+      << Warnings;
+}
+
+TEST(RunConfig, CanonicalNameWinsOverAlias) {
+  ScopedEnv Env;
+  Env.set("SPECCTRL_VERIFY", "0");
+  Env.set("SPECCTRL_VERIFY_DISTILL", "1");
+  std::string Warnings;
+  const RunConfig Cfg = RunConfig::fromEnv(&Warnings);
+  EXPECT_FALSE(Cfg.VerifyDistill)
+      << "a set canonical name must shadow the alias entirely";
+  EXPECT_TRUE(Warnings.empty())
+      << "no deprecation note when the alias is shadowed: " << Warnings;
+}
+
+TEST(RunConfig, UnknownTierWarnsAndKeepsReference) {
+  ScopedEnv Env;
+  Env.set("SPECCTRL_EXEC_TIER", "turbo");
+  std::string Warnings;
+  const RunConfig Cfg = RunConfig::fromEnv(&Warnings);
+  EXPECT_EQ(Cfg.Tier, ExecTier::Reference);
+  EXPECT_NE(Warnings.find("SPECCTRL_EXEC_TIER=turbo"), std::string::npos)
+      << Warnings;
+}
+
+TEST(RunConfig, SetGlobalOverrides) {
+  const RunConfig Before = RunConfig::global();
+  RunConfig Override = Before;
+  Override.Tier = ExecTier::Threaded;
+  RunConfig::setGlobal(Override);
+  EXPECT_EQ(RunConfig::global().Tier, ExecTier::Threaded);
+  RunConfig::setGlobal(Before); // restore for the rest of the binary
+  EXPECT_EQ(RunConfig::global().Tier, Before.Tier);
+}

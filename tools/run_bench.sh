@@ -1,15 +1,16 @@
 #!/usr/bin/env sh
 # Runs the perf-trajectory microbenches (MSSP simulator throughput +
-# trace pipeline + trace-arena sweep amortization) and records
-# google-benchmark JSON next to the build: BENCH_mssp.json,
-# BENCH_trace_pipe.json, and BENCH_arena.json.
+# trace pipeline + trace-arena sweep amortization + execution-tier
+# comparison) and records google-benchmark JSON next to the build:
+# BENCH_mssp.json, BENCH_trace_pipe.json, BENCH_arena.json, and
+# BENCH_exec.json.
 #
 # Usage: tools/run_bench.sh [build-dir] [output-json]
 #   build-dir    defaults to ./build
 #   output-json  defaults to <build-dir>/BENCH_mssp.json
 #
 # The MSSP half is also reachable as `cmake --build <build-dir> --target
-# bench-trajectory`.
+# bench-trajectory`, the execution-tier half as `--target bench-exec`.
 
 set -eu
 
@@ -50,4 +51,17 @@ if [ -x "${PIPE_BIN}" ]; then
   echo "wrote ${ARENA_OUT}"
 else
   echo "note: ${PIPE_BIN} not built; skipped BENCH_trace_pipe.json" >&2
+fi
+
+EXEC_BIN="${BUILD_DIR}/bench/exec_tier"
+EXEC_OUT="${BUILD_DIR}/BENCH_exec.json"
+if [ -x "${EXEC_BIN}" ]; then
+  "${EXEC_BIN}" \
+    --benchmark_out="${EXEC_OUT}" \
+    --benchmark_out_format=json \
+    --benchmark_counters_tabular=true
+
+  echo "wrote ${EXEC_OUT}"
+else
+  echo "note: ${EXEC_BIN} not built; skipped BENCH_exec.json" >&2
 fi

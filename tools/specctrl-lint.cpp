@@ -106,6 +106,9 @@ std::optional<Module> readModule(const std::string &Path) {
       return std::nullopt;
     }
     M.emplace();
+    // Slot dangles if createFunction runs again (Module::Functions may
+    // reallocate; see Module::generation()): fill it immediately and
+    // never hold it across another module mutation.
     Function &Slot = M->createFunction(F->name(), F->numRegs());
     Slot.blocks() = std::move(F->blocks());
   }

@@ -107,6 +107,9 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     M.emplace();
+    // Slot dangles if createFunction runs again (Module::Functions may
+    // reallocate; see Module::generation()): fill it immediately and
+    // never hold it across another module mutation.
     Function &Slot = M->createFunction(F->name(), F->numRegs());
     Slot.blocks() = std::move(F->blocks());
   }
