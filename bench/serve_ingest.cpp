@@ -1,0 +1,135 @@
+//===- bench/serve_ingest.cpp - Streaming-server ingest throughput --------===//
+//
+// google-benchmark microbenches for the serve layer: a StreamServer
+// hosting N concurrent streams (up to well past 1000 -- the multi-tenant
+// acceptance point), fed round-robin by the bench thread through each
+// stream's SPSC ring while consumer shards drain into the per-stream
+// reactive controllers.  Reports sustained ingest as events/sec
+// (items_per_second) and the per-batch ingest latency distribution --
+// the wall time for one full producer batch to be accepted by a ring,
+// backpressure stalls included -- as p50/p99 counters from a
+// Log2Histogram.
+//
+// Arguments are (streams, consumers).  `tools/run_bench.sh` (or the
+// bench-serve target) records the sweep as BENCH_serve.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ReactiveConfig.h"
+#include "serve/StreamServer.h"
+#include "support/Statistics.h"
+#include "workload/EventStream.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <thread>
+#include <vector>
+
+using namespace specctrl;
+
+namespace {
+
+/// Events every stream ingests per iteration: enough full batches that
+/// each stream crosses several epoch boundaries and refills its ring.
+constexpr size_t BatchEvents = 1024;
+constexpr size_t BatchesPerStream = 4;
+
+/// One producer batch of synthetic branch events, spread over enough
+/// sites that the controllers do real classification work.
+std::vector<workload::BranchEvent> makeBatch() {
+  std::vector<workload::BranchEvent> Out(BatchEvents);
+  for (uint64_t I = 0; I < BatchEvents; ++I) {
+    workload::BranchEvent &E = Out[I];
+    E.Site = static_cast<workload::SiteId>(I % 64);
+    E.Taken = (I % 16) != 0; // strongly biased: deployment happens
+    E.Gap = static_cast<uint32_t>(I % 13);
+    E.Index = I;
+    E.InstRet = I * 3 + 1;
+  }
+  return Out;
+}
+
+core::ReactiveConfig benchControl() {
+  core::ReactiveConfig C = core::ReactiveConfig::baseline();
+  C.MonitorPeriod = 100;
+  C.WaitPeriod = 2000;
+  C.OptLatency = 0;
+  return C;
+}
+
+/// Blocking push of one full batch; returns the wall time it took for
+/// the ring to accept every event (the per-batch ingest latency).
+uint64_t pushBatchTimed(workload::SpscRing &Ring,
+                        std::span<const workload::BranchEvent> Batch) {
+  const auto Start = std::chrono::steady_clock::now();
+  size_t Pos = 0;
+  while (Pos < Batch.size()) {
+    const size_t N = Ring.push(Batch.subspan(Pos));
+    if (N == 0)
+      std::this_thread::yield();
+    Pos += N;
+  }
+  const auto End = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
+          .count());
+}
+
+/// N concurrent streams in one server, fed round-robin -- every stream
+/// has events in flight at once, so the consumer shards interleave all
+/// of them, the multi-tenant case.
+void BM_ServeIngest(benchmark::State &State) {
+  const size_t Streams = static_cast<size_t>(State.range(0));
+  const unsigned Consumers = static_cast<unsigned>(State.range(1));
+  const std::vector<workload::BranchEvent> Batch = makeBatch();
+
+  Log2Histogram PushNs;
+  uint64_t Events = 0;
+  for (auto _ : State) {
+    serve::ServeConfig Config;
+    Config.Consumers = Consumers;
+    Config.EpochEvents = 1024;
+    Config.RingEvents = 2048; // small rings: ~1000 streams stay cheap
+    serve::StreamServer Server(Config);
+
+    std::vector<serve::StreamServer::StreamHandle> Handles;
+    Handles.reserve(Streams);
+    for (size_t I = 0; I < Streams; ++I)
+      Handles.push_back(Server.openStream(benchControl()));
+
+    for (size_t Round = 0; Round < BatchesPerStream; ++Round)
+      for (const serve::StreamServer::StreamHandle &H : Handles)
+        PushNs.add(pushBatchTimed(*H.Ring, Batch));
+    for (const serve::StreamServer::StreamHandle &H : Handles)
+      H.Ring->close();
+    for (const serve::StreamServer::StreamHandle &H : Handles)
+      Server.waitFinished(H.Id);
+
+    Events = Server.metrics().EventsIngested;
+    benchmark::DoNotOptimize(Events);
+  }
+
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Events));
+  State.counters["streams"] =
+      benchmark::Counter(static_cast<double>(Streams));
+  State.counters["batch_events"] =
+      benchmark::Counter(static_cast<double>(BatchEvents));
+  State.counters["p50_batch_ingest_ns"] =
+      benchmark::Counter(PushNs.quantile(0.50));
+  State.counters["p99_batch_ingest_ns"] =
+      benchmark::Counter(PushNs.quantile(0.99));
+}
+BENCHMARK(BM_ServeIngest)
+    ->ArgNames({"streams", "consumers"})
+    ->Args({64, 1})
+    ->Args({256, 2})
+    ->Args({1024, 4})
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

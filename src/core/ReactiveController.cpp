@@ -23,6 +23,17 @@ ReactiveController::ReactiveController(const ReactiveConfig &Config,
          "sample count exceeds the sampling window");
 }
 
+void ReactiveController::reconfigure(const ReactiveConfig &NewConfig) {
+  assert(NewConfig.MonitorPeriod > 0 && "monitor period must be positive");
+  assert(NewConfig.SelectThreshold > 0.5 && NewConfig.SelectThreshold <= 1.0 &&
+         "selection threshold out of range");
+  assert(NewConfig.MonitorSampleRate >= 1 && "sample rate must be >= 1");
+  assert((!NewConfig.EvictBySampling ||
+          NewConfig.EvictSampleCount <= NewConfig.EvictSampleWindow) &&
+         "sample count exceeds the sampling window");
+  Config = NewConfig;
+}
+
 ReactiveController::SiteState &ReactiveController::state(SiteId Site) {
   if (Site >= States.size()) {
     States.resize(Site + 1);

@@ -1,0 +1,171 @@
+//===- core/Snapshot.h - Controller state snapshots -------------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialization of a ReactiveController's complete state -- config, every
+/// per-site FSM record, and the accumulated ControlStats -- into a framed,
+/// versioned, checksummed byte blob, plus the inverse.  A restored
+/// controller is decision-equivalent to the original: feeding both the
+/// same event tail produces bit-identical verdicts and final stats, which
+/// is the failover contract of the serve layer (serve/StreamServer.h).
+///
+/// Wire format (all integers little-endian, doubles as IEEE-754 bit
+/// patterns):
+///
+///   u32 magic | u32 version | u64 payload length | payload bytes |
+///   u64 XXH64(everything before the trailer)
+///
+/// Every field is encoded explicitly -- never by memcpy of a struct -- so
+/// the blob is independent of padding, and the checksum is deterministic.
+/// Decoding never trusts the input: lengths, enum values, and config
+/// ranges are validated with clean errors (asserts are compiled out in
+/// release builds, so validation cannot rely on them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_CORE_SNAPSHOT_H
+#define SPECCTRL_CORE_SNAPSHOT_H
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace specctrl {
+namespace core {
+
+class ReactiveController;
+
+namespace snapshot {
+
+/// Little-endian byte-stream encoder.
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(V); }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void f64(double V) { u64(std::bit_cast<uint64_t>(V)); }
+  void boolean(bool V) { u8(V ? 1 : 0); }
+  void bytes(std::span<const uint8_t> V) {
+    Buf.insert(Buf.end(), V.begin(), V.end());
+  }
+  /// Length-prefixed (u64) byte blob.
+  void blob(std::span<const uint8_t> V) {
+    u64(V.size());
+    bytes(V);
+  }
+
+  size_t size() const { return Buf.size(); }
+  std::vector<uint8_t> take() { return std::move(Buf); }
+
+private:
+  std::vector<uint8_t> Buf;
+};
+
+/// Bounds-checked little-endian decoder; every read reports success so
+/// truncated input surfaces as a clean failure, not an overrun.
+class ByteReader {
+public:
+  explicit ByteReader(std::span<const uint8_t> Bytes) : Buf(Bytes) {}
+
+  bool u8(uint8_t &V) {
+    if (Pos + 1 > Buf.size())
+      return false;
+    V = Buf[Pos++];
+    return true;
+  }
+  bool u32(uint32_t &V) {
+    if (Pos + 4 > Buf.size())
+      return false;
+    V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(Buf[Pos++]) << (8 * I);
+    return true;
+  }
+  bool u64(uint64_t &V) {
+    if (Pos + 8 > Buf.size())
+      return false;
+    V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(Buf[Pos++]) << (8 * I);
+    return true;
+  }
+  bool f64(double &V) {
+    uint64_t Bits;
+    if (!u64(Bits))
+      return false;
+    V = std::bit_cast<double>(Bits);
+    return true;
+  }
+  bool boolean(bool &V) {
+    uint8_t Raw;
+    if (!u8(Raw) || Raw > 1)
+      return false;
+    V = Raw != 0;
+    return true;
+  }
+  bool bytes(size_t N, std::span<const uint8_t> &V) {
+    if (Pos + N > Buf.size() || Pos + N < Pos)
+      return false;
+    V = Buf.subspan(Pos, N);
+    Pos += N;
+    return true;
+  }
+  /// Length-prefixed (u64) byte blob.
+  bool blob(std::span<const uint8_t> &V) {
+    uint64_t N;
+    return u64(N) && N <= Buf.size() &&
+           bytes(static_cast<size_t>(N), V);
+  }
+
+  bool done() const { return Pos == Buf.size(); }
+  size_t remaining() const { return Buf.size() - Pos; }
+
+private:
+  std::span<const uint8_t> Buf;
+  size_t Pos = 0;
+};
+
+/// 'SCR1': a serialized ReactiveController.
+inline constexpr uint32_t ControllerMagic = 0x31524353;
+/// 'SSV1': a serve-layer stream snapshot (embeds a controller blob).
+inline constexpr uint32_t StreamMagic = 0x31565353;
+inline constexpr uint32_t FormatVersion = 1;
+
+/// Wraps \p Payload in the magic/version/length/checksum frame.
+std::vector<uint8_t> frame(uint32_t Magic, std::span<const uint8_t> Payload);
+
+/// Validates the frame around \p Bytes (magic, version, length, checksum)
+/// and yields the payload.  On failure fills \p Error and returns false;
+/// never throws, never reads past the input.
+bool unframe(std::span<const uint8_t> Bytes, uint32_t Magic,
+             std::span<const uint8_t> &Payload, std::string &Error);
+
+} // namespace snapshot
+
+/// Serializes \p Controller's complete state (framed + checksummed).
+std::vector<uint8_t> snapshotController(const ReactiveController &Controller);
+
+/// Reconstructs a controller from snapshotController() output.  Returns
+/// nullptr with \p Error set if the bytes are corrupt, truncated, or
+/// internally inconsistent.  The restored controller reports name()
+/// "reactive" (names are presentation-only and not serialized); all
+/// decision-relevant state is bit-identical.
+std::unique_ptr<ReactiveController>
+restoreController(std::span<const uint8_t> Bytes, std::string &Error);
+
+} // namespace core
+} // namespace specctrl
+
+#endif // SPECCTRL_CORE_SNAPSHOT_H

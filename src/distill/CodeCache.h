@@ -37,7 +37,7 @@ class CodeCache {
 public:
   /// Installs a new version for \p FuncId and returns a stable pointer.
   const ir::Function *install(uint32_t FuncId, ir::Function Version) {
-    // Deploy-time gate (SPECCTRL_VERIFY_DISTILL): nothing structurally
+    // Deploy-time gate (SPECCTRL_VERIFY): nothing structurally
     // broken may enter the cache, whatever produced it.
     if (analysis::verifyDistillEnabled()) {
       std::string Err;

@@ -425,7 +425,7 @@ DistillResult distill::distillFunction(const Function &Original,
   assert(Ok && "distilled function failed verification");
   (void)Ok;
 
-  // Deploy-time safety gate (SPECCTRL_VERIFY_DISTILL): statically prove
+  // Deploy-time safety gate (SPECCTRL_VERIFY): statically prove
   // the distillation stays within the bounds task-level recovery can
   // handle.  Any finding here is a distiller bug, so fail loudly.
   if (analysis::verifyDistillEnabled()) {

@@ -35,7 +35,7 @@ ThreadPool::~ThreadPool() {
     Worker.join();
 }
 
-void ThreadPool::submit(std::function<void()> Task) {
+void ThreadPool::submit(UniqueTask Task) {
   assert(Task && "null task");
   {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -53,7 +53,7 @@ void ThreadPool::wait() {
 
 void ThreadPool::workerLoop() {
   for (;;) {
-    std::function<void()> Task;
+    UniqueTask Task;
     {
       std::unique_lock<std::mutex> Lock(Mutex);
       WorkReady.wait(Lock, [this] { return Stopping || !Queue.empty(); });

@@ -33,7 +33,7 @@ void Interpreter::setCodeVersion(uint32_t FuncId, const ir::Function *F) {
   assert(FuncId < CodeMap.size() && "function id out of range");
   const Function *Version = F ? F : &Mod.function(FuncId);
   assert(Version->numRegs() <= Function::MaxRegs && "bad code version");
-  // Deploy-time gate (SPECCTRL_VERIFY_DISTILL): never dispatch into a
+  // Deploy-time gate (SPECCTRL_VERIFY): never dispatch into a
   // structurally broken code version.
   if (F && analysis::verifyDistillEnabled()) {
     std::string Err;

@@ -40,6 +40,25 @@ bool envBool(const char *Canonical, const char *Deprecated, bool Default,
   return AliasValue;
 }
 
+/// Reads a positive integer knob; unset keeps \p Default, malformed or
+/// zero values keep it too (with a note).
+uint64_t envCount(const char *Name, uint64_t Default, std::string *Warnings) {
+  const char *Env = std::getenv(Name);
+  if (!Env || !*Env)
+    return Default;
+  char *End = nullptr;
+  const unsigned long long Value = std::strtoull(Env, &End, 10);
+  if (End && *End == '\0' && Value > 0)
+    return Value;
+  if (Warnings) {
+    *Warnings += Name;
+    *Warnings += "=";
+    *Warnings += Env;
+    *Warnings += " is not a positive integer; keeping the default\n";
+  }
+  return Default;
+}
+
 } // namespace
 
 const char *specctrl::execTierName(ExecTier Tier) {
@@ -77,6 +96,10 @@ RunConfig RunConfig::fromEnv(std::string *Warnings) {
       *Warnings += " is not a tier (reference|threaded); keeping reference\n";
     }
   }
+  Out.ServeEpochEvents =
+      envCount("SPECCTRL_SERVE_EPOCH_EVENTS", Out.ServeEpochEvents, Warnings);
+  Out.ServeRingEvents =
+      envCount("SPECCTRL_SERVE_RING_EVENTS", Out.ServeRingEvents, Warnings);
   return Out;
 }
 

@@ -19,6 +19,8 @@
 ///   SPECCTRL_VERIFY=1            deploy-time distill verification gate
 ///   SPECCTRL_ARENA_VERBOSE=1     per-materialization trace-arena logging
 ///   SPECCTRL_EXEC_TIER=reference|threaded   default SimIR execution tier
+///   SPECCTRL_SERVE_EPOCH_EVENTS=N   serve-layer epoch length (events)
+///   SPECCTRL_SERVE_RING_EVENTS=N    serve-layer ingest ring capacity
 ///
 /// The pre-RunConfig spellings SPECCTRL_VERIFY_DISTILL and
 /// SPECCTRL_ARENA_DEBUG keep working as deprecated aliases (a one-line
@@ -59,6 +61,13 @@ struct RunConfig {
   bool ArenaVerbose = false;
   /// Default SimIR execution tier for backend factories.
   ExecTier Tier = ExecTier::Reference;
+  /// Default epoch length (events per stream between control-op points)
+  /// for serve/StreamServer; snapshots and reconfigurations land exactly
+  /// on multiples of this.
+  uint64_t ServeEpochEvents = 8192;
+  /// Default per-stream ingest ring capacity, in events (rounded up to a
+  /// power of two by the ring).
+  uint64_t ServeRingEvents = 8192;
 
   /// Parses the environment (canonical names first, deprecated aliases
   /// second).  Pure: no warnings are printed; when \p Warnings is non-null

@@ -1,0 +1,135 @@
+//===- workload/SpscRing.h - Lock-free SPSC event ring ----------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded lock-free single-producer/single-consumer ring buffer carrying
+/// BranchEvent batches -- the per-stream ingest queue of the streaming
+/// control-plane service (src/serve).  The design follows the classic
+/// per-producer buffering split of tracing frameworks: exactly one thread
+/// pushes (the stream's producer/client) and exactly one thread pops (the
+/// consumer shard that owns the stream's controller), so the only shared
+/// state is a pair of monotonic positions published with release stores and
+/// read with acquire loads.  Each side additionally caches the other side's
+/// last observed position, so steady-state batch transfers touch the remote
+/// cache line only when the cached bound is insufficient.
+///
+/// Positions are unwrapped 64-bit counters (they never wrap in practice);
+/// the buffer index is position & Mask with a power-of-two capacity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_WORKLOAD_SPSCRING_H
+#define SPECCTRL_WORKLOAD_SPSCRING_H
+
+#include "workload/EventStream.h"
+
+#include <atomic>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace specctrl {
+namespace workload {
+
+/// A bounded SPSC ring of BranchEvents.  Thread contract: push/close are
+/// producer-side (one thread at a time), pop/drained are consumer-side (one
+/// thread at a time); the two sides may run concurrently.
+class SpscRing {
+public:
+  /// Creates a ring holding at least \p MinEvents events (rounded up to a
+  /// power of two, minimum 2).
+  explicit SpscRing(uint32_t MinEvents) {
+    size_t Cap = 2;
+    while (Cap < MinEvents)
+      Cap <<= 1;
+    Buf.resize(Cap);
+    Mask = Cap - 1;
+  }
+
+  SpscRing(const SpscRing &) = delete;
+  SpscRing &operator=(const SpscRing &) = delete;
+
+  size_t capacity() const { return Buf.size(); }
+
+  /// Producer: appends as many of \p Events as fit and returns the count
+  /// accepted (0 when the ring is full).  Partial pushes take a prefix, so
+  /// the caller retries with the remainder and FIFO order is preserved.
+  size_t push(std::span<const BranchEvent> Events) {
+    const uint64_t T = Tail.load(std::memory_order_relaxed);
+    size_t Free = capacity() - static_cast<size_t>(T - CachedHead);
+    if (Free < Events.size()) {
+      CachedHead = Head.load(std::memory_order_acquire);
+      Free = capacity() - static_cast<size_t>(T - CachedHead);
+    }
+    const size_t N = Events.size() < Free ? Events.size() : Free;
+    for (size_t I = 0; I < N; ++I)
+      Buf[static_cast<size_t>(T + I) & Mask] = Events[I];
+    if (N)
+      Tail.store(T + N, std::memory_order_release);
+    return N;
+  }
+
+  /// Consumer: removes up to Out.size() events into \p Out and returns the
+  /// count (0 when the ring is empty).
+  size_t pop(std::span<BranchEvent> Out) {
+    const uint64_t H = Head.load(std::memory_order_relaxed);
+    size_t Avail = static_cast<size_t>(CachedTail - H);
+    if (Avail < Out.size()) {
+      CachedTail = Tail.load(std::memory_order_acquire);
+      Avail = static_cast<size_t>(CachedTail - H);
+    }
+    const size_t N = Out.size() < Avail ? Out.size() : Avail;
+    for (size_t I = 0; I < N; ++I)
+      Out[I] = Buf[static_cast<size_t>(H + I) & Mask];
+    if (N)
+      Head.store(H + N, std::memory_order_release);
+    return N;
+  }
+
+  /// Producer: marks the stream complete.  Must follow the final push.
+  void close() { Closed.store(true, std::memory_order_release); }
+
+  bool closed() const { return Closed.load(std::memory_order_acquire); }
+
+  /// Consumer: true once the producer closed the ring and every pushed
+  /// event has been popped.  The acquire load of Closed orders the final
+  /// Tail publication, so a true result is final.
+  bool drained() const {
+    if (!Closed.load(std::memory_order_acquire))
+      return false;
+    return Tail.load(std::memory_order_acquire) ==
+           Head.load(std::memory_order_relaxed);
+  }
+
+  /// Approximate occupancy (either side; exact only on the calling side).
+  size_t sizeApprox() const {
+    return static_cast<size_t>(Tail.load(std::memory_order_acquire) -
+                               Head.load(std::memory_order_acquire));
+  }
+
+  /// Total events ever pushed (producer-side exact, elsewhere approximate).
+  uint64_t pushedApprox() const {
+    return Tail.load(std::memory_order_acquire);
+  }
+
+private:
+  std::vector<BranchEvent> Buf;
+  size_t Mask = 0;
+  /// Producer-published write position (events ever pushed).
+  alignas(64) std::atomic<uint64_t> Tail{0};
+  /// Consumer-published read position (events ever popped).
+  alignas(64) std::atomic<uint64_t> Head{0};
+  std::atomic<bool> Closed{false};
+  /// Producer-owned cache of Head; refreshed only when the ring looks full.
+  alignas(64) uint64_t CachedHead = 0;
+  /// Consumer-owned cache of Tail; refreshed only when it looks empty.
+  alignas(64) uint64_t CachedTail = 0;
+};
+
+} // namespace workload
+} // namespace specctrl
+
+#endif // SPECCTRL_WORKLOAD_SPSCRING_H

@@ -44,9 +44,11 @@ public:
   }
 
 private:
-  static constexpr const char *Names[5] = {
-      "SPECCTRL_VERIFY", "SPECCTRL_VERIFY_DISTILL", "SPECCTRL_ARENA_VERBOSE",
-      "SPECCTRL_ARENA_DEBUG", "SPECCTRL_EXEC_TIER"};
+  static constexpr const char *Names[7] = {
+      "SPECCTRL_VERIFY",        "SPECCTRL_VERIFY_DISTILL",
+      "SPECCTRL_ARENA_VERBOSE", "SPECCTRL_ARENA_DEBUG",
+      "SPECCTRL_EXEC_TIER",     "SPECCTRL_SERVE_EPOCH_EVENTS",
+      "SPECCTRL_SERVE_RING_EVENTS"};
   std::vector<std::pair<const char *, std::string>> Saved;
   std::vector<bool> HadValue;
 };
@@ -135,6 +137,38 @@ TEST(RunConfig, UnknownTierWarnsAndKeepsReference) {
   const RunConfig Cfg = RunConfig::fromEnv(&Warnings);
   EXPECT_EQ(Cfg.Tier, ExecTier::Reference);
   EXPECT_NE(Warnings.find("SPECCTRL_EXEC_TIER=turbo"), std::string::npos)
+      << Warnings;
+}
+
+TEST(RunConfig, ServeKnobsDefaultAndParse) {
+  ScopedEnv Env;
+  {
+    const RunConfig Cfg = RunConfig::fromEnv(nullptr);
+    EXPECT_EQ(Cfg.ServeEpochEvents, 8192u);
+    EXPECT_EQ(Cfg.ServeRingEvents, 8192u);
+  }
+  Env.set("SPECCTRL_SERVE_EPOCH_EVENTS", "1024");
+  Env.set("SPECCTRL_SERVE_RING_EVENTS", "65536");
+  std::string Warnings;
+  const RunConfig Cfg = RunConfig::fromEnv(&Warnings);
+  EXPECT_EQ(Cfg.ServeEpochEvents, 1024u);
+  EXPECT_EQ(Cfg.ServeRingEvents, 65536u);
+  EXPECT_TRUE(Warnings.empty()) << Warnings;
+}
+
+TEST(RunConfig, ServeKnobsRejectMalformedValuesWithWarning) {
+  ScopedEnv Env;
+  Env.set("SPECCTRL_SERVE_EPOCH_EVENTS", "0");
+  Env.set("SPECCTRL_SERVE_RING_EVENTS", "lots");
+  std::string Warnings;
+  const RunConfig Cfg = RunConfig::fromEnv(&Warnings);
+  EXPECT_EQ(Cfg.ServeEpochEvents, 8192u) << "zero must keep the default";
+  EXPECT_EQ(Cfg.ServeRingEvents, 8192u) << "junk must keep the default";
+  EXPECT_NE(Warnings.find("SPECCTRL_SERVE_EPOCH_EVENTS=0"),
+            std::string::npos)
+      << Warnings;
+  EXPECT_NE(Warnings.find("SPECCTRL_SERVE_RING_EVENTS=lots"),
+            std::string::npos)
       << Warnings;
 }
 

@@ -1,16 +1,17 @@
 #!/usr/bin/env sh
 # Runs the perf-trajectory microbenches (MSSP simulator throughput +
 # trace pipeline + trace-arena sweep amortization + execution-tier
-# comparison) and records google-benchmark JSON next to the build:
-# BENCH_mssp.json, BENCH_trace_pipe.json, BENCH_arena.json, and
-# BENCH_exec.json.
+# comparison + streaming-server ingest) and records google-benchmark
+# JSON next to the build: BENCH_mssp.json, BENCH_trace_pipe.json,
+# BENCH_arena.json, BENCH_exec.json, and BENCH_serve.json.
 #
 # Usage: tools/run_bench.sh [build-dir] [output-json]
 #   build-dir    defaults to ./build
 #   output-json  defaults to <build-dir>/BENCH_mssp.json
 #
 # The MSSP half is also reachable as `cmake --build <build-dir> --target
-# bench-trajectory`, the execution-tier half as `--target bench-exec`.
+# bench-trajectory`, the execution-tier half as `--target bench-exec`,
+# and the serve half as `--target bench-serve`.
 
 set -eu
 
@@ -64,4 +65,17 @@ if [ -x "${EXEC_BIN}" ]; then
   echo "wrote ${EXEC_OUT}"
 else
   echo "note: ${EXEC_BIN} not built; skipped BENCH_exec.json" >&2
+fi
+
+SERVE_BIN="${BUILD_DIR}/bench/serve_ingest"
+SERVE_OUT="${BUILD_DIR}/BENCH_serve.json"
+if [ -x "${SERVE_BIN}" ]; then
+  "${SERVE_BIN}" \
+    --benchmark_out="${SERVE_OUT}" \
+    --benchmark_out_format=json \
+    --benchmark_counters_tabular=true
+
+  echo "wrote ${SERVE_OUT}"
+else
+  echo "note: ${SERVE_BIN} not built; skipped BENCH_serve.json" >&2
 fi
