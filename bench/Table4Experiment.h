@@ -1,0 +1,65 @@
+//===- bench/Table4Experiment.h - Shared Table 4 sweep ----------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Table 4 model-sensitivity sweep as a reusable experiment: the
+/// variant list (paper values included), the plan construction, and the
+/// report formatting.  Two binaries execute it -- bench/table4_sensitivity
+/// (thread pool) and tools/specctrl-sweep (process pool) -- and because
+/// both build the grid and render the rows through these helpers, their
+/// output is byte-identical, which is what the cross-process determinism
+/// tests pin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_BENCH_TABLE4EXPERIMENT_H
+#define SPECCTRL_BENCH_TABLE4EXPERIMENT_H
+
+#include "BenchCommon.h"
+
+#include <iosfwd>
+
+namespace specctrl {
+namespace bench {
+
+/// The banner every Table 4 binary prints (via printBanner) before
+/// running the grid.
+inline constexpr const char *Table4Title = "Table 4";
+inline constexpr const char *Table4Detail =
+    "model sensitivity: suite-average correct and incorrect rates per "
+    "configuration (paper values in parentheses)";
+
+/// One model configuration row, with the paper's reported rates ("-" for
+/// ablation rows the paper has no numbers for).
+struct Table4Variant {
+  std::string Name;
+  core::ReactiveConfig Config;
+  const char *PaperCorrect;
+  const char *PaperIncorrect;
+};
+
+/// The Table 4 variant list under \p Base (the scaled baseline from the
+/// standard options).  \p NoOscillationLimit appends the Sec. 3.1
+/// oscillation-limit ablation row.
+std::vector<Table4Variant> table4Variants(const core::ReactiveConfig &Base,
+                                          bool NoOscillationLimit);
+
+/// Builds the (benchmark x variant) grid: suitePlan(Opt) plus one
+/// controller column per variant.
+engine::ExperimentPlan table4Plan(const SuiteOptions &Opt,
+                                  const std::vector<Table4Variant> &Variants);
+
+/// Formats \p Report into the Table 4 rows (suite averages sorted by
+/// correct rate) and renders them to \p OS.  \p NumBenchmarks is the
+/// plan's benchmark-axis size.
+void printTable4Report(std::ostream &OS, const engine::RunReport &Report,
+                       const std::vector<Table4Variant> &Variants,
+                       size_t NumBenchmarks, bool Csv);
+
+} // namespace bench
+} // namespace specctrl
+
+#endif // SPECCTRL_BENCH_TABLE4EXPERIMENT_H

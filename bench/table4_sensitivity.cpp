@@ -12,37 +12,18 @@
 //
 // The (configuration x benchmark) grid is an ExperimentPlan executed by
 // the parallel engine; --jobs controls the worker count and any value
-// produces identical output.
+// produces identical output.  The grid/formatting live in
+// Table4Experiment.h, shared with tools/specctrl-sweep (the multi-process
+// executor) so the two binaries' output is byte-identical.
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchCommon.h"
+#include "Table4Experiment.h"
 
-#include "core/ReactiveController.h"
-#include "support/Table.h"
-
-#include <algorithm>
 #include <iostream>
-#include <memory>
 
 using namespace specctrl;
 using namespace specctrl::bench;
-using namespace specctrl::core;
-using namespace specctrl::workload;
-
-namespace {
-
-struct Row {
-  std::string Name;
-  std::string PaperCorrect;
-  std::string PaperIncorrect;
-  double Correct = 0;
-  double Incorrect = 0;
-  uint64_t Requests = 0;
-  uint64_t Suppressed = 0;
-};
-
-} // namespace
 
 int main(int Argc, char **Argv) {
   OptionSet Opts("table4_sensitivity: Table 4, model sensitivity (suite "
@@ -55,108 +36,16 @@ int main(int Argc, char **Argv) {
     return Opts.wasError() ? 1 : 0;
   const SuiteOptions Opt = readSuiteOptions(Opts);
 
-  printBanner("Table 4", "model sensitivity: suite-average correct and "
-                         "incorrect rates per configuration (paper values "
-                         "in parentheses)");
+  printBanner(Table4Title, Table4Detail);
 
-  const ReactiveConfig Base = scaledBaseline(Opts);
-  auto WithBaseLatency = [&Base](ReactiveConfig C) {
-    C.OptLatency = Base.OptLatency;
-    // Keep the scaled wait period except where the variant itself changes
-    // it (frequent revisit = one order of magnitude below the baseline).
-    C.WaitPeriod = C.WaitPeriod == ReactiveConfig().WaitPeriod
-                       ? Base.WaitPeriod
-                       : Base.WaitPeriod / 10;
-    // Keep the sampling variant's 10% duty cycle but scale the window
-    // with the compressed site lifetimes.
-    if (C.EvictBySampling) {
-      C.EvictSampleWindow = 2000;
-      C.EvictSampleCount = 200;
-    }
-    return C;
-  };
-
-  struct Variant {
-    std::string Name;
-    ReactiveConfig Config;
-    const char *PaperCorrect;
-    const char *PaperIncorrect;
-  };
-  std::vector<Variant> Variants = {
-      {"no revisit", WithBaseLatency(ReactiveConfig::noRevisit()), "35.8%",
-       "0.007%"},
-      {"lower eviction threshold",
-       WithBaseLatency(ReactiveConfig::lowerEvictionThreshold()), "42.9%",
-       "0.015%"},
-      {"eviction by sampling",
-       WithBaseLatency(ReactiveConfig::evictionBySampling()), "43.6%",
-       "0.021%"},
-      {"baseline", Base, "44.8%", "0.023%"},
-      {"sampling in monitor",
-       WithBaseLatency(ReactiveConfig::monitorSampling()), "44.8%",
-       "0.025%"},
-      {"more frequent revisit (100k)",
-       WithBaseLatency(ReactiveConfig::frequentRevisit()), "46.1%",
-       "0.033%"},
-      {"no eviction", WithBaseLatency(ReactiveConfig::noEviction()), "53.9%",
-       "1.979%"},
-  };
-  if (Opts.getFlag("no-oscillation-limit")) {
-    ReactiveConfig C = Base;
-    C.OscillationLimit = 0;
-    Variants.push_back({"no oscillation limit", C, "-", "-"});
-  }
-
-  // One engine cell per (benchmark, configuration); every cell builds its
-  // own controller from the captured config, so parallel execution is
-  // bit-identical to serial.
-  engine::ExperimentPlan Plan = suitePlan(Opt);
-  for (const Variant &V : Variants)
-    Plan.addConfig(V.Name,
-                   [Config = V.Config](const engine::CellContext &) {
-                     return std::make_unique<ReactiveController>(Config);
-                   });
+  const std::vector<Table4Variant> Variants = table4Variants(
+      scaledBaseline(Opts), Opts.getFlag("no-oscillation-limit"));
+  const engine::ExperimentPlan Plan = table4Plan(Opt, Variants);
   const engine::RunReport Report = runSuite(Plan, Opt);
   if (!checkReport(Report))
     return 1;
 
-  const size_t NumBenchmarks = Plan.benchmarks().size();
-  std::vector<Row> Rows;
-  for (uint32_t V = 0; V < Variants.size(); ++V) {
-    Row R;
-    R.Name = Variants[V].Name;
-    R.PaperCorrect = Variants[V].PaperCorrect;
-    R.PaperIncorrect = Variants[V].PaperIncorrect;
-    for (uint32_t B = 0; B < NumBenchmarks; ++B) {
-      const ControlStats &S = Report.cell(B, 0, V).Stats;
-      R.Correct += S.correctRate();
-      R.Incorrect += S.incorrectRate();
-      R.Requests += S.DeployRequests + S.RevokeRequests;
-      R.Suppressed += S.SuppressedRequests;
-    }
-    R.Correct /= static_cast<double>(NumBenchmarks);
-    R.Incorrect /= static_cast<double>(NumBenchmarks);
-    Rows.push_back(R);
-  }
-
-  std::stable_sort(Rows.begin(), Rows.end(),
-                   [](const Row &A, const Row &B) {
-                     return A.Correct < B.Correct;
-                   });
-
-  Table Out({"configuration", "correct", "incorrect", "requests",
-             "suppressed"});
-  for (const Row &R : Rows)
-    Out.row()
-        .cell(R.Name + (R.PaperCorrect[0] != '-'
-                            ? " (" + R.PaperCorrect + "/" +
-                                  R.PaperIncorrect + ")"
-                            : ""))
-        .cellPercent(R.Correct)
-        .cellPercent(R.Incorrect, 4)
-        .cell(R.Requests)
-        .cell(R.Suppressed);
-
-  Out.print(std::cout, Opt.Csv);
+  printTable4Report(std::cout, Report, Variants, Plan.benchmarks().size(),
+                    Opt.Csv);
   return 0;
 }

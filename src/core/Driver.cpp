@@ -6,6 +6,12 @@
 
 #include "core/Driver.h"
 
+#include "support/RunConfig.h"
+#include "workload/MmapTraceStore.h"
+#include "workload/TraceFile.h"
+
+#include <fstream>
+#include <stdexcept>
 #include <vector>
 
 using namespace specctrl;
@@ -125,4 +131,37 @@ const ControlStats &core::runWorkload(SpeculationController &Controller,
   const std::unique_ptr<workload::EventSource> Source =
       Arena.open(Spec, Input);
   return runTrace(Controller, *Source, Observer, BatchEvents, Metrics);
+}
+
+const ControlStats &core::runTraceFile(SpeculationController &Controller,
+                                       const std::string &Path,
+                                       TraceObserver *Observer,
+                                       size_t BatchEvents,
+                                       TraceRunMetrics *Metrics) {
+  if (RunConfig::global().TraceMmap) {
+    std::string Error;
+    if (const std::unique_ptr<workload::MmapReplaySource> Cursor =
+            workload::MmapTraceStore::global().openCursor(Path, &Error)) {
+      const ControlStats &Stats =
+          runTrace(Controller, *Cursor, Observer, BatchEvents, Metrics);
+      if (Cursor->failed())
+        throw std::runtime_error("trace '" + Path + "': " + Cursor->error());
+      return Stats;
+    }
+    // v1 files are not mappable; fall through to the stream reader, which
+    // rejects anything genuinely malformed with a precise message.
+  }
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    throw std::runtime_error("cannot open trace '" + Path + "'");
+  workload::TraceFileReader Reader(In);
+  if (!Reader.valid())
+    throw std::runtime_error("'" + Path + "' is not a trace file");
+  const ControlStats &Stats =
+      runTrace(Controller, Reader, Observer, BatchEvents, Metrics);
+  if (Reader.failed())
+    throw std::runtime_error("trace '" + Path + "': " + Reader.error());
+  if (Reader.truncated())
+    throw std::runtime_error("trace '" + Path + "' is truncated");
+  return Stats;
 }

@@ -25,13 +25,11 @@ double secondsSince(Clock::time_point Start, Clock::time_point End) {
   return std::chrono::duration<double>(End - Start).count();
 }
 
-/// Runs one cell: constructs all per-cell state from the plan, feeds the
-/// whole trace, and records stats/metrics into \p Cell.  Exceptions are
-/// captured into the cell instead of propagating (failure isolation).
-void runCell(const ExperimentPlan &Plan, CellResult &Cell,
-             size_t BatchEvents, Clock::time_point Enqueued) {
+} // namespace
+
+void engine::runPlanCell(const ExperimentPlan &Plan, CellResult &Cell,
+                         size_t BatchEvents) {
   const Clock::time_point Start = Clock::now();
-  Cell.QueueWaitSeconds = secondsSince(Enqueued, Start);
   try {
     const BenchmarkAxis &Bench = Plan.benchmarks()[Cell.Coord.Benchmark];
     const workload::InputConfig &Input = Bench.Inputs[Cell.Coord.Input];
@@ -78,7 +76,24 @@ void runCell(const ExperimentPlan &Plan, CellResult &Cell,
   Cell.WallSeconds = secondsSince(Start, Clock::now());
 }
 
-} // namespace
+std::vector<CellResult> engine::layoutPlanCells(const ExperimentPlan &Plan) {
+  const std::vector<BenchmarkAxis> &Benchmarks = Plan.benchmarks();
+  const std::vector<ConfigAxis> &Configs = Plan.configs();
+  std::vector<CellResult> Cells;
+  Cells.reserve(Plan.numCells());
+  for (uint32_t B = 0; B < Benchmarks.size(); ++B)
+    for (uint32_t I = 0; I < Benchmarks[B].Inputs.size(); ++I)
+      for (uint32_t C = 0; C < Configs.size(); ++C) {
+        CellResult Cell;
+        Cell.Coord = {B, I, C};
+        Cell.Benchmark = Benchmarks[B].Spec.Name;
+        Cell.Input = Benchmarks[B].Inputs[I].Name;
+        Cell.Config = Configs[C].Name;
+        Cell.Seed = ExperimentPlan::cellSeed(Plan.baseSeed(), Cell.Coord);
+        Cells.push_back(std::move(Cell));
+      }
+  return Cells;
+}
 
 size_t RunReport::failedCells() const {
   size_t N = 0;
@@ -123,32 +138,20 @@ RunReport ExperimentRunner::run(const ExperimentPlan &Plan) const {
 
   // Lay out every cell slot up front in stable benchmark-major order; each
   // task then writes only its own slot.
-  const std::vector<BenchmarkAxis> &Benchmarks = Plan.benchmarks();
-  const std::vector<ConfigAxis> &Configs = Plan.configs();
-  Report.Cells.reserve(Plan.numCells());
-  for (uint32_t B = 0; B < Benchmarks.size(); ++B)
-    for (uint32_t I = 0; I < Benchmarks[B].Inputs.size(); ++I)
-      for (uint32_t C = 0; C < Configs.size(); ++C) {
-        CellResult Cell;
-        Cell.Coord = {B, I, C};
-        Cell.Benchmark = Benchmarks[B].Spec.Name;
-        Cell.Input = Benchmarks[B].Inputs[I].Name;
-        Cell.Config = Configs[C].Name;
-        Cell.Seed = ExperimentPlan::cellSeed(Plan.baseSeed(), Cell.Coord);
-        Report.Cells.push_back(std::move(Cell));
-      }
+  Report.Cells = layoutPlanCells(Plan);
 
   const Clock::time_point RunStart = Clock::now();
   const size_t BatchEvents = Options.BatchEvents;
   if (Report.Jobs <= 1 || Report.Cells.size() <= 1) {
     for (CellResult &Cell : Report.Cells)
-      runCell(Plan, Cell, BatchEvents, Clock::now());
+      runPlanCell(Plan, Cell, BatchEvents);
   } else {
     ThreadPool Pool(Report.Jobs);
     for (CellResult &Cell : Report.Cells) {
       const Clock::time_point Enqueued = Clock::now();
       Pool.submit([&Plan, &Cell, BatchEvents, Enqueued] {
-        runCell(Plan, Cell, BatchEvents, Enqueued);
+        Cell.QueueWaitSeconds = secondsSince(Enqueued, Clock::now());
+        runPlanCell(Plan, Cell, BatchEvents);
       });
     }
     Pool.wait();

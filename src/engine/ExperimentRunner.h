@@ -102,6 +102,22 @@ struct RunReport {
                          const std::string &Config) const;
 };
 
+/// Lays out one CellResult slot per plan cell in the stable benchmark-major
+/// report order (benchmark, then input, then config), with names and the
+/// deterministic cell seed filled in and all run fields zeroed.  Every plan
+/// executor -- serial, thread pool, process pool -- starts from this layout,
+/// which is what makes their reports structurally identical.
+std::vector<CellResult> layoutPlanCells(const ExperimentPlan &Plan);
+
+/// Runs one laid-out cell of \p Plan: constructs all per-cell state from
+/// the plan (controller, observer, event source), feeds the whole trace,
+/// and records stats/metrics into \p Cell.  Exceptions are captured into
+/// Cell.Failed/Error instead of propagating (failure isolation).  Safe to
+/// call from any thread or process: the only shared state touched is the
+/// plan's trace arena, which is internally synchronized.
+void runPlanCell(const ExperimentPlan &Plan, CellResult &Cell,
+                 size_t BatchEvents);
+
 /// Executes plans.  Stateless apart from its options; one runner can
 /// execute many plans.
 class ExperimentRunner {

@@ -1,0 +1,384 @@
+//===- engine/ProcessPool.cpp - Multi-process plan execution --------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ProcessPool.h"
+
+#include "core/Snapshot.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+using namespace specctrl;
+using namespace specctrl::engine;
+using core::snapshot::ByteReader;
+using core::snapshot::ByteWriter;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// 'SCF1': a serialized sweep-cell fragment.
+constexpr uint32_t FragmentMagic = 0x31464353;
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start, Clock::time_point End) {
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+std::string errnoMessage(const char *What) {
+  return std::string(What) + ": " + std::strerror(errno);
+}
+
+void putString(ByteWriter &W, const std::string &S) {
+  W.blob({reinterpret_cast<const uint8_t *>(S.data()), S.size()});
+}
+
+bool getString(ByteReader &R, std::string &S) {
+  std::span<const uint8_t> Bytes;
+  if (!R.blob(Bytes))
+    return false;
+  S.assign(reinterpret_cast<const char *>(Bytes.data()), Bytes.size());
+  return true;
+}
+
+// ---- Shared work index --------------------------------------------------
+//
+// An 8-byte little-endian counter holding the next unclaimed cell number.
+// flock (not fcntl record locks) because flock locks follow the open file
+// description: every worker holds its own fd, and the lock dies with the
+// process if a worker crashes mid-claim, so a worker death can never
+// deadlock the survivors.
+
+bool readIndex(int FD, uint64_t &Value) {
+  uint8_t Raw[8];
+  if (::pread(FD, Raw, sizeof(Raw), 0) != static_cast<ssize_t>(sizeof(Raw)))
+    return false;
+  Value = 0;
+  for (int I = 0; I < 8; ++I)
+    Value |= static_cast<uint64_t>(Raw[I]) << (8 * I);
+  return true;
+}
+
+bool writeIndex(int FD, uint64_t Value) {
+  uint8_t Raw[8];
+  for (int I = 0; I < 8; ++I)
+    Raw[I] = static_cast<uint8_t>(Value >> (8 * I));
+  return ::pwrite(FD, Raw, sizeof(Raw), 0) ==
+         static_cast<ssize_t>(sizeof(Raw));
+}
+
+/// Claims the next unclaimed cell under an exclusive flock.  Returns false
+/// when the grid is exhausted (or on I/O trouble, which ends this worker's
+/// stealing -- siblings still drain the grid).
+bool claimNextCell(int FD, uint64_t NumCells, uint64_t &Claimed) {
+  if (::flock(FD, LOCK_EX) != 0)
+    return false;
+  uint64_t Next = 0;
+  const bool Ok =
+      readIndex(FD, Next) && Next < NumCells && writeIndex(FD, Next + 1);
+  ::flock(FD, LOCK_UN);
+  Claimed = Next;
+  return Ok;
+}
+
+std::string fragmentPath(const std::string &WorkDir, uint64_t Cell) {
+  return WorkDir + "/cell-" + std::to_string(Cell) + ".frag";
+}
+
+/// Publishes \p Bytes at \p Path atomically (tmp + rename); a reader never
+/// sees a partial fragment.  The claiming worker is the only writer, so
+/// the tmp name needs no uniquifier.
+bool publishFragment(const std::string &Path,
+                     std::span<const uint8_t> Bytes) {
+  const std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out.write(reinterpret_cast<const char *>(Bytes.data()),
+                   static_cast<std::streamsize>(Bytes.size())))
+      return false;
+  }
+  std::error_code EC;
+  fs::rename(Tmp, Path, EC);
+  if (EC)
+    fs::remove(Tmp, EC);
+  return !EC;
+}
+
+/// The worker body: steal cells until the index passes the grid, run each
+/// through the shared cell primitive, publish its fragment.  Never
+/// returns; exits 0 on a clean drain, 2 on index-file trouble.
+[[noreturn]] void workerMain(const ExperimentPlan &Plan,
+                             const std::vector<CellResult> &Layout,
+                             size_t BatchEvents,
+                             const std::string &WorkDir,
+                             const std::string &IndexPath) {
+  const int FD = ::open(IndexPath.c_str(), O_RDWR | O_CLOEXEC);
+  if (FD < 0)
+    ::_exit(2);
+  for (;;) {
+    uint64_t Cell = 0;
+    if (!claimNextCell(FD, Layout.size(), Cell))
+      break;
+    const CellResult &Slot = Layout[Cell];
+    CellResult Result; // CellResult owns an Observer, so no copy ctor
+    Result.Coord = Slot.Coord;
+    Result.Benchmark = Slot.Benchmark;
+    Result.Input = Slot.Input;
+    Result.Config = Slot.Config;
+    Result.Seed = Slot.Seed;
+    runPlanCell(Plan, Result, BatchEvents);
+    const std::vector<uint8_t> Bytes = encodeCellFragment(Result);
+    publishFragment(fragmentPath(WorkDir, Cell), Bytes);
+  }
+  ::_exit(0);
+}
+
+/// Reads a whole file; empty optional-style return via bool.
+bool readFile(const std::string &Path, std::vector<uint8_t> &Out) {
+  std::ifstream In(Path, std::ios::binary | std::ios::ate);
+  if (!In)
+    return false;
+  const std::streamsize Size = In.tellg();
+  In.seekg(0);
+  Out.resize(static_cast<size_t>(Size));
+  return static_cast<bool>(
+      In.read(reinterpret_cast<char *>(Out.data()), Size));
+}
+
+} // namespace
+
+std::vector<uint8_t> engine::encodeCellFragment(const CellResult &Cell) {
+  ByteWriter W;
+  W.u32(Cell.Coord.Benchmark);
+  W.u32(Cell.Coord.Input);
+  W.u32(Cell.Coord.Config);
+  putString(W, Cell.Benchmark);
+  putString(W, Cell.Input);
+  putString(W, Cell.Config);
+  W.u64(Cell.Seed);
+
+  const core::ControlStats &S = Cell.Stats;
+  W.u64(S.Branches);
+  W.u64(S.LastInstRet);
+  W.u64(S.CorrectSpecs);
+  W.u64(S.IncorrectSpecs);
+  W.u64(S.DeployRequests);
+  W.u64(S.RevokeRequests);
+  W.u64(S.SuppressedRequests);
+  W.u64(S.Evictions);
+  W.u64(S.Revisits);
+  W.u64(S.EventsConsumed);
+  W.blob(S.Touched);
+  W.blob(S.EverBiased);
+  W.u64(S.SiteEvictions.size());
+  for (uint32_t E : S.SiteEvictions)
+    W.u32(E);
+  W.u64(S.Transitions.size());
+  for (const core::TransitionRecord &T : S.Transitions) {
+    W.u32(T.Site);
+    W.u32(T.Observed);
+    W.u32(T.AgainstOriginal);
+  }
+
+  W.boolean(Cell.Failed);
+  putString(W, Cell.Error);
+  W.u64(Cell.Events);
+  W.u64(Cell.Batches);
+  W.f64(Cell.WallSeconds);
+  W.f64(Cell.QueueWaitSeconds);
+
+  const std::vector<uint8_t> Payload = W.take();
+  return core::snapshot::frame(FragmentMagic, Payload);
+}
+
+bool engine::decodeCellFragment(std::span<const uint8_t> Bytes,
+                                CellResult &Cell, std::string &Error) {
+  std::span<const uint8_t> Payload;
+  if (!core::snapshot::unframe(Bytes, FragmentMagic, Payload, Error))
+    return false;
+
+  ByteReader R(Payload);
+  CellResult Out;
+  core::ControlStats &S = Out.Stats;
+  uint64_t NumEvictions = 0;
+  uint64_t NumTransitions = 0;
+  std::span<const uint8_t> Touched;
+  std::span<const uint8_t> EverBiased;
+  bool Ok = R.u32(Out.Coord.Benchmark) && R.u32(Out.Coord.Input) &&
+            R.u32(Out.Coord.Config) && getString(R, Out.Benchmark) &&
+            getString(R, Out.Input) && getString(R, Out.Config) &&
+            R.u64(Out.Seed) && R.u64(S.Branches) && R.u64(S.LastInstRet) &&
+            R.u64(S.CorrectSpecs) && R.u64(S.IncorrectSpecs) &&
+            R.u64(S.DeployRequests) && R.u64(S.RevokeRequests) &&
+            R.u64(S.SuppressedRequests) && R.u64(S.Evictions) &&
+            R.u64(S.Revisits) && R.u64(S.EventsConsumed) &&
+            R.blob(Touched) && R.blob(EverBiased) && R.u64(NumEvictions);
+  if (Ok) {
+    S.Touched.assign(Touched.begin(), Touched.end());
+    S.EverBiased.assign(EverBiased.begin(), EverBiased.end());
+    // Every per-site vector grows in lockstep (ControlStats::touch), and
+    // each u32 needs 4 payload bytes -- bound before resizing so a
+    // corrupt length cannot balloon memory.
+    Ok = NumEvictions * 4 <= R.remaining();
+  }
+  if (Ok) {
+    S.SiteEvictions.resize(static_cast<size_t>(NumEvictions));
+    for (uint32_t &E : S.SiteEvictions)
+      Ok = Ok && R.u32(E);
+  }
+  Ok = Ok && R.u64(NumTransitions) && NumTransitions * 12 <= R.remaining();
+  if (Ok) {
+    S.Transitions.resize(static_cast<size_t>(NumTransitions));
+    for (core::TransitionRecord &T : S.Transitions)
+      Ok = Ok && R.u32(T.Site) && R.u32(T.Observed) &&
+           R.u32(T.AgainstOriginal);
+  }
+  Ok = Ok && R.boolean(Out.Failed) && getString(R, Out.Error) &&
+       R.u64(Out.Events) && R.u64(Out.Batches) && R.f64(Out.WallSeconds) &&
+       R.f64(Out.QueueWaitSeconds) && R.done();
+  if (!Ok || S.Touched.size() != S.EverBiased.size() ||
+      S.Touched.size() != S.SiteEvictions.size()) {
+    Error = "cell fragment payload is truncated or inconsistent";
+    return false;
+  }
+  Cell = std::move(Out);
+  return true;
+}
+
+RunReport engine::runPlanProcesses(const ExperimentPlan &Plan,
+                                   const ProcessRunOptions &Options) {
+  for (const ConfigAxis &Config : Plan.configs())
+    if (Config.Run)
+      throw std::invalid_argument(
+          "process pool cannot run task config '" + Config.Name +
+          "': a cell's std::any value cannot cross a process boundary");
+  if (Plan.observerFactory())
+    throw std::invalid_argument(
+        "process pool cannot run plans with an observer factory: live "
+        "TraceObserver state cannot cross a process boundary");
+
+  RunReport Report;
+  Report.Jobs = Options.Procs != 0
+                    ? Options.Procs
+                    : std::max(1u, std::thread::hardware_concurrency());
+  Report.Cells = layoutPlanCells(Plan);
+  if (Report.Cells.empty())
+    return Report;
+  Report.Jobs = static_cast<unsigned>(
+      std::min<size_t>(Report.Jobs, Report.Cells.size()));
+
+  // Scratch directory: caller-provided, or a fresh one we remove at the
+  // end.  Fragments and the index never outlive the call either way.
+  std::string WorkDir = Options.WorkDir;
+  bool OwnWorkDir = false;
+  if (WorkDir.empty()) {
+    const char *Base = std::getenv("TMPDIR");
+    std::string Template =
+        std::string(Base && *Base ? Base : "/tmp") + "/specctrl-pp-XXXXXX";
+    if (!::mkdtemp(Template.data()))
+      throw std::runtime_error(errnoMessage("mkdtemp"));
+    WorkDir = Template;
+    OwnWorkDir = true;
+  }
+  const std::string IndexPath = WorkDir + "/index";
+  {
+    const int FD = ::open(IndexPath.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (FD < 0 || !writeIndex(FD, 0)) {
+      if (FD >= 0)
+        ::close(FD);
+      throw std::runtime_error(errnoMessage("create work index"));
+    }
+    ::close(FD);
+  }
+
+  const Clock::time_point RunStart = Clock::now();
+  std::vector<pid_t> Workers;
+  Workers.reserve(Report.Jobs);
+  for (unsigned W = 0; W < Report.Jobs; ++W) {
+    const pid_t Pid = ::fork();
+    if (Pid == 0)
+      workerMain(Plan, Report.Cells, Options.BatchEvents, WorkDir,
+                 IndexPath); // never returns
+    if (Pid < 0) {
+      // Fork pressure: the workers already running will drain the whole
+      // grid through the shared index; fewer workers, same results.
+      if (!Workers.empty())
+        break;
+      throw std::runtime_error(errnoMessage("fork"));
+    }
+    Workers.push_back(Pid);
+  }
+  Report.Jobs = static_cast<unsigned>(Workers.size());
+
+  std::string WorkerDeaths;
+  for (const pid_t Pid : Workers) {
+    int Status = 0;
+    if (::waitpid(Pid, &Status, 0) < 0)
+      continue;
+    if (WIFSIGNALED(Status))
+      WorkerDeaths += " worker " + std::to_string(Pid) + " killed by signal " +
+                      std::to_string(WTERMSIG(Status)) + ";";
+    else if (WIFEXITED(Status) && WEXITSTATUS(Status) != 0)
+      WorkerDeaths += " worker " + std::to_string(Pid) + " exited " +
+                      std::to_string(WEXITSTATUS(Status)) + ";";
+  }
+
+  // Merge fragments back in grid order.  The layout already holds every
+  // cell's identity; a fragment only has to match it and fill in results.
+  std::vector<uint8_t> Bytes;
+  for (size_t I = 0; I < Report.Cells.size(); ++I) {
+    CellResult &Slot = Report.Cells[I];
+    const std::string Path = fragmentPath(WorkDir, I);
+    CellResult Decoded;
+    std::string Error;
+    if (!readFile(Path, Bytes)) {
+      Slot.Failed = true;
+      Slot.Error = "no result fragment from any worker;" +
+                   (WorkerDeaths.empty() ? std::string(" worker claimed the "
+                                                       "cell and died")
+                                         : WorkerDeaths);
+      continue;
+    }
+    if (!decodeCellFragment(Bytes, Decoded, Error)) {
+      Slot.Failed = true;
+      Slot.Error = "corrupt result fragment: " + Error;
+      continue;
+    }
+    if (!(Decoded.Coord == Slot.Coord)) {
+      Slot.Failed = true;
+      Slot.Error = "result fragment names the wrong cell";
+      continue;
+    }
+    Slot = std::move(Decoded);
+  }
+
+  std::error_code EC;
+  if (OwnWorkDir) {
+    fs::remove_all(WorkDir, EC);
+  } else {
+    fs::remove(IndexPath, EC);
+    for (size_t I = 0; I < Report.Cells.size(); ++I)
+      fs::remove(fragmentPath(WorkDir, I), EC);
+  }
+
+  Report.WallSeconds = secondsSince(RunStart, Clock::now());
+  return Report;
+}

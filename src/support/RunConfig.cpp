@@ -100,6 +100,14 @@ RunConfig RunConfig::fromEnv(std::string *Warnings) {
       envCount("SPECCTRL_SERVE_EPOCH_EVENTS", Out.ServeEpochEvents, Warnings);
   Out.ServeRingEvents =
       envCount("SPECCTRL_SERVE_RING_EVENTS", Out.ServeRingEvents, Warnings);
+  {
+    // Default-on knob: unset keeps the mmap tier, "0" (or "") disables it.
+    bool Present = false;
+    const bool Value = envFlag("SPECCTRL_TRACE_MMAP", Present);
+    if (Present)
+      Out.TraceMmap = Value;
+  }
+  Out.SweepProcs = envCount("SPECCTRL_SWEEP_PROCS", Out.SweepProcs, Warnings);
   return Out;
 }
 

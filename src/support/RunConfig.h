@@ -21,6 +21,8 @@
 ///   SPECCTRL_EXEC_TIER=reference|threaded   default SimIR execution tier
 ///   SPECCTRL_SERVE_EPOCH_EVENTS=N   serve-layer epoch length (events)
 ///   SPECCTRL_SERVE_RING_EVENTS=N    serve-layer ingest ring capacity
+///   SPECCTRL_TRACE_MMAP=0        disable the zero-copy mmap trace tier
+///   SPECCTRL_SWEEP_PROCS=N       specctrl-sweep worker processes (0=cores)
 ///
 /// The pre-RunConfig spellings SPECCTRL_VERIFY_DISTILL and
 /// SPECCTRL_ARENA_DEBUG keep working as deprecated aliases (a one-line
@@ -68,6 +70,14 @@ struct RunConfig {
   /// Default per-stream ingest ring capacity, in events (rounded up to a
   /// power of two by the ring).
   uint64_t ServeRingEvents = 8192;
+  /// Zero-copy mmap trace tier: disk-cached traces replay in place from a
+  /// shared read-only mapping instead of being reloaded into memory
+  /// (workload/MmapTraceStore.h).  On by default; SPECCTRL_TRACE_MMAP=0
+  /// falls back to the resident load path.
+  bool TraceMmap = true;
+  /// Worker-process count for multi-process sweeps (engine/ProcessPool.h,
+  /// tools/specctrl-sweep); 0 selects the hardware concurrency.
+  uint64_t SweepProcs = 0;
 
   /// Parses the environment (canonical names first, deprecated aliases
   /// second).  Pure: no warnings are printed; when \p Warnings is non-null

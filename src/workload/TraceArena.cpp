@@ -8,8 +8,10 @@
 
 #include "support/Hash.h"
 #include "support/RunConfig.h"
+#include "workload/MmapTraceStore.h"
 #include "workload/TraceGenerator.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cstdio>
@@ -18,6 +20,7 @@
 #include <filesystem>
 #include <fstream>
 #include <ostream>
+#include <unistd.h>
 
 using namespace specctrl;
 using namespace specctrl::workload;
@@ -76,11 +79,6 @@ uint64_t loadU64(const uint8_t *P) {
   return static_cast<uint64_t>(loadU32(P)) |
          (static_cast<uint64_t>(loadU32(P + 4)) << 32);
 }
-
-/// SCT2 header: magic + sites + total events + min/max gap + block events.
-constexpr size_t HeaderBytes = 4 + 4 + 8 + 4 + 4 + 4;
-/// Per-block frame: event count + payload bytes + XXH64 checksum.
-constexpr size_t FrameBytes = 4 + 4 + 8;
 
 } // namespace
 
@@ -215,6 +213,17 @@ std::string TraceArena::keyOf(const WorkloadSpec &Spec,
 
 std::unique_ptr<EventSource> TraceArena::open(const WorkloadSpec &Spec,
                                               const InputConfig &Input) {
+  // Zero-copy tier first: with a disk cache and mmap enabled, serve the
+  // stream in place from the shared mapping -- no resident copy at all.
+  if (mmapEnabled()) {
+    if (std::shared_ptr<const MappedTrace> Mapped = mapFor(Spec, Input)) {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Stats.CursorOpens;
+      return std::make_unique<MmapReplaySource>(std::move(Mapped));
+    }
+    // Not mmap-servable (unencodable trace or disk failure): fall through
+    // to the resident path, which shares the fallback accounting.
+  }
   std::shared_ptr<const MaterializedTrace> Trace = materialize(Spec, Input);
   {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -225,6 +234,109 @@ std::unique_ptr<EventSource> TraceArena::open(const WorkloadSpec &Spec,
   if (!Trace)
     return std::make_unique<TraceGenerator>(Spec, Input);
   return std::make_unique<ArenaReplaySource>(std::move(Trace));
+}
+
+bool TraceArena::mmapEnabled() const {
+  return Cfg.UseMmap && !Cfg.CacheDir.empty() &&
+         RunConfig::global().TraceMmap;
+}
+
+std::string TraceArena::cachePathOf(const std::string &Key) const {
+  if (Cfg.CacheDir.empty())
+    return {};
+  char Name[48];
+  std::snprintf(Name, sizeof(Name), "%016llx%016llx.sct2",
+                static_cast<unsigned long long>(
+                    hash64(Key.data(), Key.size(), 0)),
+                static_cast<unsigned long long>(
+                    hash64(Key.data(), Key.size(), 1)));
+  return (std::filesystem::path(Cfg.CacheDir) / Name).string();
+}
+
+std::shared_ptr<const MappedTrace>
+TraceArena::mapFor(const WorkloadSpec &Spec, const InputConfig &Input) {
+  const std::string Key = keyOf(Spec, Input);
+  MmapEntry *E = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    std::unique_ptr<MmapEntry> &Slot = MmapEntries[Key];
+    if (!Slot)
+      Slot = std::make_unique<MmapEntry>();
+    E = Slot.get();
+  }
+  std::call_once(E->Once, [&] { E->Trace = mapKey(Key, Spec, Input); });
+  return E->Trace;
+}
+
+std::shared_ptr<const MappedTrace>
+TraceArena::mapKey(const std::string &Key, const WorkloadSpec &Spec,
+                   const InputConfig &Input) {
+  namespace fs = std::filesystem;
+  const std::string Path = cachePathOf(Key);
+  MmapTraceStore &Store = MmapTraceStore::global();
+
+  // Cache hit: map it, then verify the whole file up front (checksums +
+  // checked decode, bounded by one block buffer).  A mapped stream must
+  // never fail mid-replay on stale corruption -- the resident tier's
+  // regenerate-on-mismatch guarantee carries over unchanged.
+  const auto Serve = [&](bool Stored)
+      -> std::shared_ptr<const MappedTrace> {
+    std::string Error;
+    std::shared_ptr<const MappedTrace> Trace = Store.open(Path, &Error);
+    if (!Trace)
+      return nullptr;
+    if (Trace->totalEvents() != Input.Events ||
+        Trace->numSites() != Spec.numSites() || !Trace->verifyAllBlocks()) {
+      Store.invalidate(Path);
+      return nullptr;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Stats.MmapLoads += !Stored;
+      Stats.MmapStores += Stored;
+      Stats.MappedBytes += Trace->bytes();
+    }
+    if (Cfg.Verbose)
+      std::fprintf(stderr,
+                   "specctrl-arena: %s/%s: %llu events, %zu bytes "
+                   "(%zu blocks) [mmap%s]\n",
+                   Spec.Name.c_str(), Input.Name.c_str(),
+                   static_cast<unsigned long long>(Trace->totalEvents()),
+                   Trace->bytes(), Trace->numBlocks(),
+                   Stored ? ", generated" : "");
+    return Trace;
+  };
+  if (std::shared_ptr<const MappedTrace> Trace = Serve(/*Stored=*/false))
+    return Trace;
+
+  // Cache miss (or stale/corrupt file): stream-generate straight to an
+  // aligned file -- the trace is never resident -- then map that.  Temp
+  // name + rename keeps concurrent processes from seeing a partial file.
+  std::error_code EC;
+  fs::create_directories(fs::path(Path).parent_path(), EC);
+  const std::string Tmp =
+      Path + ".tmp." + std::to_string(static_cast<uint64_t>(::getpid())) +
+      "." + std::to_string(reinterpret_cast<uintptr_t>(this));
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return nullptr;
+    TraceGenerator Gen(Spec, Input);
+    if (writeTraceV2(Out, Gen, Cfg.BlockEvents, TraceV2AlignBytes) !=
+            Input.Events ||
+        !Out) {
+      Out.close();
+      fs::remove(Tmp, EC);
+      return nullptr; // beyond SCT2 limits (or disk trouble): fallback
+    }
+  }
+  fs::rename(Tmp, Path, EC);
+  if (EC) {
+    fs::remove(Tmp, EC);
+    return nullptr;
+  }
+  Store.invalidate(Path); // never serve a stale mapping of the old inode
+  return Serve(/*Stored=*/true);
 }
 
 std::shared_ptr<const MaterializedTrace>
@@ -248,7 +360,7 @@ TraceArena::materialize(const WorkloadSpec &Spec, const InputConfig &Input) {
 bool TraceArena::indexAndVerify(MaterializedTrace &Trace,
                                 bool VerifyPayload) {
   const std::vector<uint8_t> &Image = Trace.Image;
-  if (Image.size() < HeaderBytes ||
+  if (Image.size() < TraceV2HeaderBytes ||
       std::memcmp(Image.data(), "SCT2", 4) != 0)
     return false;
   Trace.NumSites = loadU32(Image.data() + 4);
@@ -260,20 +372,36 @@ bool TraceArena::indexAndVerify(MaterializedTrace &Trace,
     return false;
 
   Trace.Blocks.clear();
-  Trace.EncodedBlockBytes = Image.size() - HeaderBytes;
+  Trace.EncodedBlockBytes = 0;
   uint64_t Indexed = 0;
   uint64_t InstRet = 0;
   std::vector<BranchEvent> Scratch;
-  size_t Pos = HeaderBytes;
+  size_t Pos = TraceV2HeaderBytes;
   while (Pos < Image.size()) {
-    if (Image.size() - Pos < FrameBytes)
+    if (Image.size() - Pos < TraceV2FrameBytes)
       return false;
     MaterializedTrace::BlockRef Ref;
     Ref.Events = loadU32(Image.data() + Pos);
     Ref.PayloadBytes = loadU32(Image.data() + Pos + 4);
     const uint64_t Checksum = loadU64(Image.data() + Pos + 8);
-    Ref.PayloadOffset = Pos + FrameBytes;
-    if (Ref.Events == 0 || Ref.Events > BlockEvents ||
+    Ref.PayloadOffset = Pos + TraceV2FrameBytes;
+    if (Ref.Events == 0) {
+      // Alignment pad frame: skip, index no block.  The sentinel and the
+      // all-zero payload are required, so a corrupted real block (event
+      // count flipped to zero) is rejected, never silently skipped.
+      if (Checksum != TraceV2PadMagic ||
+          Ref.PayloadBytes > TraceV2MaxPadBytes ||
+          Ref.PayloadBytes > Image.size() - Ref.PayloadOffset)
+        return false;
+      const uint8_t *Pad = Image.data() + Ref.PayloadOffset;
+      if (VerifyPayload &&
+          std::any_of(Pad, Pad + Ref.PayloadBytes,
+                      [](uint8_t B) { return B != 0; }))
+        return false;
+      Pos = Ref.PayloadOffset + Ref.PayloadBytes;
+      continue;
+    }
+    if (Ref.Events > BlockEvents ||
         Ref.Events > Trace.TotalEvents - Indexed ||
         Ref.PayloadBytes > Image.size() - Ref.PayloadOffset)
       return false;
@@ -291,6 +419,7 @@ bool TraceArena::indexAndVerify(MaterializedTrace &Trace,
       Indexed += Ref.Events;
     }
     Trace.Blocks.push_back(Ref);
+    Trace.EncodedBlockBytes += TraceV2FrameBytes + Ref.PayloadBytes;
     Pos = Ref.PayloadOffset + Ref.PayloadBytes;
   }
   return Indexed == Trace.TotalEvents;
@@ -322,15 +451,8 @@ std::shared_ptr<const MaterializedTrace>
 TraceArena::materializeKey(const std::string &Key, const WorkloadSpec &Spec,
                            const InputConfig &Input) {
   namespace fs = std::filesystem;
-  std::string Path;
-  if (!Cfg.CacheDir.empty()) {
-    char Name[48];
-    std::snprintf(Name, sizeof(Name), "%016llx%016llx.sct2",
-                  static_cast<unsigned long long>(
-                      hash64(Key.data(), Key.size(), 0)),
-                  static_cast<unsigned long long>(
-                      hash64(Key.data(), Key.size(), 1)));
-    Path = (fs::path(Cfg.CacheDir) / Name).string();
+  const std::string Path = cachePathOf(Key);
+  if (!Path.empty()) {
     if (std::shared_ptr<const MaterializedTrace> Trace = loadFromDisk(Path)) {
       {
         std::lock_guard<std::mutex> Lock(Mutex);
@@ -353,7 +475,7 @@ TraceArena::materializeKey(const std::string &Key, const WorkloadSpec &Spec,
   auto Trace = std::make_shared<MaterializedTrace>();
   // Encoded events land near 2 B each; reserving ~3 B/event keeps the
   // image's growth to one allocation in practice.
-  Trace->Image.reserve(HeaderBytes + 3 * Input.Events);
+  Trace->Image.reserve(TraceV2HeaderBytes + 3 * Input.Events);
   {
     VectorBuf Buf(Trace->Image);
     std::ostream OS(&Buf);
@@ -382,8 +504,8 @@ TraceArena::materializeKey(const std::string &Key, const WorkloadSpec &Spec,
     std::error_code EC;
     fs::create_directories(fs::path(Path).parent_path(), EC);
     const std::string Tmp =
-        Path + ".tmp." + std::to_string(fs::hash_value(fs::path(Path)) ^
-                                        reinterpret_cast<uintptr_t>(this));
+        Path + ".tmp." + std::to_string(static_cast<uint64_t>(::getpid())) +
+        "." + std::to_string(reinterpret_cast<uintptr_t>(this));
     std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
     if (Out.write(reinterpret_cast<const char *>(Trace->Image.data()),
                   static_cast<std::streamsize>(Trace->Image.size()))) {

@@ -32,6 +32,17 @@
 /// way sweep cells do.  Cached files are fully checksum-verified on load
 /// and regenerated on any mismatch.
 ///
+/// When the disk tier is active (and SPECCTRL_TRACE_MMAP has not disabled
+/// it), open() serves cache hits through the zero-copy mmap store
+/// (workload/MmapTraceStore.h) instead of reloading the file into memory:
+/// cursors decode blocks in place from a read-only mapping the kernel
+/// shares across every process replaying the same file, and cache misses
+/// stream-generate straight to a page-aligned file and map it -- the trace
+/// is never resident at all.  The mapped file is fully verified (checksums
+/// + checked decode, bounded by one block buffer) before it is served, so
+/// the corrupt-cache-regenerates guarantee is unchanged.  materialize()
+/// keeps the resident image semantics for callers that need the bytes.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPECCTRL_WORKLOAD_TRACEARENA_H
@@ -48,15 +59,20 @@
 namespace specctrl {
 namespace workload {
 
+class MappedTrace;
+
 /// Arena accounting (snapshot via TraceArena::stats()).
 struct TraceArenaStats {
   uint64_t Materializations = 0; ///< traces generated from the model
-  uint64_t DiskLoads = 0;        ///< traces loaded from the disk tier
+  uint64_t DiskLoads = 0;        ///< traces loaded resident from disk
   uint64_t DiskStores = 0;       ///< traces written to the disk tier
   uint64_t CursorOpens = 0;      ///< replay cursors handed out
   uint64_t Fallbacks = 0;        ///< opens served by a private generator
   uint64_t ResidentEvents = 0;   ///< events materialized in memory
   uint64_t ResidentBytes = 0;    ///< encoded bytes resident in memory
+  uint64_t MmapLoads = 0;        ///< keys served zero-copy from a cache hit
+  uint64_t MmapStores = 0;       ///< keys stream-generated to disk for mmap
+  uint64_t MappedBytes = 0;      ///< file bytes served via the mmap tier
 };
 
 /// One immutable materialized trace: the full SCT2 file image plus a block
@@ -139,6 +155,10 @@ public:
     /// Log materializations (events, encoded bytes, per-block compression
     /// ratio, tier) to stderr.  Also enabled by SPECCTRL_ARENA_VERBOSE=1 (RunConfig).
     bool Verbose = false;
+    /// Serve disk-tier opens through the zero-copy mmap store.  Effective
+    /// only with a CacheDir, and also gated by SPECCTRL_TRACE_MMAP
+    /// (RunConfig::TraceMmap) so one env knob disables the tier fleetwide.
+    bool UseMmap = true;
   };
 
   TraceArena();
@@ -166,6 +186,10 @@ private:
     std::once_flag Once;
     std::shared_ptr<const MaterializedTrace> Trace; ///< null = fallback key
   };
+  struct MmapEntry {
+    std::once_flag Once;
+    std::shared_ptr<const MappedTrace> Trace; ///< null = not mmap-servable
+  };
 
   /// Injective byte-string key over every stream-relevant field.
   static std::string keyOf(const WorkloadSpec &Spec,
@@ -176,6 +200,19 @@ private:
                  const InputConfig &Input);
   std::shared_ptr<const MaterializedTrace>
   loadFromDisk(const std::string &Path);
+  /// The disk-tier cache file path for \p Key (empty without a CacheDir).
+  std::string cachePathOf(const std::string &Key) const;
+  /// True when opens should try the zero-copy mmap tier.
+  bool mmapEnabled() const;
+  /// The shared mapping for (Spec, Input) -- mapping the cache file on a
+  /// hit, stream-generating an aligned file and mapping it on a miss.
+  /// Returns nullptr when the key cannot be served via mmap (unencodable
+  /// trace, disk failure); the caller falls back to the resident path.
+  std::shared_ptr<const MappedTrace> mapFor(const WorkloadSpec &Spec,
+                                            const InputConfig &Input);
+  std::shared_ptr<const MappedTrace> mapKey(const std::string &Key,
+                                            const WorkloadSpec &Spec,
+                                            const InputConfig &Input);
   /// Indexes and validates the SCT2 image in Trace->Image (checksums +
   /// full decode).  Returns false on any inconsistency.
   static bool indexAndVerify(MaterializedTrace &Trace, bool VerifyPayload);
@@ -183,6 +220,7 @@ private:
   Config Cfg;
   mutable std::mutex Mutex;
   std::unordered_map<std::string, std::unique_ptr<Entry>> Entries;
+  std::unordered_map<std::string, std::unique_ptr<MmapEntry>> MmapEntries;
   TraceArenaStats Stats; ///< guarded by Mutex
 };
 

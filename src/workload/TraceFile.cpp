@@ -99,14 +99,17 @@ uint64_t workload::writeTrace(std::ostream &OS, TraceGenerator &Gen) {
 
 TraceWriterV2::TraceWriterV2(std::ostream &OS, uint32_t NumSites,
                              uint64_t TotalEvents, uint32_t MinGap,
-                             uint32_t MaxGap, uint32_t BlockEvents)
-    : OS(OS), BlockEvents(BlockEvents ? BlockEvents : TraceV2BlockEvents) {
+                             uint32_t MaxGap, uint32_t BlockEvents,
+                             uint32_t AlignBytes)
+    : OS(OS), BlockEvents(BlockEvents ? BlockEvents : TraceV2BlockEvents),
+      AlignBytes(AlignBytes) {
   OS.write(MagicV2, 4);
   putU32(OS, NumSites);
   putU64(OS, TotalEvents);
   putU32(OS, MinGap);
   putU32(OS, MaxGap);
   putU32(OS, this->BlockEvents);
+  Offset = TraceV2HeaderBytes;
   // Sized for the worst-case block up front so append() can emit through a
   // raw pointer with no per-byte capacity checks.
   Payload.resize(static_cast<size_t>(this->BlockEvents) * MaxEventBytes);
@@ -115,13 +118,34 @@ TraceWriterV2::TraceWriterV2(std::ostream &OS, uint32_t NumSites,
 void TraceWriterV2::flushBlock() {
   if (BlockCount == 0)
     return;
+  if (AlignBytes) {
+    // Pad so this block's frame starts on an AlignBytes boundary.  A gap
+    // too small to hold the 16-byte pad frame spills to the next boundary.
+    uint64_t Gap = (AlignBytes - Offset % AlignBytes) % AlignBytes;
+    if (Gap != 0 && Gap < TraceV2FrameBytes)
+      Gap += AlignBytes;
+    if (Gap != 0) {
+      putU32(OS, 0); // event count 0 marks a pad frame
+      putU32(OS, static_cast<uint32_t>(Gap - TraceV2FrameBytes));
+      putU64(OS, TraceV2PadMagic);
+      static constexpr char Zeros[512] = {};
+      for (uint64_t Left = Gap - TraceV2FrameBytes; Left != 0;) {
+        const uint64_t N = std::min<uint64_t>(Left, sizeof(Zeros));
+        OS.write(Zeros, static_cast<std::streamsize>(N));
+        Left -= N;
+      }
+      Offset += Gap;
+      PadBytes += Gap;
+    }
+  }
   putU32(OS, BlockCount);
   putU32(OS, static_cast<uint32_t>(PayloadBytes));
   putU64(OS, hash64(Payload.data(), PayloadBytes));
   OS.write(reinterpret_cast<const char *>(Payload.data()),
            static_cast<std::streamsize>(PayloadBytes));
   Written += BlockCount;
-  EncodedBytes += 16 + PayloadBytes; // frame (count, bytes, checksum)
+  EncodedBytes += TraceV2FrameBytes + PayloadBytes;
+  Offset += TraceV2FrameBytes + PayloadBytes;
   ++Blocks;
   BlockCount = 0;
   PrevSite = 0;
@@ -175,10 +199,11 @@ bool TraceWriterV2::finish() {
 }
 
 uint64_t workload::writeTraceV2(std::ostream &OS, TraceGenerator &Gen,
-                                uint32_t BlockEvents) {
+                                uint32_t BlockEvents, uint32_t AlignBytes) {
   TraceWriterV2 Writer(OS, Gen.spec().numSites(),
                        Gen.totalEvents() - Gen.eventsGenerated(),
-                       Gen.spec().MinGap, Gen.spec().MaxGap, BlockEvents);
+                       Gen.spec().MinGap, Gen.spec().MaxGap, BlockEvents,
+                       AlignBytes);
   std::vector<BranchEvent> Chunk(BlockEvents ? BlockEvents
                                              : TraceV2BlockEvents);
   while (const size_t N = Gen.nextBatch(Chunk))
@@ -193,69 +218,42 @@ uint64_t workload::writeTraceV2(std::ostream &OS, TraceGenerator &Gen,
 
 namespace {
 
-/// The shared decode loop.  Checked instantiation: every bound and range
-/// validated, counters committed only on whole-block success (untrusted
-/// input -- the file reader, arena verification).  Trusted instantiation:
-/// no validation at all (the arena replay cursor, whose blocks were fully
-/// verified or writer-produced at materialization time); the hot loop then
-/// reduces to a one-byte-varint fast path plus straight stores.
+/// The checked decode loop: every bound and range validated, counters
+/// committed only on whole-block success (untrusted input -- the file
+/// reader, arena/mmap first-touch verification).
 ///
-/// The checked path does site arithmetic in uint32 like the trusted one:
-/// sites are < 2^24 and |unzigzag delta| <= 2^31, so a negative or
-/// overflowing int64 site can never wrap back into [0, NumSites) -- the
-/// single unsigned compare is exactly equivalent to the signed range pair.
-template <bool Trusted>
-bool decodeBlockImpl(const uint8_t *P, const uint8_t *End,
-                     uint32_t EventCount, uint32_t NumSites,
-                     uint64_t &NextIndex, uint64_t &InstRet,
-                     BranchEvent *Out) {
+/// Site arithmetic is done in uint32 like the trusted path: sites are
+/// < 2^24 and |unzigzag delta| <= 2^31, so a negative or overflowing
+/// int64 site can never wrap back into [0, NumSites) -- the single
+/// unsigned compare is exactly equivalent to the signed range pair.
+bool decodeBlockChecked(const uint8_t *P, const uint8_t *End,
+                        uint32_t EventCount, uint32_t NumSites,
+                        uint64_t &NextIndex, uint64_t &InstRet,
+                        BranchEvent *Out) {
   uint64_t Index = NextIndex;
   uint64_t Inst = InstRet;
   uint32_t PrevSite = 0;
   for (uint32_t I = 0; I < EventCount; ++I) {
-    uint32_t Delta;
-    if (Trusted) {
-      // Branchless 1/2-byte fast path.  Both loads are always in bounds:
-      // a one-byte varint is followed by the packed byte, so P[1] exists
-      // either way.  Wide-site workloads alternate varint lengths event
-      // to event, which the predictor cannot learn -- masking the second
-      // byte in unconditionally beats a mispredicting length branch.
-      const uint32_t B0 = P[0];
-      const uint32_t B1 = P[1];
-      const uint32_t More = B0 >> 7;
-      Delta = (B0 & 0x7F) | (((B1 & 0x7F) << 7) & (0u - More));
-      P += 1 + More;
-      if (More & (B1 >> 7)) { // rare >= 3-byte continuation
-        unsigned Shift = 14;
-        uint32_t Byte;
-        do {
-          Byte = *P++;
-          Delta |= (Byte & 0x7F) << Shift;
-          Shift += 7;
-        } while (Byte & 0x80);
-      }
-    } else {
-      // Shortest event: one varint byte + the packed taken/gap byte.
-      if (End - P < 2)
-        return false;
-      uint32_t Byte = *P++;
-      Delta = Byte & 0x7F;
-      if (Byte & 0x80) {
-        unsigned Shift = 7;
-        do {
-          if (P == End || Shift >= 35)
-            return false;
-          Byte = *P++;
-          Delta |= (Byte & 0x7F) << Shift;
-          Shift += 7;
-        } while (Byte & 0x80);
-        if (P == End) // the packed byte must still follow
+    // Shortest event: one varint byte + the packed taken/gap byte.
+    if (End - P < 2)
+      return false;
+    uint32_t Byte = *P++;
+    uint32_t Delta = Byte & 0x7F;
+    if (Byte & 0x80) {
+      unsigned Shift = 7;
+      do {
+        if (P == End || Shift >= 35)
           return false;
-      }
+        Byte = *P++;
+        Delta |= (Byte & 0x7F) << Shift;
+        Shift += 7;
+      } while (Byte & 0x80);
+      if (P == End) // the packed byte must still follow
+        return false;
     }
     const uint32_t Site =
         PrevSite + static_cast<uint32_t>(unzigzag(Delta));
-    if (!Trusted && Site >= NumSites)
+    if (Site >= NumSites)
       return false;
     const uint32_t Packed = *P++;
     BranchEvent &E = Out[I];
@@ -267,11 +265,61 @@ bool decodeBlockImpl(const uint8_t *P, const uint8_t *End,
     E.InstRet = Inst;
     PrevSite = Site;
   }
-  if (!Trusted && P != End)
+  if (P != End)
     return false;
   NextIndex = Index;
   InstRet = Inst;
   return true;
+}
+
+/// One trusted event at \p P; returns the byte after it.  The scalar step
+/// shared by the scalar baseline decoder, the SWAR tail, and the SWAR
+/// rare-continuation path.
+///
+/// Branchless 1/2-byte fast path.  Both loads are always in bounds: a
+/// one-byte varint is followed by the packed byte, so P[1] exists either
+/// way.  Wide-site workloads alternate varint lengths event to event,
+/// which the predictor cannot learn -- masking the second byte in
+/// unconditionally beats a mispredicting length branch.
+inline const uint8_t *decodeOneTrusted(const uint8_t *P, uint32_t &PrevSite,
+                                       uint64_t &Index, uint64_t &Inst,
+                                       BranchEvent &E) {
+  const uint32_t B0 = P[0];
+  const uint32_t B1 = P[1];
+  const uint32_t More = B0 >> 7;
+  uint32_t Delta = (B0 & 0x7F) | (((B1 & 0x7F) << 7) & (0u - More));
+  P += 1 + More;
+  if (More & (B1 >> 7)) { // rare >= 3-byte continuation
+    unsigned Shift = 14;
+    uint32_t Byte;
+    do {
+      Byte = *P++;
+      Delta |= (Byte & 0x7F) << Shift;
+      Shift += 7;
+    } while (Byte & 0x80);
+  }
+  const uint32_t Site = PrevSite + static_cast<uint32_t>(unzigzag(Delta));
+  const uint32_t Packed = *P++;
+  E.Site = Site;
+  E.Taken = (Packed >> 7) != 0;
+  E.Gap = Packed & 0x7F;
+  E.Index = Index++;
+  Inst += (Packed & 0x7F) + 1;
+  E.InstRet = Inst;
+  PrevSite = Site;
+  return P;
+}
+
+/// Unaligned little-endian 8-byte load (byte-swapped on big-endian hosts
+/// so the SWAR lane math below is endian-independent).
+inline uint64_t load64le(const uint8_t *P) {
+  uint64_t V;
+  std::memcpy(&V, P, 8);
+#if defined(__BYTE_ORDER__) && defined(__ORDER_BIG_ENDIAN__) &&                \
+    __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  V = __builtin_bswap64(V);
+#endif
+  return V;
 }
 
 } // namespace
@@ -281,8 +329,8 @@ bool workload::decodeTraceBlockPayload(const uint8_t *Payload,
                                        uint32_t EventCount, uint32_t NumSites,
                                        uint64_t &NextIndex, uint64_t &InstRet,
                                        BranchEvent *Out) {
-  return decodeBlockImpl<false>(Payload, Payload + PayloadBytes, EventCount,
-                                NumSites, NextIndex, InstRet, Out);
+  return decodeBlockChecked(Payload, Payload + PayloadBytes, EventCount,
+                            NumSites, NextIndex, InstRet, Out);
 }
 
 void workload::decodeTraceBlockPayloadTrusted(const uint8_t *Payload,
@@ -291,8 +339,105 @@ void workload::decodeTraceBlockPayloadTrusted(const uint8_t *Payload,
                                               uint64_t &NextIndex,
                                               uint64_t &InstRet,
                                               BranchEvent *Out) {
-  decodeBlockImpl<true>(Payload, Payload + PayloadBytes, EventCount, 0,
-                        NextIndex, InstRet, Out);
+  const uint8_t *P = Payload;
+  const uint8_t *const End = Payload + PayloadBytes;
+  uint64_t Index = NextIndex;
+  uint64_t Inst = InstRet;
+  uint32_t PrevSite = 0;
+  uint32_t I = 0;
+  // SWAR batch loop: one 8-byte load holding four complete 1-byte-varint
+  // events (varint starts at byte offsets 0/2/4/6; the mask tests exactly
+  // their continuation bits, never the packed bytes' taken bits, and
+  // fails the moment any varint spills, so the lane layout below always
+  // holds).  Every lane shift is a constant and the pointer advances by a
+  // constant 8, so consecutive loads pipeline instead of waiting on the
+  // previous iteration's length computation -- this is where the SWAR
+  // decoder earns its speedup on the Zipf-clustered suite traces, where
+  // almost every site delta fits one varint byte.  A quad miss (a wide
+  // delta somewhere in the window) decodes a single event through the
+  // branchless scalar step and re-tests.  The >= 16-byte guard keeps the
+  // wide load -- and that scalar step -- strictly inside the payload,
+  // which matters for mmap'd blocks decoded in place: bytes past the
+  // payload may be beyond the mapping.
+  while (I + 4 <= EventCount && End - P >= 16) {
+    const uint64_t W = load64le(P);
+    if ((W & 0x0080008000800080ull) == 0) {
+      const uint32_t S0 =
+          PrevSite + static_cast<uint32_t>(
+                         unzigzag(static_cast<uint32_t>(W) & 0x7F));
+      const uint32_t S1 =
+          S0 + static_cast<uint32_t>(
+                   unzigzag(static_cast<uint32_t>(W >> 16) & 0x7F));
+      const uint32_t S2 =
+          S1 + static_cast<uint32_t>(
+                   unzigzag(static_cast<uint32_t>(W >> 32) & 0x7F));
+      const uint32_t S3 =
+          S2 + static_cast<uint32_t>(
+                   unzigzag(static_cast<uint32_t>(W >> 48) & 0x7F));
+      const uint32_t Pk0 = static_cast<uint32_t>(W >> 8) & 0xFF;
+      const uint32_t Pk1 = static_cast<uint32_t>(W >> 24) & 0xFF;
+      const uint32_t Pk2 = static_cast<uint32_t>(W >> 40) & 0xFF;
+      const uint32_t Pk3 = static_cast<uint32_t>(W >> 56) & 0xFF;
+      BranchEvent &E0 = Out[I];
+      E0.Site = S0;
+      E0.Taken = (Pk0 >> 7) != 0;
+      E0.Gap = Pk0 & 0x7F;
+      E0.Index = Index++;
+      Inst += (Pk0 & 0x7F) + 1;
+      E0.InstRet = Inst;
+      BranchEvent &E1 = Out[I + 1];
+      E1.Site = S1;
+      E1.Taken = (Pk1 >> 7) != 0;
+      E1.Gap = Pk1 & 0x7F;
+      E1.Index = Index++;
+      Inst += (Pk1 & 0x7F) + 1;
+      E1.InstRet = Inst;
+      BranchEvent &E2 = Out[I + 2];
+      E2.Site = S2;
+      E2.Taken = (Pk2 >> 7) != 0;
+      E2.Gap = Pk2 & 0x7F;
+      E2.Index = Index++;
+      Inst += (Pk2 & 0x7F) + 1;
+      E2.InstRet = Inst;
+      BranchEvent &E3 = Out[I + 3];
+      E3.Site = S3;
+      E3.Taken = (Pk3 >> 7) != 0;
+      E3.Gap = Pk3 & 0x7F;
+      E3.Index = Index++;
+      Inst += (Pk3 & 0x7F) + 1;
+      E3.InstRet = Inst;
+      PrevSite = S3;
+      P += 8;
+      I += 4;
+      continue;
+    }
+    // Quad miss: a multi-byte varint somewhere in the window.  One scalar
+    // event (it knows the continuation encoding) and re-test -- on
+    // wide-site traces this degenerates to the scalar decoder's speed
+    // rather than paying a variable-shift lane extraction that is slower
+    // than the scalar step on every tested host.
+    P = decodeOneTrusted(P, PrevSite, Index, Inst, Out[I]);
+    ++I;
+  }
+  // Scalar tail: the final events the 16-byte guard excluded.
+  for (; I < EventCount; ++I)
+    P = decodeOneTrusted(P, PrevSite, Index, Inst, Out[I]);
+  NextIndex = Index;
+  InstRet = Inst;
+}
+
+void workload::decodeTraceBlockPayloadTrustedScalar(
+    const uint8_t *Payload, size_t PayloadBytes, uint32_t EventCount,
+    uint64_t &NextIndex, uint64_t &InstRet, BranchEvent *Out) {
+  const uint8_t *P = Payload;
+  (void)PayloadBytes; // delimits the encoding; trusted decode never checks
+  uint64_t Index = NextIndex;
+  uint64_t Inst = InstRet;
+  uint32_t PrevSite = 0;
+  for (uint32_t I = 0; I < EventCount; ++I)
+    P = decodeOneTrusted(P, PrevSite, Index, Inst, Out[I]);
+  NextIndex = Index;
+  InstRet = Inst;
 }
 
 //===----------------------------------------------------------------------===//
@@ -338,15 +483,36 @@ bool TraceFileReader::refillBlock() {
 
   uint32_t BlockN = 0, PayloadBytes = 0;
   uint64_t Checksum = 0;
-  if (!getU32(IS, BlockN)) {
-    Truncated = true; // stream ended between blocks
-    return false;
+  for (;;) {
+    if (!getU32(IS, BlockN)) {
+      Truncated = true; // stream ended between blocks
+      return false;
+    }
+    if (!getU32(IS, PayloadBytes) || !getU64(IS, Checksum)) {
+      Truncated = true;
+      return false;
+    }
+    if (BlockN != 0) // a zero event count marks an alignment pad frame
+      break;
+    // A pad must carry the sentinel and an all-zero payload -- a corrupted
+    // real block (event count flipped to zero) is rejected here, never
+    // silently skipped.
+    if (Checksum != TraceV2PadMagic || PayloadBytes > TraceV2MaxPadBytes) {
+      fail("malformed trace pad frame");
+      return false;
+    }
+    Payload.resize(PayloadBytes);
+    if (!IS.read(reinterpret_cast<char *>(Payload.data()), PayloadBytes)) {
+      Truncated = true; // stream ended inside a pad
+      return false;
+    }
+    if (std::any_of(Payload.begin(), Payload.end(),
+                    [](uint8_t B) { return B != 0; })) {
+      fail("malformed trace pad frame");
+      return false;
+    }
   }
-  if (!getU32(IS, PayloadBytes) || !getU64(IS, Checksum)) {
-    Truncated = true;
-    return false;
-  }
-  if (BlockN == 0 || BlockN > BlockEvents ||
+  if (BlockN > BlockEvents ||
       BlockN > TotalEvents - NextIndex ||
       PayloadBytes < 2 * static_cast<uint64_t>(BlockN) ||
       PayloadBytes > MaxEventBytes * static_cast<uint64_t>(BlockN)) {
@@ -456,12 +622,14 @@ size_t TraceFileReader::nextBatch(std::span<BranchEvent> Buffer) {
 
 uint64_t workload::migrateTrace(std::istream &In, std::ostream &Out,
                                 uint32_t BlockEvents,
-                                TraceMigrateStats *Stats) {
+                                TraceMigrateStats *Stats,
+                                uint32_t AlignBytes) {
   TraceFileReader Reader(In);
   if (!Reader.valid())
     return 0;
   TraceWriterV2 Writer(Out, Reader.numSites(), Reader.totalEvents(),
-                       Reader.minGap(), Reader.maxGap(), BlockEvents);
+                       Reader.minGap(), Reader.maxGap(), BlockEvents,
+                       AlignBytes);
   std::vector<BranchEvent> Chunk(BlockEvents ? BlockEvents
                                              : TraceV2BlockEvents);
   while (const size_t N = Reader.nextBatch(Chunk))
@@ -477,6 +645,7 @@ uint64_t workload::migrateTrace(std::istream &In, std::ostream &Out,
     Stats->Events = Writer.eventsWritten();
     Stats->Blocks = Writer.blocksWritten();
     Stats->EncodedBytes = Writer.encodedBytes();
+    Stats->PadBytes = Writer.padBytes();
     Stats->CompressionVsV1 = Writer.compressionVsV1();
   }
   return Writer.eventsWritten();

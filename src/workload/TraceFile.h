@@ -54,6 +54,29 @@ struct TraceFileLimits {
 /// block decode fills one arena buffer).
 inline constexpr uint32_t TraceV2BlockEvents = 4096;
 
+/// SCT2 fixed-layout sizes, shared by every component that walks the
+/// format directly (file reader, trace arena, mmap store, --stats).
+/// Header: magic + sites + total events + min/max gap + block events.
+inline constexpr size_t TraceV2HeaderBytes = 4 + 4 + 8 + 4 + 4 + 4;
+/// Per-block frame: event count + payload bytes + XXH64 checksum.
+inline constexpr size_t TraceV2FrameBytes = 4 + 4 + 8;
+/// Default alignment for mmap-friendly files: each block frame starts on
+/// a page boundary (pad frames fill the gaps), so block-granular madvise
+/// and in-place decode never straddle an unrelated block's pages.
+inline constexpr uint32_t TraceV2AlignBytes = 4096;
+
+/// A v2 frame whose event count is zero is a *pad frame*: PayloadBytes of
+/// zeros carrying no events.  Writers emit pads to page-align block
+/// frames; every reader skips them.  Pre-alignment files never contain
+/// pads, so the extension is backward compatible.  A pad's checksum field
+/// holds TraceV2PadMagic and its payload must be all zeros -- both are
+/// verified on read, so a bit flip that zeroes a real block's event count
+/// (or corrupts a pad into a block) is still rejected, never skipped.
+inline constexpr uint32_t TraceV2MaxPadBytes = 1u << 20;
+/// "SCT2PAD\0", little-endian: the sentinel a pad frame stores where a
+/// block frame stores its XXH64 payload checksum.
+inline constexpr uint64_t TraceV2PadMagic = 0x0044415032544353ull;
+
 /// Drains \p Gen to \p OS in SCT1 format.  Returns the number of events
 /// written, or 0 on failure (an event exceeded the format limits or the
 /// stream went bad).
@@ -71,22 +94,40 @@ bool decodeTraceBlockPayload(const uint8_t *Payload, size_t PayloadBytes,
                              BranchEvent *Out);
 
 /// Validation-free variant of decodeTraceBlockPayload for payloads already
-/// proven well-formed (the arena replay path: images come straight from
-/// TraceWriterV2 or were fully decoded+checksummed at load time).  Same
-/// event reconstruction, no bounds or range checks, cannot fail; the
-/// payload size only delimits the encoded bytes and is never re-validated.
+/// proven well-formed (the arena/mmap replay paths: images come straight
+/// from TraceWriterV2 or were fully decoded+checksummed before the first
+/// trusted decode).  Same event reconstruction, no bounds or range checks,
+/// cannot fail; the payload size only delimits the encoded bytes and is
+/// never re-validated.  Implementation is the SWAR batch decoder: four
+/// events per 8-byte load on the 1-byte varint fast path, falling back to
+/// the scalar step per event when a wide site delta breaks the lane
+/// layout (the scalar loop remains available below as the benchmark
+/// baseline).
 void decodeTraceBlockPayloadTrusted(const uint8_t *Payload,
                                     size_t PayloadBytes, uint32_t EventCount,
                                     uint64_t &NextIndex, uint64_t &InstRet,
                                     BranchEvent *Out);
 
+/// The pre-SWAR scalar trusted decoder (branchless 1/2-byte fast path, one
+/// event per iteration).  Bit-identical output to the SWAR decoder; kept
+/// as the `bench/trace_decode` baseline and as the portability fallback.
+void decodeTraceBlockPayloadTrustedScalar(const uint8_t *Payload,
+                                          size_t PayloadBytes,
+                                          uint32_t EventCount,
+                                          uint64_t &NextIndex,
+                                          uint64_t &InstRet, BranchEvent *Out);
+
 /// Streaming SCT2 writer: construct with the header facts, append event
 /// chunks (any chunking -- block framing is internal), then finish().
+/// With \p AlignBytes nonzero every block frame is preceded by a pad
+/// frame sized to start it on an AlignBytes boundary (the mmap-friendly
+/// layout; see TraceV2AlignBytes).
 class TraceWriterV2 {
 public:
   TraceWriterV2(std::ostream &OS, uint32_t NumSites, uint64_t TotalEvents,
                 uint32_t MinGap, uint32_t MaxGap,
-                uint32_t BlockEvents = TraceV2BlockEvents);
+                uint32_t BlockEvents = TraceV2BlockEvents,
+                uint32_t AlignBytes = 0);
 
   /// Appends events to the current block, flushing full blocks.  Returns
   /// false if an event exceeded format limits or the stream went bad.
@@ -96,9 +137,12 @@ public:
   bool finish();
 
   uint64_t eventsWritten() const { return Written; }
-  /// Block bytes emitted so far (framing + payload, header excluded).
+  /// Block bytes emitted so far (framing + payload, header excluded;
+  /// alignment pads are accounted separately in padBytes()).
   uint64_t encodedBytes() const { return EncodedBytes; }
   uint64_t blocksWritten() const { return Blocks; }
+  /// Alignment pad bytes emitted so far (frames + zero payloads).
+  uint64_t padBytes() const { return PadBytes; }
   /// Compression achieved vs the 4 B/event v1 encoding, averaged over the
   /// blocks written so far (e.g. 2.0 = half the bytes).
   double compressionVsV1() const {
@@ -112,20 +156,25 @@ private:
 
   std::ostream &OS;
   uint32_t BlockEvents;
+  uint32_t AlignBytes;            ///< 0 = packed layout (no pad frames)
   std::vector<uint8_t> Payload;   ///< worst-case-sized block encode buffer
   size_t PayloadBytes = 0;        ///< encoded bytes in the current block
   uint32_t BlockCount = 0;        ///< events in the current block
   uint32_t PrevSite = 0;          ///< delta base within the current block
   uint64_t Written = 0;
   uint64_t EncodedBytes = 0;
+  uint64_t PadBytes = 0;
+  uint64_t Offset = 0;            ///< stream bytes emitted (header included)
   uint64_t Blocks = 0;
   bool Ok = true;
 };
 
 /// Drains \p Gen to \p OS in SCT2 format via the batched generator path.
-/// Returns events written, or 0 on failure.
+/// Returns events written, or 0 on failure.  Nonzero \p AlignBytes emits
+/// the pad-framed mmap-friendly layout.
 uint64_t writeTraceV2(std::ostream &OS, TraceGenerator &Gen,
-                      uint32_t BlockEvents = TraceV2BlockEvents);
+                      uint32_t BlockEvents = TraceV2BlockEvents,
+                      uint32_t AlignBytes = 0);
 
 /// Streams a recorded trace (either format, auto-detected) back as
 /// BranchEvents.  The batched nextBatch path decodes v2 one whole
@@ -184,6 +233,7 @@ struct TraceMigrateStats {
   uint64_t Events = 0;       ///< events rewritten
   uint64_t Blocks = 0;       ///< v2 blocks emitted
   uint64_t EncodedBytes = 0; ///< block bytes (framing + payload)
+  uint64_t PadBytes = 0;     ///< alignment pad bytes (aligned layout only)
   /// Compression vs the 4 B/event v1 encoding (per-block average).
   double CompressionVsV1 = 0.0;
 };
@@ -191,10 +241,12 @@ struct TraceMigrateStats {
 /// Reads a trace in either format from \p In and rewrites it as SCT2 to
 /// \p Out.  Returns events migrated, or 0 on failure (invalid, truncated,
 /// or corrupt input; write error).  \p Stats, when non-null, receives the
-/// encoding accounting of a successful migration.
+/// encoding accounting of a successful migration.  Nonzero \p AlignBytes
+/// emits the pad-framed mmap-friendly layout.
 uint64_t migrateTrace(std::istream &In, std::ostream &Out,
                       uint32_t BlockEvents = TraceV2BlockEvents,
-                      TraceMigrateStats *Stats = nullptr);
+                      TraceMigrateStats *Stats = nullptr,
+                      uint32_t AlignBytes = 0);
 
 } // namespace workload
 } // namespace specctrl

@@ -3,9 +3,16 @@
 #include "core/Driver.h"
 
 #include "core/ReactiveController.h"
+#include "support/RunConfig.h"
+#include "workload/TraceFile.h"
+#include "workload/TraceGenerator.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
 #include <type_traits>
 #include <vector>
 
@@ -147,4 +154,39 @@ TEST(DriverTest, MetricsCountEventsAndChunks) {
     EXPECT_EQ(Metrics.Events, Spec.RefEvents);
     EXPECT_EQ(Metrics.Batches, Spec.RefEvents); // per-event reference path
   }
+}
+
+TEST(DriverTest, RunTraceFileMatchesGeneratorViaBothTiers) {
+  const WorkloadSpec Spec = twoSiteSpec();
+  const std::string Path =
+      (std::filesystem::temp_directory_path() / "drv_runtracefile.sct2")
+          .string();
+  {
+    std::ofstream Out(Path, std::ios::binary);
+    TraceGenerator Gen(Spec, Spec.refInput());
+    ASSERT_GT(writeTraceV2(Out, Gen), 0u);
+  }
+
+  ReactiveConfig Cfg;
+  Cfg.MonitorPeriod = 1000;
+  Cfg.OptLatency = 0;
+  ReactiveController Reference(Cfg);
+  const ControlStats Want = runWorkload(Reference, Spec, Spec.refInput());
+
+  // Zero-copy mmap tier (the default) and the stream-reader fallback must
+  // both reproduce the generator's stats exactly.
+  const RunConfig Saved = RunConfig::global();
+  for (const bool Mmap : {true, false}) {
+    RunConfig Override = Saved;
+    Override.TraceMmap = Mmap;
+    RunConfig::setGlobal(Override);
+    ReactiveController C(Cfg);
+    EXPECT_EQ(runTraceFile(C, Path), Want) << "mmap=" << Mmap;
+  }
+  RunConfig::setGlobal(Saved);
+
+  ReactiveController C(Cfg);
+  EXPECT_THROW(runTraceFile(C, Path + ".does-not-exist"),
+               std::runtime_error);
+  std::remove(Path.c_str());
 }

@@ -1,0 +1,278 @@
+//===- tests/engine/ProcessPoolTest.cpp -----------------------------------===//
+//
+// The multi-process plan executor: fragment wire-format round trips,
+// corruption rejection, bit-identical results vs the in-process runner at
+// any worker count, cross-boundary failure isolation, plan-shape
+// rejection, and scratch-file hygiene.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ProcessPool.h"
+
+#include "core/ReactiveController.h"
+#include "workload/TraceArena.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+
+using namespace specctrl;
+using namespace specctrl::core;
+using namespace specctrl::engine;
+using namespace specctrl::workload;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+WorkloadSpec smallSpec(const char *Name, uint64_t Seed,
+                       uint64_t Events = 20000) {
+  WorkloadSpec Spec;
+  Spec.Name = Name;
+  Spec.Seed = Seed;
+  Spec.RefEvents = Events;
+  Spec.TrainEvents = Events / 2;
+  Spec.NumPhases = 1;
+  SiteSpec Biased;
+  Biased.Behavior = BehaviorSpec::fixed(0.999);
+  Biased.Weight = 3.0;
+  SiteSpec Noise;
+  Noise.Behavior = BehaviorSpec::fixed(0.5);
+  Noise.Weight = 1.0;
+  Spec.Sites = {Biased, Noise};
+  return Spec;
+}
+
+ReactiveConfig fastConfig() {
+  ReactiveConfig Cfg;
+  Cfg.MonitorPeriod = 1000;
+  Cfg.OptLatency = 0;
+  return Cfg;
+}
+
+ControllerFactory reactiveFactory() {
+  return [](const CellContext &) {
+    return std::make_unique<ReactiveController>(fastConfig());
+  };
+}
+
+ExperimentPlan smallPlan() {
+  ExperimentPlan Plan;
+  WorkloadSpec A = smallSpec("alpha", 1);
+  Plan.addBenchmark(A, {A.refInput(), A.trainInput()});
+  Plan.addBenchmark(smallSpec("beta", 2));
+  Plan.addConfig("one", reactiveFactory());
+  Plan.addConfig("two", reactiveFactory());
+  return Plan;
+}
+
+/// A fresh scratch directory, removed on scope exit.
+class TempDir {
+public:
+  TempDir() {
+    Path = fs::temp_directory_path() /
+           ("specctrl-pptest-" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)));
+    fs::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    fs::remove_all(Path, EC);
+  }
+  std::string str() const { return Path.string(); }
+
+private:
+  fs::path Path;
+};
+
+CellResult richCell() {
+  CellResult Cell;
+  Cell.Coord = {3, 1, 2};
+  Cell.Benchmark = "gzip";
+  Cell.Input = "ref";
+  Cell.Config = "baseline";
+  Cell.Seed = 0xfeedface12345678ull;
+  Cell.Stats.Branches = 123456;
+  Cell.Stats.LastInstRet = 98765432;
+  Cell.Stats.CorrectSpecs = 42000;
+  Cell.Stats.IncorrectSpecs = 17;
+  Cell.Stats.DeployRequests = 9;
+  Cell.Stats.RevokeRequests = 4;
+  Cell.Stats.SuppressedRequests = 2;
+  Cell.Stats.Evictions = 3;
+  Cell.Stats.Revisits = 5;
+  Cell.Stats.EventsConsumed = 123456;
+  Cell.Stats.Touched = {1, 0, 1, 1};
+  Cell.Stats.EverBiased = {1, 0, 0, 1};
+  Cell.Stats.SiteEvictions = {2, 0, 0, 1};
+  Cell.Stats.Transitions = {{0, 64, 12}, {3, 10, 10}};
+  Cell.Failed = false;
+  Cell.Events = 123456;
+  Cell.Batches = 31;
+  Cell.WallSeconds = 1.25;
+  Cell.QueueWaitSeconds = 0.125;
+  return Cell;
+}
+
+} // namespace
+
+TEST(ProcessPoolTest, FragmentRoundTripPreservesEveryField) {
+  const CellResult Cell = richCell();
+  const std::vector<uint8_t> Bytes = encodeCellFragment(Cell);
+
+  CellResult Out;
+  std::string Error;
+  ASSERT_TRUE(decodeCellFragment(Bytes, Out, Error)) << Error;
+  EXPECT_EQ(Out.Coord, Cell.Coord);
+  EXPECT_EQ(Out.Benchmark, Cell.Benchmark);
+  EXPECT_EQ(Out.Input, Cell.Input);
+  EXPECT_EQ(Out.Config, Cell.Config);
+  EXPECT_EQ(Out.Seed, Cell.Seed);
+  EXPECT_EQ(Out.Stats, Cell.Stats);
+  EXPECT_EQ(Out.Failed, Cell.Failed);
+  EXPECT_EQ(Out.Error, Cell.Error);
+  EXPECT_EQ(Out.Events, Cell.Events);
+  EXPECT_EQ(Out.Batches, Cell.Batches);
+  EXPECT_EQ(Out.WallSeconds, Cell.WallSeconds);
+  EXPECT_EQ(Out.QueueWaitSeconds, Cell.QueueWaitSeconds);
+}
+
+TEST(ProcessPoolTest, FragmentRoundTripPreservesFailure) {
+  CellResult Cell = richCell();
+  Cell.Failed = true;
+  Cell.Error = "deliberate cell failure";
+  const std::vector<uint8_t> Bytes = encodeCellFragment(Cell);
+
+  CellResult Out;
+  std::string Error;
+  ASSERT_TRUE(decodeCellFragment(Bytes, Out, Error)) << Error;
+  EXPECT_TRUE(Out.Failed);
+  EXPECT_EQ(Out.Error, "deliberate cell failure");
+}
+
+TEST(ProcessPoolTest, FragmentRejectsCorruptionAndTruncation) {
+  const std::vector<uint8_t> Bytes = encodeCellFragment(richCell());
+
+  CellResult Out;
+  std::string Error;
+  // Every single-byte flip must be rejected (checksummed frame).
+  for (size_t I = 0; I < Bytes.size(); I += 7) {
+    std::vector<uint8_t> Bad = Bytes;
+    Bad[I] ^= 0x20;
+    EXPECT_FALSE(decodeCellFragment(Bad, Out, Error))
+        << "flip at byte " << I << " was accepted";
+  }
+  // Truncation at any prefix length must be rejected, not overrun.
+  for (size_t Len = 0; Len < Bytes.size(); Len += 13)
+    EXPECT_FALSE(decodeCellFragment(
+        std::span<const uint8_t>(Bytes.data(), Len), Out, Error));
+}
+
+TEST(ProcessPoolTest, MatchesInProcessRunBitIdentically) {
+  const ExperimentPlan Plan = smallPlan();
+  const RunReport Serial = runPlan(Plan, {.Jobs = 1});
+  ASSERT_EQ(Serial.failedCells(), 0u);
+
+  for (const unsigned Procs : {1u, 3u}) {
+    ProcessRunOptions Options;
+    Options.Procs = Procs;
+    const RunReport Forked = runPlanProcesses(Plan, Options);
+    ASSERT_EQ(Forked.Cells.size(), Serial.Cells.size());
+    EXPECT_EQ(Forked.failedCells(), 0u);
+    for (size_t I = 0; I < Serial.Cells.size(); ++I) {
+      const CellResult &S = Serial.Cells[I];
+      const CellResult &F = Forked.Cells[I];
+      EXPECT_EQ(F.Coord, S.Coord);
+      EXPECT_EQ(F.Benchmark, S.Benchmark);
+      EXPECT_EQ(F.Input, S.Input);
+      EXPECT_EQ(F.Config, S.Config);
+      EXPECT_EQ(F.Seed, S.Seed);
+      EXPECT_EQ(F.Stats, S.Stats)
+          << "procs=" << Procs << " diverged at cell " << I;
+      EXPECT_EQ(F.Events, S.Events);
+      EXPECT_EQ(F.Batches, S.Batches);
+    }
+  }
+}
+
+TEST(ProcessPoolTest, SharesDiskTierAcrossWorkers) {
+  // With a cache-dir arena the workers replay through the mmap store: the
+  // first to need a key publishes the aligned cache file, the rest map
+  // it.  Results must still match the in-process run exactly.
+  TempDir Cache;
+  ExperimentPlan Plan = smallPlan();
+  TraceArena::Config Cfg;
+  Cfg.CacheDir = Cache.str();
+  Plan.setTraceArena(std::make_shared<TraceArena>(std::move(Cfg)));
+
+  const RunReport Serial = runPlan(Plan, {.Jobs = 1});
+  ProcessRunOptions Options;
+  Options.Procs = 2;
+  const RunReport Forked = runPlanProcesses(Plan, Options);
+  ASSERT_EQ(Forked.failedCells(), 0u);
+  for (size_t I = 0; I < Serial.Cells.size(); ++I)
+    EXPECT_EQ(Forked.Cells[I].Stats, Serial.Cells[I].Stats);
+
+  // The workers left their materializations behind for the next run.
+  size_t CacheFiles = 0;
+  for (const fs::directory_entry &E : fs::directory_iterator(Cache.str()))
+    CacheFiles += E.path().extension() == ".sct2";
+  EXPECT_GT(CacheFiles, 0u);
+}
+
+TEST(ProcessPoolTest, FailedCellCrossesTheProcessBoundary) {
+  ExperimentPlan Plan = smallPlan();
+  Plan.addConfig("broken", [](const CellContext &)
+                     -> std::unique_ptr<SpeculationController> {
+    throw std::runtime_error("deliberate cell failure");
+  });
+
+  ProcessRunOptions Options;
+  Options.Procs = 2;
+  const RunReport Report = runPlanProcesses(Plan, Options);
+  ASSERT_EQ(Report.Cells.size(), 9u);
+  for (const CellResult &Cell : Report.Cells) {
+    if (Cell.Config == "broken") {
+      EXPECT_TRUE(Cell.Failed);
+      EXPECT_NE(Cell.Error.find("deliberate cell failure"),
+                std::string::npos)
+          << Cell.Error;
+    } else {
+      EXPECT_FALSE(Cell.Failed) << Cell.Error;
+    }
+  }
+}
+
+TEST(ProcessPoolTest, RejectsPlansThatCannotCrossTheBoundary) {
+  {
+    ExperimentPlan Plan = smallPlan();
+    Plan.addTaskConfig("task", [](const CellContext &) {
+      return std::any(42);
+    });
+    EXPECT_THROW(runPlanProcesses(Plan), std::invalid_argument);
+  }
+  {
+    ExperimentPlan Plan = smallPlan();
+    Plan.setObserverFactory([](const CellContext &) {
+      return std::unique_ptr<core::TraceObserver>();
+    });
+    EXPECT_THROW(runPlanProcesses(Plan), std::invalid_argument);
+  }
+}
+
+TEST(ProcessPoolTest, CallerWorkDirIsSweptClean) {
+  TempDir Work;
+  const ExperimentPlan Plan = smallPlan();
+  ProcessRunOptions Options;
+  Options.Procs = 2;
+  Options.WorkDir = Work.str();
+  const RunReport Report = runPlanProcesses(Plan, Options);
+  EXPECT_EQ(Report.failedCells(), 0u);
+
+  // The directory itself is the caller's; the pool's index and fragments
+  // must be gone.
+  EXPECT_TRUE(fs::exists(Work.str()));
+  EXPECT_TRUE(fs::is_empty(Work.str()));
+}

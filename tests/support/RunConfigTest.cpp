@@ -44,11 +44,12 @@ public:
   }
 
 private:
-  static constexpr const char *Names[7] = {
+  static constexpr const char *Names[9] = {
       "SPECCTRL_VERIFY",        "SPECCTRL_VERIFY_DISTILL",
       "SPECCTRL_ARENA_VERBOSE", "SPECCTRL_ARENA_DEBUG",
       "SPECCTRL_EXEC_TIER",     "SPECCTRL_SERVE_EPOCH_EVENTS",
-      "SPECCTRL_SERVE_RING_EVENTS"};
+      "SPECCTRL_SERVE_RING_EVENTS", "SPECCTRL_TRACE_MMAP",
+      "SPECCTRL_SWEEP_PROCS"};
   std::vector<std::pair<const char *, std::string>> Saved;
   std::vector<bool> HadValue;
 };
@@ -169,6 +170,30 @@ TEST(RunConfig, ServeKnobsRejectMalformedValuesWithWarning) {
       << Warnings;
   EXPECT_NE(Warnings.find("SPECCTRL_SERVE_RING_EVENTS=lots"),
             std::string::npos)
+      << Warnings;
+}
+
+TEST(RunConfig, TraceMmapDefaultsOnAndZeroDisables) {
+  ScopedEnv Env;
+  EXPECT_TRUE(RunConfig::fromEnv().TraceMmap) << "mmap tier defaults on";
+  Env.set("SPECCTRL_TRACE_MMAP", "0");
+  EXPECT_FALSE(RunConfig::fromEnv().TraceMmap);
+  Env.set("SPECCTRL_TRACE_MMAP", "1");
+  EXPECT_TRUE(RunConfig::fromEnv().TraceMmap);
+  Env.set("SPECCTRL_TRACE_MMAP", "");
+  EXPECT_FALSE(RunConfig::fromEnv().TraceMmap) << "explicit empty means off";
+}
+
+TEST(RunConfig, SweepProcsDefaultsAutoAndParses) {
+  ScopedEnv Env;
+  std::string Warnings;
+  EXPECT_EQ(RunConfig::fromEnv(&Warnings).SweepProcs, 0u) << "0 = auto";
+  Env.set("SPECCTRL_SWEEP_PROCS", "4");
+  EXPECT_EQ(RunConfig::fromEnv(&Warnings).SweepProcs, 4u);
+  EXPECT_TRUE(Warnings.empty()) << Warnings;
+  Env.set("SPECCTRL_SWEEP_PROCS", "many");
+  EXPECT_EQ(RunConfig::fromEnv(&Warnings).SweepProcs, 0u);
+  EXPECT_NE(Warnings.find("SPECCTRL_SWEEP_PROCS=many"), std::string::npos)
       << Warnings;
 }
 

@@ -195,8 +195,45 @@ TEST(TraceArenaTest, DiskTierRoundTripsAcrossArenaInstances) {
   TempDir Dir;
 
   {
+    // Cold: the mmap tier stream-generates a page-aligned cache file and
+    // serves it zero-copy -- nothing is materialized resident.
     TraceArena::Config Cfg;
     Cfg.CacheDir = Dir.str();
+    TraceArena Cold(std::move(Cfg));
+    const std::unique_ptr<EventSource> Source = Cold.open(Spec, Input);
+    expectStreamIdentity(*Source, Spec, Input, DefaultBatchEvents);
+    const TraceArenaStats S = Cold.stats();
+    EXPECT_EQ(S.MmapStores, 1u);
+    EXPECT_EQ(S.MmapLoads, 0u);
+    EXPECT_GT(S.MappedBytes, 0u);
+    EXPECT_EQ(S.Materializations, 0u);
+    EXPECT_EQ(S.ResidentBytes, 0u);
+  }
+
+  // A fresh arena (a later process) maps the same cache file -- no
+  // regeneration -- and the replayed stream is still bit-identical.
+  TraceArena::Config Cfg;
+  Cfg.CacheDir = Dir.str();
+  TraceArena Warm(std::move(Cfg));
+  const std::unique_ptr<EventSource> Source = Warm.open(Spec, Input);
+  expectStreamIdentity(*Source, Spec, Input, DefaultBatchEvents);
+  const TraceArenaStats S = Warm.stats();
+  EXPECT_EQ(S.MmapLoads, 1u);
+  EXPECT_EQ(S.MmapStores, 0u);
+  EXPECT_EQ(S.Materializations, 0u);
+  EXPECT_EQ(S.DiskLoads, 0u);
+  EXPECT_EQ(S.ResidentBytes, 0u);
+}
+
+TEST(TraceArenaTest, DiskTierResidentPathStillWorksWithMmapOff) {
+  const WorkloadSpec Spec = makeBenchmark("gzip", TestScale);
+  const InputConfig Input = Spec.refInput();
+  TempDir Dir;
+
+  {
+    TraceArena::Config Cfg;
+    Cfg.CacheDir = Dir.str();
+    Cfg.UseMmap = false;
     TraceArena Cold(std::move(Cfg));
     const std::unique_ptr<EventSource> Source = Cold.open(Spec, Input);
     expectStreamIdentity(*Source, Spec, Input, DefaultBatchEvents);
@@ -204,12 +241,12 @@ TEST(TraceArenaTest, DiskTierRoundTripsAcrossArenaInstances) {
     EXPECT_EQ(S.Materializations, 1u);
     EXPECT_EQ(S.DiskStores, 1u);
     EXPECT_EQ(S.DiskLoads, 0u);
+    EXPECT_EQ(S.MmapStores, 0u);
   }
 
-  // A fresh arena (a later process) serves the same key from disk --
-  // no regeneration -- and the replayed stream is still bit-identical.
   TraceArena::Config Cfg;
   Cfg.CacheDir = Dir.str();
+  Cfg.UseMmap = false;
   TraceArena Warm(std::move(Cfg));
   const std::unique_ptr<EventSource> Source = Warm.open(Spec, Input);
   expectStreamIdentity(*Source, Spec, Input, DefaultBatchEvents);
@@ -217,6 +254,52 @@ TEST(TraceArenaTest, DiskTierRoundTripsAcrossArenaInstances) {
   EXPECT_EQ(S.Materializations, 0u);
   EXPECT_EQ(S.DiskLoads, 1u);
   EXPECT_EQ(S.DiskStores, 0u);
+  EXPECT_EQ(S.MmapLoads, 0u);
+}
+
+TEST(TraceArenaTest, MmapTierReadsResidentTierFilesAndViceVersa) {
+  // The two tiers share one cache file per key: a packed file written by
+  // the resident path must serve zero-copy, and an aligned file written by
+  // the mmap path must load resident -- both bit-identical.
+  const WorkloadSpec Spec = makeBenchmark("gzip", TestScale);
+  const InputConfig Input = Spec.refInput();
+  TempDir Dir;
+
+  { // resident writes packed ...
+    TraceArena::Config Cfg;
+    Cfg.CacheDir = Dir.str();
+    Cfg.UseMmap = false;
+    TraceArena A(std::move(Cfg));
+    (void)A.materialize(Spec, Input);
+    EXPECT_EQ(A.stats().DiskStores, 1u);
+  }
+  { // ... mmap maps it
+    TraceArena::Config Cfg;
+    Cfg.CacheDir = Dir.str();
+    TraceArena B(std::move(Cfg));
+    const std::unique_ptr<EventSource> Source = B.open(Spec, Input);
+    expectStreamIdentity(*Source, Spec, Input, 257);
+    EXPECT_EQ(B.stats().MmapLoads, 1u);
+  }
+
+  TempDir Dir2;
+  { // mmap writes aligned ...
+    TraceArena::Config Cfg;
+    Cfg.CacheDir = Dir2.str();
+    TraceArena C(std::move(Cfg));
+    const std::unique_ptr<EventSource> Source = C.open(Spec, Input);
+    expectStreamIdentity(*Source, Spec, Input, DefaultBatchEvents);
+    EXPECT_EQ(C.stats().MmapStores, 1u);
+  }
+  { // ... resident loads it (pad frames skipped)
+    TraceArena::Config Cfg;
+    Cfg.CacheDir = Dir2.str();
+    Cfg.UseMmap = false;
+    TraceArena D(std::move(Cfg));
+    const std::unique_ptr<EventSource> Source = D.open(Spec, Input);
+    expectStreamIdentity(*Source, Spec, Input, DefaultBatchEvents);
+    EXPECT_EQ(D.stats().DiskLoads, 1u);
+  }
 }
 
 TEST(TraceArenaTest, CorruptCacheFileIsRegeneratedNotServed) {
@@ -232,8 +315,10 @@ TEST(TraceArenaTest, CorruptCacheFileIsRegeneratedNotServed) {
   }
 
   // Flip one payload byte in the cached file: every block is
-  // checksum-verified on load, so the corruption must be detected and the
-  // trace regenerated (and re-stored), never replayed.
+  // checksum-verified before a stream is served (the mmap tier verifies
+  // the whole mapping up front), so the corruption must be detected and
+  // the trace regenerated (and re-stored), never replayed -- and never
+  // allowed to fail mid-replay.
   const std::filesystem::path Cached = cachedFile(Dir);
   {
     std::fstream F(Cached, std::ios::in | std::ios::out | std::ios::binary);
@@ -243,8 +328,32 @@ TEST(TraceArenaTest, CorruptCacheFileIsRegeneratedNotServed) {
     F.write(&Flip, 1);
   }
 
+  {
+    // Mmap tier: the mapped file fails verification, is rewritten
+    // page-aligned, and the fresh mapping serves the pristine stream.
+    TraceArena::Config Cfg;
+    Cfg.CacheDir = Dir.str();
+    TraceArena Arena(std::move(Cfg));
+    const std::unique_ptr<EventSource> Source = Arena.open(Spec, Input);
+    expectStreamIdentity(*Source, Spec, Input, DefaultBatchEvents);
+    const TraceArenaStats S = Arena.stats();
+    EXPECT_EQ(S.MmapLoads, 0u);
+    EXPECT_EQ(S.MmapStores, 1u); // the bad file was replaced
+    EXPECT_EQ(S.DiskLoads, 0u);
+    EXPECT_EQ(S.Materializations, 0u);
+  }
+
+  // Corrupt it again and take the resident path: same guarantee.
+  {
+    std::fstream F(Cached, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(F.is_open());
+    F.seekp(-1, std::ios::end);
+    const char Flip = static_cast<char>(F.peek() ^ 0x40);
+    F.write(&Flip, 1);
+  }
   TraceArena::Config Cfg;
   Cfg.CacheDir = Dir.str();
+  Cfg.UseMmap = false;
   TraceArena Arena(std::move(Cfg));
   const std::unique_ptr<EventSource> Source = Arena.open(Spec, Input);
   expectStreamIdentity(*Source, Spec, Input, DefaultBatchEvents);

@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # Runs the perf-trajectory microbenches (MSSP simulator throughput +
 # trace pipeline + trace-arena sweep amortization + execution-tier
-# comparison + streaming-server ingest) and records google-benchmark
-# JSON next to the build: BENCH_mssp.json, BENCH_trace_pipe.json,
-# BENCH_arena.json, BENCH_exec.json, and BENCH_serve.json.
+# comparison + streaming-server ingest + SCT2 decode tiers + sweep
+# executors) and records google-benchmark JSON next to the build:
+# BENCH_mssp.json, BENCH_trace_pipe.json, BENCH_arena.json,
+# BENCH_exec.json, BENCH_serve.json, BENCH_decode.json, and
+# BENCH_sweep.json.
 #
 # Usage: tools/run_bench.sh [build-dir] [output-json]
 #   build-dir    defaults to ./build
@@ -78,4 +80,27 @@ if [ -x "${SERVE_BIN}" ]; then
   echo "wrote ${SERVE_OUT}"
 else
   echo "note: ${SERVE_BIN} not built; skipped BENCH_serve.json" >&2
+fi
+
+DECODE_BIN="${BUILD_DIR}/bench/trace_decode"
+if [ -x "${DECODE_BIN}" ]; then
+  DECODE_OUT="${BUILD_DIR}/BENCH_decode.json"
+  "${DECODE_BIN}" \
+    --benchmark_filter='BM_Decode|BM_Replay' \
+    --benchmark_out="${DECODE_OUT}" \
+    --benchmark_out_format=json \
+    --benchmark_counters_tabular=true
+
+  echo "wrote ${DECODE_OUT}"
+
+  SWEEP_OUT="${BUILD_DIR}/BENCH_sweep.json"
+  "${DECODE_BIN}" \
+    --benchmark_filter=BM_Sweep \
+    --benchmark_out="${SWEEP_OUT}" \
+    --benchmark_out_format=json \
+    --benchmark_counters_tabular=true
+
+  echo "wrote ${SWEEP_OUT}"
+else
+  echo "note: ${DECODE_BIN} not built; skipped BENCH_decode.json, BENCH_sweep.json" >&2
 fi

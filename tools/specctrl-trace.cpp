@@ -9,8 +9,14 @@
 //     --head=N                print the first N branch events
 //     --record=FILE           record the run as a binary trace
 //     --trace-format=v1|v2    on-disk format for --record (default v2)
+//     --align                 page-align v2 blocks (--record/--migrate),
+//                             the exact-madvise layout for the mmap store
 //     --replay=FILE           summarize a recorded trace (either format)
+//     --mmap                  replay zero-copy through the mmap store and
+//                             report peak resident memory
 //     --migrate=FILE          rewrite FILE as v2 into --record=DST
+//     --stats=FILE            structural stats: blocks, pad bytes,
+//                             bytes/event, layout
 //
 //===----------------------------------------------------------------------===//
 
@@ -23,8 +29,12 @@
 #include "workload/ProgramSynthesizer.h"
 #include "workload/SpecSuite.h"
 #include "workload/TraceFile.h"
+#include "workload/MmapTraceStore.h"
 #include "workload/TraceGenerator.h"
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -41,7 +51,15 @@ int main(int Argc, char **Argv) {
   Opts.addString("record", "", "record the run as a binary trace file");
   Opts.addString("trace-format", "v2", "trace format for --record: v1 or v2");
   Opts.addString("replay", "", "summarize a recorded binary trace file");
+  Opts.addFlag("mmap", "replay zero-copy through the mmap store (v2 files) "
+                       "and report peak resident memory");
   Opts.addString("migrate", "", "rewrite this trace as v2 into --record=DST");
+  Opts.addString("stats", "",
+                 "print structural stats for this trace file (blocks, pad "
+                 "bytes, bytes/event, layout)");
+  Opts.addFlag("align",
+               "page-align v2 blocks written by --record/--migrate so the "
+               "mmap store's madvise windows are exact");
   Opts.addFlag("synthesize", "print the benchmark-like SimIR program");
   Opts.addInt("head", 0, "print the first N branch events");
   bench::addScaleOptions(Opts); // shared with the bench harnesses
@@ -79,6 +97,76 @@ int main(int Argc, char **Argv) {
           .cell(Phases);
     }
     Out.printText(std::cout);
+    return 0;
+  }
+
+  if (!Opts.getString("stats").empty()) {
+    const std::string &Path = Opts.getString("stats");
+    std::string Error;
+    const std::shared_ptr<const MappedTrace> Trace =
+        MappedTrace::open(Path, &Error);
+    if (!Trace) {
+      std::cerr << "error: " << Error << '\n';
+      return 1;
+    }
+    const uint64_t PadBytes = Trace->bytes() - TraceV2HeaderBytes -
+                              Trace->encodedBlockBytes();
+    char PerEvent[32];
+    std::snprintf(PerEvent, sizeof(PerEvent), "%.2f",
+                  Trace->totalEvents()
+                      ? static_cast<double>(Trace->encodedBlockBytes()) /
+                            static_cast<double>(Trace->totalEvents())
+                      : 0.0);
+    Table Out({"stat", "value"});
+    Out.row().cell("events").cell(Trace->totalEvents());
+    Out.row().cell("sites").cell(static_cast<uint64_t>(Trace->numSites()));
+    Out.row().cell("blocks").cell(static_cast<uint64_t>(Trace->numBlocks()));
+    Out.row().cell("file bytes").cell(static_cast<uint64_t>(Trace->bytes()));
+    Out.row().cell("encoded bytes").cell(Trace->encodedBlockBytes());
+    Out.row().cell("pad bytes").cell(PadBytes);
+    Out.row().cell("bytes/event").cell(PerEvent);
+    Out.row().cell("layout").cell(PadBytes != 0 ? "aligned" : "packed");
+    Out.printText(std::cout);
+    return 0;
+  }
+
+  if (!Opts.getString("replay").empty() && Opts.getFlag("mmap")) {
+    const std::string &Path = Opts.getString("replay");
+    std::string Error;
+    const std::unique_ptr<MmapReplaySource> Cursor =
+        MmapTraceStore::global().openCursor(Path, &Error);
+    if (!Cursor) {
+      std::cerr << "error: " << Error << '\n';
+      return 1;
+    }
+    const auto Start = std::chrono::steady_clock::now();
+    uint64_t Events = 0;
+    std::vector<BranchEvent> Chunk(DefaultBatchEvents);
+    while (const size_t N = Cursor->nextBatch(Chunk))
+      Events += N;
+    if (Cursor->failed()) {
+      std::cerr << "error: " << Cursor->error() << '\n';
+      return 1;
+    }
+    const double Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+    struct rusage Usage {};
+    ::getrusage(RUSAGE_SELF, &Usage);
+    std::cout << "replayed "
+              << formatMagnitude(static_cast<double>(Events))
+              << " events (v2, mmap) over " << Cursor->trace().numSites()
+              << " sites in " << formatMagnitude(Seconds) << "s ("
+              << formatMagnitude(Seconds > 0.0
+                                     ? static_cast<double>(Events) / Seconds
+                                     : 0.0)
+              << " events/s), peak RSS "
+              << formatMagnitude(static_cast<double>(Usage.ru_maxrss) *
+                                 1024.0)
+              << "B over a "
+              << formatMagnitude(static_cast<double>(Cursor->trace().bytes()))
+              << "B mapping\n";
     return 0;
   }
 
@@ -124,7 +212,9 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     workload::TraceMigrateStats Stats;
-    const uint64_t N = migrateTrace(In, Out, TraceV2BlockEvents, &Stats);
+    const uint32_t Align = Opts.getFlag("align") ? TraceV2AlignBytes : 0;
+    const uint64_t N =
+        migrateTrace(In, Out, TraceV2BlockEvents, &Stats, Align);
     if (N == 0) {
       std::cerr << "error: migration failed (invalid, truncated, or "
                    "corrupt input)\n";
@@ -149,9 +239,16 @@ int main(int Argc, char **Argv) {
       std::cerr << "error: cannot write trace file\n";
       return 1;
     }
+    if (Opts.getFlag("align") && Format != "v2") {
+      std::cerr << "error: --align requires --trace-format=v2\n";
+      return 1;
+    }
     TraceGenerator Gen(Spec, Input);
-    const uint64_t N = Format == "v1" ? writeTrace(OutFile, Gen)
-                                      : writeTraceV2(OutFile, Gen);
+    const uint32_t Align = Opts.getFlag("align") ? TraceV2AlignBytes : 0;
+    const uint64_t N = Format == "v1"
+                           ? writeTrace(OutFile, Gen)
+                           : writeTraceV2(OutFile, Gen,
+                                          TraceV2BlockEvents, Align);
     if (N == 0) {
       std::cerr << "error: trace write failed\n";
       return 1;
