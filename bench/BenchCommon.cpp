@@ -47,9 +47,9 @@ void bench::addStandardOptions(OptionSet &Opts) {
                  "written here as v2 trace files and reused across "
                  "invocations");
   Opts.addString("exec-tier", "",
-                 "SimIR execution backend: reference|threaded (default "
-                 "SPECCTRL_EXEC_TIER, else reference; results are "
-                 "bit-identical either way)");
+                 "SimIR execution backend: reference|threaded|fused "
+                 "(default SPECCTRL_EXEC_TIER, else reference; results "
+                 "are bit-identical across all tiers)");
   Opts.addFlag("verify-distill",
                "verify every distilled code version before dispatch "
                "(SPECCTRL_VERIFY)");

@@ -24,10 +24,18 @@
 // the fig7 golden CSV under --exec-tier threaded pin both tiers to
 // bit-identical results, so every delta here is free throughput.
 //
+// BM_TimedRegion is the timing-tier axis: the same distilled workload
+// with a full CoreTiming model attached -- per-instruction virtual
+// observer dispatch under reference/threaded versus the fused tier's
+// block-charged runTimed loop (the PR-9 tentpole).  All three produce
+// bit-identical cycle counts (tests/mssp/TimingFusedTest.cpp), so the
+// fused delta is pure timing-model overhead removed.
+//
 //===----------------------------------------------------------------------===//
 
 #include "distill/Distiller.h"
-#include "exec/ThreadedBackend.h"
+#include "exec/TimedRun.h"
+#include "mssp/CoreTiming.h"
 #include "mssp/MsspSimulator.h"
 #include "workload/SpecSuite.h"
 
@@ -127,6 +135,70 @@ BENCHMARK_CAPTURE(BM_ExecOriginal, reference, ExecTier::Reference)
 BENCHMARK_CAPTURE(BM_ExecOriginal, threaded, ExecTier::Threaded)
     ->Unit(benchmark::kMillisecond);
 
+/// Event-only timing policy for runTimed: what the fused tier feeds
+/// CoreTiming instead of per-instruction virtual observer calls.
+class TimingPolicy {
+public:
+  explicit TimingPolicy(CoreTiming &T) : T(T) {}
+  void noteBranch(ir::SiteId Site, bool Taken, uint64_t) {
+    T.recordBranch(Site, Taken);
+  }
+  void noteLoad(const fsim::InstLocation &, uint64_t Addr, uint64_t,
+                uint64_t) {
+    T.recordMemoryAccess(Addr);
+  }
+  void noteStore(uint64_t Addr, uint64_t) { T.recordMemoryAccess(Addr); }
+  void noteCall(uint32_t Callee) { T.recordCall(Callee); }
+  void noteReturn(uint32_t Callee) { T.recordReturn(Callee); }
+
+private:
+  CoreTiming &T;
+};
+
+/// The timing-tier axis: the distilled fig7 workload driving a full
+/// leading-core CoreTiming model.  reference/threaded pay a virtual
+/// ExecObserver call per retired instruction; fused charges straight-line
+/// issue cost once per block and only touches the models at events.
+void BM_TimedRegion(benchmark::State &State, ExecTier Tier) {
+  const SynthProgram &P = fig7Program();
+  const std::vector<distill::DistillResult> &Regions =
+      fig7DistilledRegions();
+  const MachineConfig M;
+  uint64_t InstRet = 0;
+  for (auto _ : State) {
+    CacheModel L2(M.L2);
+    CoreTiming Timing(M.Leading, &L2, M.L2.LatencyCycles,
+                      M.MemoryLatencyCycles);
+    fsim::StopReason Reason;
+    if (Tier == ExecTier::TimingFused) {
+      exec::ThreadedBackend Backend(P.Mod, P.InitialMemory);
+      for (size_t I = 0; I < Regions.size(); ++I)
+        Backend.setCodeVersion(P.RegionFunctions[I], &Regions[I].Distilled);
+      TimingPolicy Policy(Timing);
+      Reason = Backend.runTimed(~0ull >> 1, Policy);
+      Timing.addInstructions(Backend.instructionsRetired());
+      InstRet = Backend.instructionsRetired();
+    } else {
+      std::unique_ptr<fsim::ExecBackend> Backend =
+          exec::createBackend(Tier, P.Mod, P.InitialMemory);
+      for (size_t I = 0; I < Regions.size(); ++I)
+        Backend->setCodeVersion(P.RegionFunctions[I], &Regions[I].Distilled);
+      Reason = Backend->run(~0ull >> 1, &Timing);
+      InstRet = Backend->instructionsRetired();
+    }
+    if (Reason != fsim::StopReason::Halted)
+      State.SkipWithError("program did not halt");
+    benchmark::DoNotOptimize(Timing.cycles());
+  }
+  reportExec(State, InstRet);
+}
+BENCHMARK_CAPTURE(BM_TimedRegion, reference, ExecTier::Reference)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TimedRegion, threaded, ExecTier::Threaded)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TimedRegion, fused, ExecTier::TimingFused)
+    ->Unit(benchmark::kMillisecond);
+
 /// The full MSSP simulation (fig7 closed-loop defaults, full fast path)
 /// under each tier: how much of the dispatch win survives the timing
 /// model, digesting, and the task protocol.
@@ -153,6 +225,8 @@ void BM_MsspTier(benchmark::State &State, ExecTier Tier) {
 BENCHMARK_CAPTURE(BM_MsspTier, reference, ExecTier::Reference)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_MsspTier, threaded, ExecTier::Threaded)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MsspTier, fused, ExecTier::TimingFused)
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

@@ -135,6 +135,37 @@ std::unique_ptr<DecodedFunction> exec::decodeFunction(const ir::Function &F) {
     }
   }
 
+  // Static per-block timing metadata: the fused loop charges [PC, EndPC)
+  // in one step, and the event census records which slots can touch the
+  // dynamic timing models.  Computed before fusion, on the plain opcodes
+  // (fusion never changes how many entries a block has or which of them
+  // are events).
+  DF->Blocks.resize(F.numBlocks());
+  for (uint32_t B = 0; B < F.numBlocks(); ++B) {
+    DecodedBlockInfo &Info = DF->Blocks[B];
+    Info.StartPC = DF->BlockStart[B];
+    Info.EndPC = Info.StartPC + static_cast<uint32_t>(F.block(B).size());
+    for (uint32_t PC = Info.StartPC; PC < Info.EndPC; ++PC) {
+      switch (DF->Insts[PC].Op) {
+      case XOp::Br:
+        ++Info.Branches;
+        break;
+      case XOp::Load:
+      case XOp::Store:
+        ++Info.Mems;
+        break;
+      case XOp::Call:
+        ++Info.Calls;
+        break;
+      case XOp::Ret:
+        ++Info.Rets;
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
   // Fusion peephole: rewrite pair heads in place.  Non-overlapping greedy
   // left-to-right within each block; the second half keeps its plain entry
   // (it is both the fused handler's operand source and the resume point).
@@ -250,7 +281,10 @@ void ThreadedBackend::setArchPosition(const ArchPosition &Position) {
 std::unique_ptr<ExecBackend> exec::createBackend(ExecTier Tier,
                                                  const ir::Module &M,
                                                  std::vector<uint64_t> Memory) {
-  if (Tier == ExecTier::Threaded)
+  // TimingFused is the threaded backend too: the tier selects how timing
+  // consumers drive it (runTimed's block-charging loop), not a different
+  // execution engine.
+  if (Tier == ExecTier::Threaded || Tier == ExecTier::TimingFused)
     return std::make_unique<ThreadedBackend>(M, std::move(Memory));
   return std::make_unique<Interpreter>(M, std::move(Memory));
 }

@@ -116,6 +116,25 @@ struct DecodedInst {
   const ir::Instruction *Src = nullptr; ///< original, for onInstruction
 };
 
+/// Per-block static timing metadata, computed once at decode time.  EndPC
+/// is what the timing-fused dispatch loop consumes: it charges the whole
+/// remaining straight-line stretch [PC, EndPC) in one step and then only
+/// touches the dynamic timing models at the event slots.  The event-slot
+/// census (how many of the block's instructions are branches, memory
+/// accesses, calls, returns) is decode-time ground truth for timing
+/// policies and tests -- it never changes per execution, so it is not
+/// re-derived in any loop.
+struct DecodedBlockInfo {
+  uint32_t StartPC = 0;  ///< decoded PC of the block head
+  uint32_t EndPC = 0;    ///< one past the block's last decoded PC
+  uint16_t Branches = 0; ///< conditional-branch slots (gshare events)
+  uint16_t Mems = 0;     ///< load + store slots (cache events)
+  uint16_t Calls = 0;    ///< call slots (RAS push events)
+  uint16_t Rets = 0;     ///< return slots (RAS pop events)
+
+  uint32_t instCount() const { return EndPC - StartPC; }
+};
+
 /// One code version, decoded: blocks concatenated in index order, so the
 /// decoded PC of (Block, Index) is BlockStart[Block] + Index and every
 /// decoded entry carries its source coordinates back.
@@ -124,6 +143,7 @@ struct DecodedFunction {
   unsigned NumRegs = 1;
   std::vector<DecodedInst> Insts;
   std::vector<uint32_t> BlockStart; ///< decoded PC of each block's head
+  std::vector<DecodedBlockInfo> Blocks; ///< static timing metadata, 1/block
 
   uint32_t pcOf(uint32_t Block, uint32_t Index) const {
     assert(Block < BlockStart.size() && "block out of range");
@@ -156,6 +176,15 @@ public:
   fsim::StopReason runWith(uint64_t MaxInstructions, ObsT &Obs) {
     return runLoop<ObsT>(MaxInstructions, &Obs);
   }
+
+  /// The timing-fused loop (ExecTier::TimingFused): charges straight-line
+  /// instruction counts per decoded block instead of per instruction and
+  /// calls \p Policy only at branch/load/store/call/return events, with a
+  /// completed-instruction count reconstructed at each event.  Defined in
+  /// exec/TimedRun.h (include it to instantiate); see that file for the
+  /// policy concept and the exactness contract.
+  template <class PolicyT>
+  fsim::StopReason runTimed(uint64_t MaxInstructions, PolicyT &Policy);
 
   void requestStop() override { StopFlag = true; }
 

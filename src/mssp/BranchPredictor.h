@@ -34,15 +34,14 @@ public:
   /// runs once per simulated branch on the MSSP hot path.
   bool predictAndUpdate(uint64_t Pc, bool Taken) {
     const uint32_t Idx = index(Pc);
-    const bool Predicted = Counters[Idx] >= 2;
+    const uint8_t C = Counters[Idx];
+    const bool Predicted = C >= 2;
     ++Lookups;
-    if (Taken) {
-      if (Counters[Idx] < 3)
-        ++Counters[Idx];
-    } else {
-      if (Counters[Idx] > 0)
-        --Counters[Idx];
-    }
+    // Branchless saturating update: both arms reduce to conditional
+    // moves, so the data-dependent counter state adds no branch of its
+    // own to the simulation hot path.
+    Counters[Idx] = Taken ? static_cast<uint8_t>(C + (C < 3))
+                          : static_cast<uint8_t>(C - (C > 0));
     History = ((History << 1) | (Taken ? 1 : 0)) & Mask;
     const bool Correct = Predicted == Taken;
     Mispredicts += !Correct;
@@ -74,7 +73,9 @@ public:
 
   void pushCall(uint64_t ReturnPc) {
     Stack[Top] = ReturnPc;
-    Top = (Top + 1) % Stack.size();
+    // Conditional wrap instead of a modulo by the runtime capacity.
+    if (++Top == Stack.size())
+      Top = 0;
     if (Depth < Stack.size())
       ++Depth;
   }
@@ -86,8 +87,7 @@ public:
       ++Mispredicts;
       return false;
     }
-    Top = (Top + static_cast<uint32_t>(Stack.size()) - 1) %
-          static_cast<uint32_t>(Stack.size());
+    Top = (Top == 0 ? static_cast<uint32_t>(Stack.size()) : Top) - 1;
     --Depth;
     const bool Correct = Stack[Top] == ActualPc;
     Mispredicts += !Correct;

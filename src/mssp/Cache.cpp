@@ -34,10 +34,23 @@ CacheModel::CacheModel(const CacheConfig &Config) : Config(Config) {
   SetsLog2 = log2Exact(Sets);
   WordsPerBlockLog2 = log2Exact(Config.BlockBytes / 8);
   Ways.assign(static_cast<size_t>(Sets) * Config.Assoc, Way());
+  Mru.assign(Sets, 0);
+}
+
+void CacheModel::missFill(Way *Row, uint64_t Tag, uint32_t Set) {
+  Way *Victim = Row;
+  for (uint32_t W = 1; W < Config.Assoc; ++W)
+    if (Row[W].LastUse < Victim->LastUse)
+      Victim = &Row[W];
+  ++Misses;
+  Victim->Tag = Tag;
+  Victim->LastUse = Clock;
+  Mru[Set] = static_cast<uint8_t>(Victim - Row);
 }
 
 void CacheModel::reset() {
   Ways.assign(Ways.size(), Way());
+  Mru.assign(Sets, 0);
   Clock = 0;
   Accesses = 0;
   Misses = 0;

@@ -13,7 +13,7 @@ CoreTiming::CoreTiming(const CoreConfig &Config, CacheModel *SharedL2,
                        uint32_t L2LatencyCycles, uint32_t MemoryLatencyCycles)
     : Config(Config), Gshare(Config.GshareBits), Ras(Config.RasEntries),
       L1(Config.L1), L2(SharedL2), L2Latency(L2LatencyCycles),
-      MemoryLatency(MemoryLatencyCycles) {}
+      MemoryLatency(MemoryLatencyCycles), Width(Config.Width) {}
 
 void CoreTiming::onInstruction(const ir::Instruction &I,
                                const fsim::InstLocation &L) {

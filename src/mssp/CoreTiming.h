@@ -48,7 +48,26 @@ public:
   // dispatched MSSP fast path calls these directly; the virtual overrides
   // delegate to them, so both paths share one definition of the timing
   // rules.
-  void recordInstruction() { ++Insts; }
+  //
+  // The instruction counter is kept pre-divided: IssueFull/IssueRem are
+  // exactly (Insts / Width, Insts % Width) at all times, so cycles() is
+  // O(1) reads with no division, and the timing-fused tier can charge a
+  // whole straight-line block in one addInstructions() call.
+  void recordInstruction() {
+    if (++IssueRem == Width) {
+      ++IssueFull;
+      IssueRem = 0;
+    }
+  }
+  /// Bulk-charges \p N straight-line instructions at once -- bit-identical
+  /// to N recordInstruction() calls, since instruction issue accumulates
+  /// order-free between cycle reads.  The timing-fused execution tier uses
+  /// this to charge per decoded block / per run slice.
+  void addInstructions(uint64_t N) {
+    IssueRem += N;
+    IssueFull += IssueRem / Width;
+    IssueRem %= Width;
+  }
   void recordBranch(ir::SiteId Site, bool Taken) {
     if (!Gshare.predictAndUpdate(Site, Taken))
       Stalls += Config.PipelineDepth;
@@ -56,9 +75,12 @@ public:
   void recordMemoryAccess(uint64_t WordAddr) {
     if (L1.access(WordAddr))
       return;
-    Stalls += L2Latency;
+    // Batched: resolve the whole miss path, then touch the accumulator
+    // once.
+    uint64_t Stall = L2Latency;
     if (L2 && !L2->access(WordAddr))
-      Stalls += MemoryLatency;
+      Stall += MemoryLatency;
+    Stalls += Stall;
   }
   void recordCall(uint32_t Callee) { Ras.pushCall(Callee); }
   void recordReturn(uint32_t Callee) {
@@ -68,11 +90,10 @@ public:
       Stalls += Config.PipelineDepth;
   }
 
-  /// Total cycles accumulated so far.
-  uint64_t cycles() const {
-    return Insts / Config.Width + (Insts % Config.Width != 0) + Stalls;
-  }
-  uint64_t instructions() const { return Insts; }
+  /// Total cycles accumulated so far.  O(1): the issue quotient is
+  /// maintained incrementally, not divided out per read.
+  uint64_t cycles() const { return IssueFull + (IssueRem != 0) + Stalls; }
+  uint64_t instructions() const { return IssueFull * Width + IssueRem; }
   uint64_t branchMispredicts() const { return Gshare.mispredicts(); }
   uint64_t l1Misses() const { return L1.misses(); }
 
@@ -87,7 +108,9 @@ private:
   CacheModel *L2;
   uint32_t L2Latency;
   uint32_t MemoryLatency;
-  uint64_t Insts = 0;
+  uint64_t Width;         ///< Config.Width, cached for the hot counters
+  uint64_t IssueFull = 0; ///< completed issue groups (Insts / Width)
+  uint64_t IssueRem = 0;  ///< instructions in the open group (< Width)
   uint64_t Stalls = 0;
 };
 

@@ -7,7 +7,7 @@
 #include "mssp/MsspSimulator.h"
 
 #include "distill/Distiller.h"
-#include "exec/ThreadedBackend.h"
+#include "exec/TimedRun.h"
 #include "fsim/Interpreter.h"
 #include "support/Hash.h"
 
@@ -215,35 +215,148 @@ private:
   uint64_t InstRet = 0;
 };
 
-void appendU32(std::vector<uint8_t> &Out, uint32_t V) {
-  Out.push_back(static_cast<uint8_t>(V));
-  Out.push_back(static_cast<uint8_t>(V >> 8));
-  Out.push_back(static_cast<uint8_t>(V >> 16));
-  Out.push_back(static_cast<uint8_t>(V >> 24));
+/// Timing policy for the timing-fused master (ExecTier::TimingFused):
+/// straight-line issue cost is charged by the task loop in bulk (one
+/// CoreTiming::addInstructions per run slice), so the policy only handles
+/// the events that touch dynamic timing state -- gshare, RAS, caches --
+/// plus task boundaries and dirty-set tracking.  The backend reference is
+/// concrete, so the boundary requestStop devirtualizes along with the
+/// hooks themselves.
+class FusedMasterPolicy {
+public:
+  FusedMasterPolicy(exec::ThreadedBackend &Backend, CoreTiming &Timing,
+                    uint64_t IterationAddr, unsigned TaskIterations,
+                    std::vector<uint8_t> &AddrClass,
+                    std::vector<uint64_t> &DirtyAddrs)
+      : Backend(Backend), Timing(Timing), IterationAddr(IterationAddr),
+        TaskIterations(TaskIterations), AddrClass(AddrClass),
+        DirtyAddrs(DirtyAddrs) {}
+
+  void noteBranch(ir::SiteId Site, bool Taken, uint64_t /*Done*/) {
+    Timing.recordBranch(Site, Taken);
+  }
+  void noteLoad(const fsim::InstLocation &, uint64_t Addr, uint64_t /*Value*/,
+                uint64_t /*Done*/) {
+    Timing.recordMemoryAccess(Addr);
+  }
+  void noteStore(uint64_t Addr, uint64_t Value) {
+    Timing.recordMemoryAccess(Addr);
+    if (Addr < AddrClass.size() && AddrClass[Addr] == 1) {
+      AddrClass[Addr] = 2;
+      DirtyAddrs.push_back(Addr);
+    }
+    if (Addr == IterationAddr && Value != 0 &&
+        Value % TaskIterations == 0)
+      Backend.requestStop();
+  }
+  void noteCall(uint32_t Callee) { Timing.recordCall(Callee); }
+  void noteReturn(uint32_t Callee) { Timing.recordReturn(Callee); }
+
+private:
+  exec::ThreadedBackend &Backend;
+  CoreTiming &Timing;
+  uint64_t IterationAddr;
+  unsigned TaskIterations;
+  std::vector<uint8_t> &AddrClass;
+  std::vector<uint64_t> &DirtyAddrs;
+};
+
+/// Checker-side timing policy for the timing-fused tier: master duties
+/// plus controller and value-invariance feeding.  `Done` is the loop's
+/// reconstructed completed-instruction count at the event, which equals
+/// the per-instruction observers' InstRet bit-for-bit (both count the
+/// instructions fully completed before the one raising the event).
+class FusedCheckerPolicy {
+public:
+  FusedCheckerPolicy(exec::ThreadedBackend &Backend, CoreTiming &Timing,
+                     uint64_t IterationAddr, unsigned TaskIterations,
+                     std::vector<uint8_t> &AddrClass,
+                     std::vector<uint64_t> &DirtyAddrs,
+                     core::ReactiveController &Controller,
+                     const std::vector<bool> &ControlSites,
+                     const std::vector<bool> &RegionFunc, bool ValueSpec,
+                     MsspSimulator &Sim)
+      : Backend(Backend), Timing(Timing), IterationAddr(IterationAddr),
+        TaskIterations(TaskIterations), AddrClass(AddrClass),
+        DirtyAddrs(DirtyAddrs), Controller(Controller),
+        ControlSites(ControlSites), RegionFunc(RegionFunc),
+        ValueSpec(ValueSpec), Sim(Sim) {}
+
+  void noteBranch(ir::SiteId Site, bool Taken, uint64_t Done) {
+    Timing.recordBranch(Site, Taken);
+    if (Site < ControlSites.size() && ControlSites[Site])
+      return;
+    Controller.onBranch(Site, Taken, Done);
+  }
+  void noteLoad(const fsim::InstLocation &L, uint64_t Addr, uint64_t Value,
+                uint64_t Done) {
+    Timing.recordMemoryAccess(Addr);
+    if (ValueSpec && RegionFunc[L.Func])
+      Sim.noteRegionLoad(L, Value, Done);
+  }
+  void noteStore(uint64_t Addr, uint64_t Value) {
+    Timing.recordMemoryAccess(Addr);
+    if (Addr < AddrClass.size() && AddrClass[Addr] == 1) {
+      AddrClass[Addr] = 2;
+      DirtyAddrs.push_back(Addr);
+    }
+    if (Addr == IterationAddr && Value != 0 &&
+        Value % TaskIterations == 0)
+      Backend.requestStop();
+  }
+  void noteCall(uint32_t Callee) { Timing.recordCall(Callee); }
+  void noteReturn(uint32_t Callee) { Timing.recordReturn(Callee); }
+
+private:
+  exec::ThreadedBackend &Backend;
+  CoreTiming &Timing;
+  uint64_t IterationAddr;
+  unsigned TaskIterations;
+  std::vector<uint8_t> &AddrClass;
+  std::vector<uint64_t> &DirtyAddrs;
+  core::ReactiveController &Controller;
+  const std::vector<bool> &ControlSites;
+  const std::vector<bool> &RegionFunc;
+  bool ValueSpec;
+  MsspSimulator &Sim;
+};
+
+uint8_t *putU32(uint8_t *P, uint32_t V) {
+  P[0] = static_cast<uint8_t>(V);
+  P[1] = static_cast<uint8_t>(V >> 8);
+  P[2] = static_cast<uint8_t>(V >> 16);
+  P[3] = static_cast<uint8_t>(V >> 24);
+  return P + 4;
 }
 
-void appendU64(std::vector<uint8_t> &Out, uint64_t V) {
-  appendU32(Out, static_cast<uint32_t>(V));
-  appendU32(Out, static_cast<uint32_t>(V >> 32));
+uint8_t *putU64(uint8_t *P, uint64_t V) {
+  return putU32(putU32(P, static_cast<uint32_t>(V)),
+                static_cast<uint32_t>(V >> 32));
 }
 
 /// Canonical, injective serialization of a distillation request (both
 /// maps iterate sorted): count-prefixed fixed-width records, so equal
-/// bytes <=> equal requests.
+/// bytes <=> equal requests.  The output size is known up front, so the
+/// buffer is sized once and filled with raw writes -- this runs on every
+/// memoized rebuild, and the per-byte push_back version was a visible
+/// slice of the full MSSP loop profile.
 void serializeRequest(const distill::DistillRequest &Request,
                       std::vector<uint8_t> &Out) {
-  Out.clear();
-  appendU32(Out, static_cast<uint32_t>(Request.BranchAssertions.size()));
+  Out.resize(4 + 5 * Request.BranchAssertions.size() + 4 +
+             16 * Request.ValueConstants.size());
+  uint8_t *P = Out.data();
+  P = putU32(P, static_cast<uint32_t>(Request.BranchAssertions.size()));
   for (const auto &[Site, Dir] : Request.BranchAssertions) {
-    appendU32(Out, Site);
-    Out.push_back(Dir ? 1 : 0);
+    P = putU32(P, Site);
+    *P++ = Dir ? 1 : 0;
   }
-  appendU32(Out, static_cast<uint32_t>(Request.ValueConstants.size()));
+  P = putU32(P, static_cast<uint32_t>(Request.ValueConstants.size()));
   for (const auto &[Loc, Value] : Request.ValueConstants) {
-    appendU32(Out, Loc.Block);
-    appendU32(Out, Loc.Index);
-    appendU64(Out, static_cast<uint64_t>(Value));
+    P = putU32(P, Loc.Block);
+    P = putU32(P, Loc.Index);
+    P = putU64(P, static_cast<uint64_t>(Value));
   }
+  assert(P == Out.data() + Out.size() && "serialized size mismatch");
 }
 
 /// Packs a value-site coordinate into one FlatMap64 key.  Field widths
@@ -255,6 +368,24 @@ uint64_t packValueSiteKey(uint32_t Func, distill::LocKey Loc) {
          Loc.Index < (1u << 20) && "value-site coordinate out of pack range");
   return (static_cast<uint64_t>(Func) << 40) |
          (static_cast<uint64_t>(Loc.Block) << 20) | Loc.Index;
+}
+
+/// Dirty-set task verification, exact over the writable set: both
+/// executions start each task with identical writable memory (same
+/// initial image; equal after a match; copied equal after a squash), so
+/// words neither stored to are still equal and only the dirty set needs
+/// comparing.  Unlike the FNV digest there is no hash at all, hence no
+/// collision case.  Templated over the concrete backend so the loadWord
+/// calls devirtualize (both backends are final).
+template <class BackendT>
+bool dirtyStateMatches(const BackendT &Master, const BackendT &Checker,
+                       const std::vector<uint64_t> &DirtyAddrs) {
+  if (Master.halted() != Checker.halted())
+    return false;
+  for (uint64_t Addr : DirtyAddrs)
+    if (Master.loadWord(Addr) != Checker.loadWord(Addr))
+      return false;
+  return true;
 }
 
 } // namespace
@@ -365,20 +496,6 @@ void MsspSimulator::initDirtyTracking() {
   for (uint64_t Addr : WritableAddrs)
     AddrClass[Addr] = 1;
   DirtyAddrs.reserve(WritableAddrs.size());
-}
-
-bool MsspSimulator::dirtyStateMatches() const {
-  // Exact over the writable set: both executions start each task with
-  // identical writable memory (same initial image; equal after a match;
-  // copied equal after a squash), so words neither stored to are still
-  // equal and only the dirty set needs comparing.  Unlike the FNV digest
-  // there is no hash at all, hence no collision case.
-  if (Master->halted() != Checker->halted())
-    return false;
-  for (uint64_t Addr : DirtyAddrs)
-    if (Master->loadWord(Addr) != Checker->loadWord(Addr))
-      return false;
-  return true;
 }
 
 void MsspSimulator::restoreMasterDirty() {
@@ -547,10 +664,12 @@ void MsspSimulator::processOptCompletions() {
   }
 }
 
-template <bool Fast, class BackendT, class MasterObsT, class CheckerObsT>
+template <bool Fast, bool Fused, class BackendT, class MasterObsT,
+          class CheckerObsT>
 uint64_t MsspSimulator::taskLoop(BackendT &MasterB, BackendT &CheckerB,
                                  MasterObsT &MasterObs,
                                  CheckerObsT &CheckerObs) {
+  static_assert(!Fused || Fast, "the fused tier requires dirty-set tracking");
   std::deque<uint64_t> CommitTimes; ///< in-flight verified-commit times
   std::vector<uint64_t> SlaveFree(Config.Machine.NumTrailing, 0);
   uint64_t PrevCommit = 0;
@@ -565,22 +684,36 @@ uint64_t MsspSimulator::taskLoop(BackendT &MasterB, BackendT &CheckerB,
       CommitTimes.pop_front();
     }
 
-    // Master executes one task of distilled code.
+    // Master executes one task of distilled code.  The fused tier charges
+    // the slice's straight-line issue cost in one bulk add after the run;
+    // issue accumulation is order-free between cycle reads, and cycles()
+    // is only read at slice boundaries, so the count is bit-identical to
+    // per-instruction accounting.
     const uint64_t MStart = MasterTiming.cycles();
     fsim::StopReason MReason;
-    if constexpr (Fast)
+    if constexpr (Fused) {
+      const uint64_t Before = MasterB.instructionsRetired();
+      MReason = MasterB.runTimed(RunForever, MasterObs);
+      MasterTiming.addInstructions(MasterB.instructionsRetired() - Before);
+    } else if constexpr (Fast) {
       MReason = MasterB.runWith(RunForever, MasterObs);
-    else
+    } else {
       MReason = MasterB.run(RunForever, &MasterObs);
+    }
     MasterClock += MasterTiming.cycles() - MStart;
 
     // The trailing execution covers the same task with original code.
     const uint64_t VStartCycles = TrailTiming.cycles();
     fsim::StopReason CReason;
-    if constexpr (Fast)
+    if constexpr (Fused) {
+      const uint64_t Before = CheckerB.instructionsRetired();
+      CReason = CheckerB.runTimed(RunForever, CheckerObs);
+      TrailTiming.addInstructions(CheckerB.instructionsRetired() - Before);
+    } else if constexpr (Fast) {
       CReason = CheckerB.runWith(RunForever, CheckerObs);
-    else
+    } else {
       CReason = CheckerB.run(RunForever, &CheckerObs);
+    }
     const uint64_t VCycles = TrailTiming.cycles() - VStartCycles;
     assert(MReason != fsim::StopReason::Fault &&
            CReason != fsim::StopReason::Fault && "simulated program faulted");
@@ -597,7 +730,7 @@ uint64_t MsspSimulator::taskLoop(BackendT &MasterB, BackendT &CheckerB,
 
     bool Match;
     if constexpr (Fast)
-      Match = dirtyStateMatches();
+      Match = dirtyStateMatches(MasterB, CheckerB, DirtyAddrs);
     else
       Match = stateDigest(MasterB) == stateDigest(CheckerB);
     if (!Match) {
@@ -637,7 +770,23 @@ MsspResult MsspSimulator::run() {
     IsRegionFunc[F] = true;
 
   uint64_t TotalCycles = 0;
-  if (Config.FastPath.IncrementalDigest) {
+  if (Config.FastPath.IncrementalDigest &&
+      Config.Tier == ExecTier::TimingFused) {
+    // The timing-fused tier: the threaded backend's block-charging loop
+    // with event-only policies, bit-identical cycles and results.
+    FusedMasterPolicy MasterObs(static_cast<exec::ThreadedBackend &>(*Master),
+                                MasterTiming, Program.IterationAddr,
+                                Config.TaskIterations, AddrClass, DirtyAddrs);
+    FusedCheckerPolicy CheckerObs(
+        static_cast<exec::ThreadedBackend &>(*Checker), TrailTiming,
+        Program.IterationAddr, Config.TaskIterations, AddrClass, DirtyAddrs,
+        Controller, ControlSites, IsRegionFunc,
+        Config.EnableValueSpeculation, *this);
+    TotalCycles =
+        taskLoop<true, true>(static_cast<exec::ThreadedBackend &>(*Master),
+                             static_cast<exec::ThreadedBackend &>(*Checker),
+                             MasterObs, CheckerObs);
+  } else if (Config.FastPath.IncrementalDigest) {
     FastTaskObserver MasterObs(*Master, MasterTiming, Program.IterationAddr,
                                Config.TaskIterations, AddrClass, DirtyAddrs);
     FastCheckerObserver CheckerObs(
@@ -648,13 +797,14 @@ MsspResult MsspSimulator::run() {
     // runWith can inline the observers into its dispatch loop.
     if (Config.Tier == ExecTier::Threaded)
       TotalCycles =
-          taskLoop<true>(static_cast<exec::ThreadedBackend &>(*Master),
-                         static_cast<exec::ThreadedBackend &>(*Checker),
-                         MasterObs, CheckerObs);
+          taskLoop<true, false>(static_cast<exec::ThreadedBackend &>(*Master),
+                                static_cast<exec::ThreadedBackend &>(*Checker),
+                                MasterObs, CheckerObs);
     else
-      TotalCycles = taskLoop<true>(static_cast<fsim::Interpreter &>(*Master),
-                                   static_cast<fsim::Interpreter &>(*Checker),
-                                   MasterObs, CheckerObs);
+      TotalCycles =
+          taskLoop<true, false>(static_cast<fsim::Interpreter &>(*Master),
+                                static_cast<fsim::Interpreter &>(*Checker),
+                                MasterObs, CheckerObs);
   } else {
     LoadHook OnLoad;
     if (Config.EnableValueSpeculation)
@@ -674,8 +824,8 @@ MsspResult MsspSimulator::run() {
     CheckerObserver CheckerObs(*Checker, TrailTiming, Program.IterationAddr,
                                Config.TaskIterations, Controller,
                                ControlSites, std::move(OnLoad));
-    TotalCycles = taskLoop<false, fsim::ExecBackend>(*Master, *Checker,
-                                                     MasterObs, CheckerObs);
+    TotalCycles = taskLoop<false, false, fsim::ExecBackend>(
+        *Master, *Checker, MasterObs, CheckerObs);
   }
 
   Result.TotalCycles = TotalCycles;
@@ -715,14 +865,39 @@ uint64_t mssp::simulateSuperscalarBaseline(
     CoreTiming &T;
   };
 
+  /// Event-only policy for the timing-fused tier (issue cost is
+  /// bulk-charged after the run).
+  class BaselinePolicy {
+  public:
+    explicit BaselinePolicy(CoreTiming &T) : T(T) {}
+    void noteBranch(ir::SiteId S, bool Taken, uint64_t) {
+      T.recordBranch(S, Taken);
+    }
+    void noteLoad(const fsim::InstLocation &, uint64_t A, uint64_t, uint64_t) {
+      T.recordMemoryAccess(A);
+    }
+    void noteStore(uint64_t A, uint64_t) { T.recordMemoryAccess(A); }
+    void noteCall(uint32_t C) { T.recordCall(C); }
+    void noteReturn(uint32_t C) { T.recordReturn(C); }
+
+  private:
+    CoreTiming &T;
+  };
+
   BaselineObserver Obs(Timing);
   const uint64_t Fuel =
       MaxInstructions ? MaxInstructions : (~0ull >> 1);
   fsim::StopReason Reason;
-  if (Tier == ExecTier::Threaded)
+  if (Tier == ExecTier::TimingFused) {
+    auto &Backend = static_cast<exec::ThreadedBackend &>(*Interp);
+    BaselinePolicy Policy(Timing);
+    Reason = Backend.runTimed(Fuel, Policy);
+    Timing.addInstructions(Backend.instructionsRetired());
+  } else if (Tier == ExecTier::Threaded) {
     Reason = static_cast<exec::ThreadedBackend &>(*Interp).runWith(Fuel, Obs);
-  else
+  } else {
     Reason = static_cast<fsim::Interpreter &>(*Interp).runWith(Fuel, Obs);
+  }
   assert(Reason != fsim::StopReason::Fault && "baseline program faulted");
   (void)Reason;
   return Timing.cycles();

@@ -100,8 +100,13 @@ struct MsspConfig {
   /// Simulator-throughput optimizations (never change results).
   MsspFastPath FastPath;
   /// Execution backend for both the master and the checker (never changes
-  /// results -- the tiers are bit-exact; pinned by the fig7 golden CSV
-  /// under --exec-tier threaded).  Benches thread RunConfig's tier here.
+  /// results -- the tiers are bit-exact in events AND cycle counts; pinned
+  /// by the fig7 golden CSVs under --exec-tier threaded/fused and by
+  /// tests/mssp/TimingFusedTest.cpp).  Benches thread RunConfig's tier
+  /// here.  TimingFused drives the threaded backend through the
+  /// block-charging runTimed loop when IncrementalDigest is on; with
+  /// IncrementalDigest off it behaves exactly like Threaded (the legacy
+  /// virtual-observer loop needs per-instruction hooks).
   ExecTier Tier = ExecTier::Reference;
 };
 
@@ -185,19 +190,23 @@ private:
   void setValueConstant(uint32_t Func, distill::LocKey Loc, int64_t Value);
   void clearValueConstant(uint32_t Func, distill::LocKey Loc);
 
-  // Dirty-set verification (FastPath.IncrementalDigest).
+  // Dirty-set verification (FastPath.IncrementalDigest).  The per-task
+  // dirty compare/restore themselves live in the implementation file as
+  // templates over the concrete backend, so loadWord devirtualizes.
   void initDirtyTracking();
-  bool dirtyStateMatches() const;
   void restoreMasterDirty();
   void clearDirtyAddrs();
 
   /// The task loop, instantiated once per execution path: Fast uses the
   /// statically dispatched backend pipeline (BackendT is the concrete
   /// backend, so runWith inlines the observers) plus dirty-set
-  /// verification; the legacy instantiation uses the virtual-observer
-  /// path and full digests with BackendT = fsim::ExecBackend.  Returns
-  /// the final commit time.
-  template <bool Fast, class BackendT, class MasterObsT, class CheckerObsT>
+  /// verification; Fused (implies Fast, ThreadedBackend only) drives the
+  /// block-charging runTimed loop instead, bulk-charging each run slice's
+  /// straight-line issue cost into the core timing; the legacy
+  /// instantiation uses the virtual-observer path and full digests with
+  /// BackendT = fsim::ExecBackend.  Returns the final commit time.
+  template <bool Fast, bool Fused, class BackendT, class MasterObsT,
+            class CheckerObsT>
   uint64_t taskLoop(BackendT &MasterB, BackendT &CheckerB,
                     MasterObsT &MasterObs, CheckerObsT &CheckerObs);
 

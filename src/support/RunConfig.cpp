@@ -67,6 +67,8 @@ const char *specctrl::execTierName(ExecTier Tier) {
     return "reference";
   case ExecTier::Threaded:
     return "threaded";
+  case ExecTier::TimingFused:
+    return "fused";
   }
   return "reference";
 }
@@ -78,6 +80,10 @@ bool specctrl::parseExecTier(const std::string &Name, ExecTier &Out) {
   }
   if (Name == "threaded") {
     Out = ExecTier::Threaded;
+    return true;
+  }
+  if (Name == "fused") {
+    Out = ExecTier::TimingFused;
     return true;
   }
   return false;
@@ -93,7 +99,8 @@ RunConfig RunConfig::fromEnv(std::string *Warnings) {
     if (!parseExecTier(Env, Out.Tier) && Warnings) {
       *Warnings += "SPECCTRL_EXEC_TIER=";
       *Warnings += Env;
-      *Warnings += " is not a tier (reference|threaded); keeping reference\n";
+      *Warnings +=
+          " is not a tier (reference|threaded|fused); keeping reference\n";
     }
   }
   Out.ServeEpochEvents =

@@ -18,7 +18,7 @@
 ///
 ///   SPECCTRL_VERIFY=1            deploy-time distill verification gate
 ///   SPECCTRL_ARENA_VERBOSE=1     per-materialization trace-arena logging
-///   SPECCTRL_EXEC_TIER=reference|threaded   default SimIR execution tier
+///   SPECCTRL_EXEC_TIER=reference|threaded|fused   default SimIR exec tier
 ///   SPECCTRL_SERVE_EPOCH_EVENTS=N   serve-layer epoch length (events)
 ///   SPECCTRL_SERVE_RING_EVENTS=N    serve-layer ingest ring capacity
 ///   SPECCTRL_TRACE_MMAP=0        disable the zero-copy mmap trace tier
@@ -40,13 +40,19 @@ namespace specctrl {
 
 /// Which SimIR execution backend to construct (see fsim/ExecBackend.h).
 /// Reference is the seed interpreter -- the bit-exactness oracle; Threaded
-/// is the pre-decoded direct-threaded tier in src/exec.
+/// is the pre-decoded direct-threaded tier in src/exec.  TimingFused runs
+/// the same threaded backend but lets timing-aware consumers (the MSSP
+/// simulator, the superscalar baseline) drive it through the
+/// block-charging runTimed loop, folding the CoreTiming updates into the
+/// dispatch handlers instead of per-instruction observer calls.  All
+/// three tiers are bit-exact in both events and cycle counts.
 enum class ExecTier : uint8_t {
   Reference,
   Threaded,
+  TimingFused,
 };
 
-/// Stable lowercase name ("reference" / "threaded").
+/// Stable lowercase name ("reference" / "threaded" / "fused").
 const char *execTierName(ExecTier Tier);
 
 /// Parses an ExecTier name; returns false (leaving \p Out untouched) on an

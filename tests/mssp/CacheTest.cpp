@@ -65,3 +65,24 @@ TEST(CacheModelTest, ResetClearsState) {
   EXPECT_EQ(C.accesses(), 0u);
   EXPECT_FALSE(C.access(0)); // cold again
 }
+
+TEST(CacheModelTest, LruClockSurvivesWrap) {
+  // SPEC-length runs push the LRU clock past 2^32.  With the old 32-bit
+  // timestamps, a line touched after the wrap stored a tiny LastUse and
+  // looked older than everything resident before the wrap, inverting
+  // recency order in every set spanning it.
+  CacheModel C({2 * 64 * 2, 2, 64, 1}); // 2 sets, 2 ways
+  const uint64_t SetStride = 2 * 8;     // words per set round
+  const uint64_t A = 0, B = SetStride, X = 2 * SetStride;
+  EXPECT_FALSE(C.access(A)); // A resident, pre-wrap timestamp
+  // March the clock across the 32-bit boundary without simulating four
+  // billion accesses; the next access lands at time ~2^32.
+  C.advanceClockForTesting((1ull << 32) - 2);
+  EXPECT_FALSE(C.access(B)); // B fills the other way, post-wrap timestamp
+  EXPECT_TRUE(C.access(B));
+  // The victim must be A (genuinely oldest).  Under a wrapped 32-bit
+  // clock B's timestamp compared smaller and B was evicted instead.
+  EXPECT_FALSE(C.access(X));
+  EXPECT_TRUE(C.access(B));  // B survived the eviction
+  EXPECT_FALSE(C.access(A)); // A was the victim
+}

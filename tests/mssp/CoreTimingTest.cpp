@@ -86,6 +86,47 @@ TEST(CoreTimingTest, ExternalStallsAccumulate) {
   EXPECT_EQ(T.cycles(), 400u);
 }
 
+TEST(CoreTimingTest, BulkChargeMatchesPerInstruction) {
+  // addInstructions(N) must be bit-identical to N recordInstruction()
+  // calls at every observation point -- the timing-fused tier's whole
+  // issue accounting rests on this.  Exercise charges that straddle group
+  // boundaries in every phase.
+  const MachineConfig M;
+  for (const CoreConfig &Core : {M.Leading, M.Trailing}) {
+    CoreTiming PerInst(Core, nullptr, 10, 200);
+    CoreTiming Bulk(Core, nullptr, 10, 200);
+    uint64_t Total = 0;
+    for (uint64_t N : {1ull, 3ull, 4ull, 7ull, 64ull, 1ull, 0ull, 5ull}) {
+      for (uint64_t I = 0; I < N; ++I)
+        PerInst.recordInstruction();
+      Bulk.addInstructions(N);
+      Total += N;
+      ASSERT_EQ(PerInst.cycles(), Bulk.cycles()) << "after " << Total;
+      ASSERT_EQ(PerInst.instructions(), Bulk.instructions());
+      EXPECT_EQ(Bulk.instructions(), Total);
+    }
+  }
+}
+
+TEST(CoreTimingTest, BulkChargeInterleavesWithStalls) {
+  // Issue accumulation is order-free between cycle reads: charging a
+  // slice's instructions after its event stalls gives the same cycles as
+  // the reference's interleaved accounting.
+  CoreTiming Interleaved(leading(), nullptr, 10, 200);
+  CoreTiming Batched(leading(), nullptr, 10, 200);
+  // Interleaved: 5 insts, mispredict, 3 insts.
+  for (int I = 0; I < 5; ++I)
+    Interleaved.recordInstruction();
+  Interleaved.onBranch(5, true);
+  for (int I = 0; I < 3; ++I)
+    Interleaved.recordInstruction();
+  // Batched: the event first, the slice's whole charge after.
+  Batched.onBranch(5, true);
+  Batched.addInstructions(8);
+  EXPECT_EQ(Interleaved.cycles(), Batched.cycles());
+  EXPECT_EQ(Interleaved.instructions(), Batched.instructions());
+}
+
 TEST(CoreTimingTest, NarrowCoreIsSlower) {
   const MachineConfig M;
   CoreTiming Wide(M.Leading, nullptr, 10, 200);

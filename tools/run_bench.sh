@@ -65,6 +65,10 @@ if [ -x "${EXEC_BIN}" ]; then
     --benchmark_counters_tabular=true
 
   echo "wrote ${EXEC_OUT}"
+
+  # Perf floor: the timing-fused tier must hold its speedup over the
+  # reference tier on the full MSSP loop (see check_bench_floor.sh).
+  "$(dirname "$0")/check_bench_floor.sh" "${EXEC_OUT}"
 else
   echo "note: ${EXEC_BIN} not built; skipped BENCH_exec.json" >&2
 fi
