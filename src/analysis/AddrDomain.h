@@ -1,0 +1,206 @@
+//===- analysis/AddrDomain.h - Abstract address domain ----------*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract value domain the speculative interpreter (SpecInterp)
+/// tracks for every register: unreached / known constant / bounded
+/// arithmetic progression ("stride range") / unknown.  A Stride value
+/// denotes the set { Base + k*Step : 0 <= k < Count } over wrap-around
+/// 64-bit arithmetic (Count == 0 means every k >= 0), which is exactly the
+/// shape load addresses take in SimIR regions: constant slots, arrays
+/// walked by an induction variable, and mask-clamped table indices.
+///
+/// Three layers live here:
+///
+///   AbsVal    : the lattice value plus join/widen, an abstract ALU that
+///               mirrors the interpreter's exact semantics when both
+///               operands are constants, and branch-predicate refinement
+///               (the Spectre-v1 idiom: a bounds check narrows the index
+///               range on the guarded side).
+///   AddrSet   : a small canonicalizing set of AbsVals with exact-union
+///               merging of adjacent ranges, used for "which addresses may
+///               this trace observe" summaries.
+///   AddrFacts : a forward fixpoint over one function computing per-block
+///               register states in this domain, seeded from ConstantFacts
+///               (executability + constant recovery after widening) and
+///               optionally refined by ReachingDefs at address queries.
+///
+/// Soundness direction: every operation over-approximates the concrete
+/// register contents.  Precision is lost monotonically (join -> widen ->
+/// Top after a bounded number of updates), never gained unsoundly, so a
+/// value's concretization always contains every run-time value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_ANALYSIS_ADDRDOMAIN_H
+#define SPECCTRL_ANALYSIS_ADDRDOMAIN_H
+
+#include "analysis/ConstProp.h"
+#include "analysis/Dataflow.h"
+#include "ir/Instruction.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specctrl {
+namespace analysis {
+
+class ReachingDefs;
+
+/// An abstract 64-bit value.
+struct AbsVal {
+  enum Kind : uint8_t {
+    Bottom, ///< no executable path defines it (unreached)
+    Const,  ///< exactly one value
+    Stride, ///< { Base + k*Step : 0 <= k < Count }, Count == 0 -> unbounded
+    Top,    ///< any value
+  };
+  Kind K = Bottom;
+  uint64_t Base = 0;  ///< Const value, or first Stride element
+  uint64_t Step = 0;  ///< Stride only; always non-zero for Stride
+  uint64_t Count = 0; ///< Stride only; 0 means unbounded (all k >= 0)
+
+  static AbsVal bottom() { return {}; }
+  static AbsVal top() { return {Top, 0, 0, 0}; }
+  static AbsVal constant(uint64_t V) { return {Const, V, 0, 0}; }
+  /// Normalizing Stride factory: Step == 0 or Count == 1 collapse to
+  /// Const, and a bounded range whose last element overflows becomes
+  /// unbounded (the unbounded set is a superset, so this is sound).
+  static AbsVal stride(uint64_t Base, uint64_t Step, uint64_t Count);
+
+  bool isBottom() const { return K == Bottom; }
+  bool isConst() const { return K == Const; }
+  bool isStride() const { return K == Stride; }
+  bool isTop() const { return K == Top; }
+
+  /// True if the concretization contains \p V.
+  bool contains(uint64_t V) const;
+  /// True if this value's concretization is a superset of \p O's.  May
+  /// conservatively answer false; never answers true incorrectly.
+  bool covers(const AbsVal &O) const;
+  /// Last element of a bounded Stride (valid only when isStride() and
+  /// Count != 0; the factory guarantees it does not wrap).
+  uint64_t lastElem() const { return Base + (Count - 1) * Step; }
+
+  friend bool operator==(const AbsVal &A, const AbsVal &B) {
+    if (A.K != B.K)
+      return false;
+    switch (A.K) {
+    case Bottom:
+    case Top:
+      return true;
+    case Const:
+      return A.Base == B.Base;
+    case Stride:
+      return A.Base == B.Base && A.Step == B.Step && A.Count == B.Count;
+    }
+    return false;
+  }
+  friend bool operator!=(const AbsVal &A, const AbsVal &B) {
+    return !(A == B);
+  }
+};
+
+/// Least-effort upper bound: the result covers both inputs.  Joining two
+/// distinct constants or overlapping ranges produces a Stride over the gcd
+/// of the steps and offsets; incompatible shapes go to Top.
+AbsVal joinVals(const AbsVal &A, const AbsVal &B);
+
+/// Widening join: like joinVals but any growth beyond \p A jumps straight
+/// to an unbounded Stride (or Top), guaranteeing fixpoint termination.
+AbsVal widenVals(const AbsVal &A, const AbsVal &B);
+
+/// Abstract two-source ALU mirroring the interpreter's exact semantics
+/// (wrap-around arithmetic, signed compares, shift counts masked to 6
+/// bits) when both operands are Const.
+AbsVal absBinary(ir::Opcode Op, const AbsVal &A, const AbsVal &B);
+
+/// Abstract transfer of one instruction over a register state.  Loads
+/// produce Top (memory contents are outside the domain); stores, calls,
+/// and terminators leave registers alone.
+void applyAddrInstruction(const ir::Instruction &I, std::vector<AbsVal> &Regs);
+
+/// Branch-predicate refinement: the subset of \p A whose elements satisfy
+/// "(int64)v < Bound" when \p Truth, or its complement otherwise.
+/// Returns \p A unchanged when the refinement is not representable.
+AbsVal refineSignedLess(const AbsVal &A, int64_t Bound, bool Truth);
+
+/// Refinement for "v == V" (Truth) / "v != V" (!Truth).
+AbsVal refineEquals(const AbsVal &A, uint64_t V, bool Truth);
+
+/// Human-readable rendering for diagnostics: "0x2a", "[64 +8k x32]",
+/// "[64 +8k ..]", "unknown".
+std::string formatAbsVal(const AbsVal &V);
+
+/// A small set of abstract addresses with canonicalization: adding a value
+/// already covered is a no-op, and two Strides whose union is exactly
+/// another Stride (same step, adjacent or overlapping ranges) are merged so
+/// range splits introduced by branch refinement re-fuse.  Adding Top sets
+/// the Unknown flag ("may observe any address").
+class AddrSet {
+public:
+  void add(const AbsVal &V);
+  void addUnknown() { Unknown = true; }
+  void merge(const AddrSet &O);
+
+  /// True if \p V's concretization is covered (Unknown covers everything;
+  /// otherwise some single member must cover it).
+  bool covers(const AbsVal &V) const;
+  bool unknown() const { return Unknown; }
+  const std::vector<AbsVal> &vals() const { return Vals; }
+
+  /// Bound on the member count; overflow joins into the last member.
+  static constexpr size_t MaxVals = 64;
+
+private:
+  std::vector<AbsVal> Vals;
+  bool Unknown = false;
+};
+
+/// Per-block register states in the AbsVal domain for one function.
+///
+/// The fixpoint mirrors ConstantFacts' conditional-constant structure
+/// (entry registers Const(0), decided branches propagate only the taken
+/// edge) and additionally refines branch edges by the comparison that
+/// feeds the condition.  Termination: after a per-block update budget the
+/// join switches to widening, then to Top.
+class AddrFacts {
+public:
+  AddrFacts(const CFGInfo &G, const ConstantFacts &CF,
+            const ReachingDefs *RD = nullptr);
+
+  /// Executability mirrors ConstantFacts exactly.
+  bool executable(uint32_t Block) const { return CF->executable(Block); }
+
+  /// Register state immediately before instruction \p Index of \p Block.
+  std::vector<AbsVal> stateAt(uint32_t Block, uint32_t Index) const;
+
+  /// Abstract address of the load/store at (\p Block, \p Index):
+  /// state[SrcA] + Imm, with a ReachingDefs constant fallback when the
+  /// base register widened to Top but every reaching def is a known
+  /// constant.
+  AbsVal addressOf(uint32_t Block, uint32_t Index) const;
+
+  /// State at \p Block's terminator refined for taking the edge whose
+  /// condition truth is \p Truth, when the condition register is defined
+  /// by a comparison over a representable predicate; otherwise the state
+  /// is returned un-refined.  Exposed for SpecInterp's window walks.
+  static std::vector<AbsVal> refineForEdge(const ir::BasicBlock &BB,
+                                           std::vector<AbsVal> State,
+                                           bool Truth);
+
+private:
+  const CFGInfo *G;
+  const ConstantFacts *CF;
+  const ReachingDefs *RD;
+  std::vector<std::vector<AbsVal>> In; ///< per-block entry register state
+};
+
+} // namespace analysis
+} // namespace specctrl
+
+#endif // SPECCTRL_ANALYSIS_ADDRDOMAIN_H

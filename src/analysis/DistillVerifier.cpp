@@ -8,10 +8,12 @@
 
 #include "analysis/ConstProp.h"
 #include "analysis/Dataflow.h"
+#include "analysis/SpecInterp.h"
 #include "analysis/StoreSummary.h"
 #include "ir/Verifier.h"
 #include "support/RunConfig.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <sstream>
@@ -30,6 +32,8 @@ const char *specctrl::analysis::checkName(CheckKind K) {
     return "site-speculation";
   case CheckKind::LiveOutDrop:
     return "live-out-drop";
+  case CheckKind::SpecLeak:
+    return "spec-leak";
   }
   return "unknown";
 }
@@ -53,33 +57,6 @@ std::map<SiteId, SiteLoc> collectSites(const Function &F) {
   return Sites;
 }
 
-/// Substitutes the request's speculations into \p F without removing
-/// anything: speculated loads become MovImm, asserted branches become
-/// jumps to the assumed side.  Deliberately independent of the distiller's
-/// own passes -- the verifier must not share code with what it checks (and
-/// linking them would cycle the libraries).
-void applyRequest(Function &F, const distill::DistillRequest &Request) {
-  for (const auto &[Loc, Value] : Request.ValueConstants) {
-    if (Loc.Block >= F.numBlocks() || Loc.Index >= F.block(Loc.Block).size())
-      continue;
-    Instruction &I = F.block(Loc.Block).Insts[Loc.Index];
-    if (I.Op == Opcode::Load)
-      I = Instruction::makeMovImm(I.Dest, Value);
-  }
-  for (uint32_t B = 0; B < F.numBlocks(); ++B) {
-    BasicBlock &BB = F.block(B);
-    if (BB.empty())
-      continue;
-    Instruction &Term = BB.Insts.back();
-    if (Term.Op != Opcode::Br)
-      continue;
-    const auto It = Request.BranchAssertions.find(Term.Site);
-    if (It != Request.BranchAssertions.end())
-      Term = Instruction::makeJmp(It->second ? Term.ThenTarget
-                                             : Term.ElseTarget);
-  }
-}
-
 void addDiag(VerifyResult &R, CheckKind Kind, SiteId Site, uint32_t Block,
              uint32_t Index, bool InDistilled, std::string Message) {
   Diagnostic D;
@@ -92,12 +69,11 @@ void addDiag(VerifyResult &R, CheckKind Kind, SiteId Site, uint32_t Block,
   R.Diags.push_back(std::move(D));
 }
 
-} // namespace
-
-VerifyResult
-specctrl::analysis::verifyDistillation(const Function &Original,
-                                       const distill::DistillRequest &Request,
-                                       const Function &Distilled) {
+/// Checks 1-4 (structural, sites, store widening, live-out drops).  The
+/// SpecLeak check and diagnostic stamping live in the public wrapper.
+VerifyResult runCoreChecks(const Function &Original,
+                           const distill::DistillRequest &Request,
+                           const Function &Distilled) {
   VerifyResult R;
 
   // -- Check 4: structural well-formedness --------------------------------
@@ -146,7 +122,7 @@ specctrl::analysis::verifyDistillation(const Function &Original,
   // this version decide which branches the distiller may legally fold and
   // which blocks it may legally delete.
   Function RA = Original;
-  applyRequest(RA, Request);
+  applySpeculationRequest(RA, Request);
 
   const CFGInfo OrigG(Original);
   const CFGInfo RaG(RA);
@@ -233,6 +209,64 @@ specctrl::analysis::verifyDistillation(const Function &Original,
   return R;
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (const char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+VerifyResult
+specctrl::analysis::verifyDistillation(const Function &Original,
+                                       const distill::DistillRequest &Request,
+                                       const Function &Distilled,
+                                       const VerifyOptions &Options) {
+  VerifyResult R = runCoreChecks(Original, Request, Distilled);
+  if (Options.SpecLeak) {
+    // checkSpecLeak re-verifies structure itself and returns nothing on a
+    // malformed pair, so running it here unconditionally is safe.
+    for (SpecLeakFinding &F : checkSpecLeak(Original, Request, Distilled)) {
+      Diagnostic D;
+      D.Kind = CheckKind::SpecLeak;
+      D.Site = F.Site;
+      D.Block = F.Block;
+      D.Index = F.Index;
+      D.InDistilled = true;
+      D.Message = std::move(F.Message);
+      R.Diags.push_back(std::move(D));
+    }
+  }
+  for (Diagnostic &D : R.Diags)
+    D.Function = Original.name();
+  return R;
+}
+
 std::string specctrl::analysis::formatDiagnostic(const Diagnostic &D,
                                                  const std::string &FnName) {
   std::ostringstream OS;
@@ -244,6 +278,10 @@ std::string specctrl::analysis::formatDiagnostic(const Diagnostic &D,
   return OS.str();
 }
 
+std::string specctrl::analysis::formatDiagnostic(const Diagnostic &D) {
+  return formatDiagnostic(D, D.Function);
+}
+
 std::string specctrl::analysis::formatDiagnostics(const VerifyResult &R,
                                                   const std::string &FnName) {
   std::string Out;
@@ -252,6 +290,30 @@ std::string specctrl::analysis::formatDiagnostics(const VerifyResult &R,
     Out += '\n';
   }
   return Out;
+}
+
+std::string specctrl::analysis::formatDiagnostics(const VerifyResult &R) {
+  std::string Out;
+  for (const Diagnostic &D : R.Diags) {
+    Out += formatDiagnostic(D);
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string specctrl::analysis::formatDiagnosticJson(const Diagnostic &D) {
+  std::ostringstream OS;
+  OS << "{\"check\":\"" << checkName(D.Kind) << "\"";
+  OS << ",\"function\":\"" << jsonEscape(D.Function) << "\"";
+  if (D.Site != InvalidSite)
+    OS << ",\"site\":" << D.Site;
+  else
+    OS << ",\"site\":null";
+  OS << ",\"version\":\"" << (D.InDistilled ? "distilled" : "original")
+     << "\"";
+  OS << ",\"block\":" << D.Block << ",\"index\":" << D.Index;
+  OS << ",\"message\":\"" << jsonEscape(D.Message) << "\"}";
+  return OS.str();
 }
 
 bool specctrl::analysis::verifyDistillEnabled() {

@@ -9,7 +9,7 @@
 /// function pairs.  The distiller removes checking code on purpose -- a
 /// distilled version is *allowed* to be wrong on speculated paths -- but
 /// only in ways the MSSP task-level verifier can catch and recover from.
-/// That bounds what a correct distillation may do, and the four checks
+/// That bounds what a correct distillation may do, and the five checks
 /// here enforce those bounds without running anything:
 ///
 ///   CfgWellFormed   : both versions pass the structural IR verifier.
@@ -28,6 +28,13 @@
 ///                     into the distilled version.  (Registers are never
 ///                     live out of a region function; functions
 ///                     communicate only through memory.)
+///   SpecLeak        : the distilled version's loads -- committed and
+///                     within every branch site's bounded misspeculation
+///                     window -- must only observe addresses the original
+///                     could already observe, committed or speculatively.
+///                     The original's speculative reads are the paper's
+///                     accepted risk; the distiller must not widen them
+///                     (analysis/SpecInterp.h has the two-trace model).
 ///
 /// Soundness note: the justification analysis is SCCP-style conditional
 /// constant propagation (analysis/ConstProp.h), which dominates the
@@ -57,7 +64,11 @@ enum class CheckKind : uint8_t {
   StoreWiden,
   SiteSpeculation,
   LiveOutDrop,
+  SpecLeak,
 };
+
+/// Number of distinct checks (for per-check summary tables).
+inline constexpr unsigned NumCheckKinds = 5;
 
 /// Stable lint-style name for a check ("cfg-well-formed", ...).
 const char *checkName(CheckKind K);
@@ -72,6 +83,10 @@ struct Diagnostic {
   uint32_t Block = 0;
   uint32_t Index = 0;
   bool InDistilled = false;
+  /// Name of the function pair being verified (the original's name);
+  /// filled in by verifyDistillation so formatters need no caller
+  /// context.
+  std::string Function;
   std::string Message;
 };
 
@@ -82,19 +97,41 @@ struct VerifyResult {
   bool ok() const { return Diags.empty(); }
 };
 
-/// Runs all four checks on \p Distilled against \p Original under
+/// Per-call switches for verifyDistillation.
+struct VerifyOptions {
+  /// Run the SpecLeak two-trace check (the other four always run).  The
+  /// deploy-time hooks wire this to RunConfig's SPECCTRL_VERIFY_SPECLEAK
+  /// opt-out knob.
+  bool SpecLeak = true;
+};
+
+/// Runs all five checks on \p Distilled against \p Original under
 /// \p Request.  Never mutates its inputs; safe on arbitrary (including
 /// corrupted) distilled functions -- structural failures short-circuit
 /// the semantic checks.
 VerifyResult verifyDistillation(const ir::Function &Original,
                                 const distill::DistillRequest &Request,
-                                const ir::Function &Distilled);
+                                const ir::Function &Distilled,
+                                const VerifyOptions &Options = {});
 
-/// Renders one diagnostic as a single lint line:
+/// Renders one diagnostic as a single lint line using D.Function:
 ///   <fn>: [<check>] site <s> @ <ver>:<block>/<index>: <message>
-std::string formatDiagnostic(const Diagnostic &D, const std::string &FnName);
+std::string formatDiagnostic(const Diagnostic &D);
 
 /// Renders every diagnostic, one per line.
+std::string formatDiagnostics(const VerifyResult &R);
+
+/// Renders one diagnostic as a single-line JSON object with the stable
+/// keys {"check","function","site","version","block","index","message"}
+/// (site is null for ir::InvalidSite), for machine consumption
+/// (specctrl-lint --json).
+std::string formatDiagnosticJson(const Diagnostic &D);
+
+/// Deprecated: pre-Diagnostic::Function overloads that take the function
+/// name from the caller.  \p FnName overrides D.Function.
+std::string formatDiagnostic(const Diagnostic &D, const std::string &FnName);
+
+/// Deprecated: see formatDiagnostic(D, FnName).
 std::string formatDiagnostics(const VerifyResult &R,
                               const std::string &FnName);
 

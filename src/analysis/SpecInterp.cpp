@@ -1,0 +1,334 @@
+//===- analysis/SpecInterp.cpp - Speculative abstract interpreter ---------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SpecInterp.h"
+
+#include "analysis/StoreSummary.h"
+#include "ir/Verifier.h"
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+using namespace specctrl;
+using namespace specctrl::analysis;
+using namespace specctrl::ir;
+
+void specctrl::analysis::applySpeculationRequest(
+    Function &F, const distill::DistillRequest &Request) {
+  for (const auto &[Loc, Value] : Request.ValueConstants) {
+    if (Loc.Block >= F.numBlocks() || Loc.Index >= F.block(Loc.Block).size())
+      continue;
+    Instruction &I = F.block(Loc.Block).Insts[Loc.Index];
+    if (I.Op == Opcode::Load)
+      I = Instruction::makeMovImm(I.Dest, Value);
+  }
+  for (uint32_t B = 0; B < F.numBlocks(); ++B) {
+    BasicBlock &BB = F.block(B);
+    if (BB.empty())
+      continue;
+    Instruction &Term = BB.Insts.back();
+    if (Term.Op != Opcode::Br)
+      continue;
+    const auto It = Request.BranchAssertions.find(Term.Site);
+    if (It != Request.BranchAssertions.end())
+      Term = Instruction::makeJmp(It->second ? Term.ThenTarget
+                                             : Term.ElseTarget);
+  }
+}
+
+SpecInterp::SpecInterp(const Function &F, SpecInterpOptions Opts)
+    : Fn(F), Opts(Opts), G(Fn), CF(G), RD(G), AF(G, CF, &RD) {
+  collectCommitted();
+  collectWindows();
+}
+
+void SpecInterp::collectCommitted() {
+  for (uint32_t B = 0; B < Fn.numBlocks(); ++B) {
+    if (!CF.executable(B))
+      continue;
+    const BasicBlock &BB = Fn.block(B);
+    for (uint32_t I = 0; I < BB.size(); ++I) {
+      if (BB.Insts[I].Op != Opcode::Load)
+        continue;
+      SpecRead R;
+      R.Addr = AF.addressOf(B, I);
+      R.Block = B;
+      R.Index = I;
+      if (R.Addr.isBottom())
+        continue; // unreached per the refined analysis
+      Reads.push_back(R);
+      Committed.add(R.Addr);
+      All.add(R.Addr);
+    }
+  }
+}
+
+void SpecInterp::collectWindows() {
+  for (uint32_t B = 0; B < Fn.numBlocks(); ++B) {
+    if (!CF.executable(B))
+      continue;
+    const BasicBlock &BB = Fn.block(B);
+    const Instruction &Term = BB.terminator();
+    if (Term.Op != Opcode::Br)
+      continue;
+    const uint32_t TermIdx = static_cast<uint32_t>(BB.size()) - 1;
+    std::vector<AbsVal> Exit = AF.stateAt(B, TermIdx);
+    bool Unreached = true;
+    for (const AbsVal &V : Exit)
+      Unreached &= V.isBottom();
+    if (Unreached)
+      continue; // refinement proved the block dead; no window here
+    const AbsVal Cond = Exit[Term.SrcA];
+    const ConstVal CFCond = CF.branchCondition(B);
+    bool Decided = false, Taken = false;
+    if (Cond.isConst()) {
+      Decided = true;
+      Taken = Cond.Base != 0;
+    } else if (CFCond.isConst()) {
+      Decided = true;
+      Taken = CFCond.Value != 0;
+    }
+    if (Decided) {
+      // The committed trace always takes one side; the transient window
+      // fetches the other with the architectural (unrefined) state.
+      walkWindow(Taken ? Term.ElseTarget : Term.ThenTarget, Exit,
+                 Opts.Window, Term.Site, All, &Reads);
+    } else if (Term.ThenTarget != Term.ElseTarget) {
+      // Unresolved branch: each side can be entered while the truth is
+      // the *other* direction, so refine by the complement predicate --
+      // exactly the bypassed-bounds-check shape.
+      walkWindow(Term.ThenTarget,
+                 AddrFacts::refineForEdge(BB, Exit, /*Truth=*/false),
+                 Opts.Window, Term.Site, All, &Reads);
+      walkWindow(Term.ElseTarget,
+                 AddrFacts::refineForEdge(BB, Exit, /*Truth=*/true),
+                 Opts.Window, Term.Site, All, &Reads);
+    }
+  }
+}
+
+namespace {
+
+struct WalkFrame {
+  uint32_t Block;
+  uint32_t Inst;
+  uint32_t Fuel;
+  std::vector<AbsVal> Regs;
+};
+
+} // namespace
+
+void SpecInterp::walkWindow(uint32_t StartBlock, std::vector<AbsVal> State,
+                            uint32_t Fuel, SiteId Tag, AddrSet &Set,
+                            std::vector<SpecRead> *Out) const {
+  if (StartBlock >= Fn.numBlocks())
+    return;
+  uint32_t PathBudget = Opts.MaxPaths;
+  std::vector<WalkFrame> Stack;
+  Stack.push_back({StartBlock, 0, Fuel, std::move(State)});
+  while (!Stack.empty()) {
+    WalkFrame F = std::move(Stack.back());
+    Stack.pop_back();
+    bool Alive = true;
+    while (Alive) {
+      const BasicBlock &BB = Fn.block(F.Block);
+      for (; F.Inst < BB.size(); ++F.Inst) {
+        if (F.Fuel == 0) {
+          Alive = false;
+          break;
+        }
+        --F.Fuel;
+        const Instruction &I = BB.Insts[F.Inst];
+        if (I.Op == Opcode::Load) {
+          const AbsVal Addr =
+              absBinary(Opcode::Add, F.Regs[I.SrcA],
+                        AbsVal::constant(static_cast<uint64_t>(I.Imm)));
+          Set.add(Addr);
+          if (Out && !Addr.isBottom()) {
+            SpecRead R;
+            R.Addr = Addr;
+            R.Block = F.Block;
+            R.Index = F.Inst;
+            R.Site = Tag;
+            R.Misspec = true;
+            Out->push_back(R);
+          }
+        }
+        if (I.Op == Opcode::Call || I.Op == Opcode::Ret ||
+            I.Op == Opcode::Halt) {
+          // Calls are speculation barriers (callee effects belong to the
+          // callee's summary); Ret/Halt leave the region.
+          Alive = false;
+          break;
+        }
+        if (I.Op == Opcode::Jmp) {
+          F.Block = I.ThenTarget;
+          F.Inst = 0;
+          break; // re-enter the block loop
+        }
+        if (I.Op == Opcode::Br) {
+          const AbsVal &Cond = F.Regs[I.SrcA];
+          if (Cond.isConst()) {
+            F.Block = Cond.Base != 0 ? I.ThenTarget : I.ElseTarget;
+          } else {
+            // Nested unresolved branch: transient execution may fetch
+            // either side.  Fork if the path budget allows.
+            if (I.ElseTarget != I.ThenTarget && PathBudget > 0) {
+              --PathBudget;
+              Stack.push_back({I.ElseTarget, 0, F.Fuel, F.Regs});
+            }
+            F.Block = I.ThenTarget;
+          }
+          F.Inst = 0;
+          break;
+        }
+        applyAddrInstruction(I, F.Regs);
+      }
+      if (F.Inst >= BB.size())
+        Alive = false; // fell off the instruction list (terminator handled)
+      else if (Alive && F.Inst != 0)
+        Alive = false; // defensive: should not happen
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// checkSpecLeak
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct SiteLoc {
+  uint32_t Block = 0;
+  uint32_t Index = 0;
+};
+
+std::map<SiteId, SiteLoc> collectBranchSites(const Function &F) {
+  std::map<SiteId, SiteLoc> Sites;
+  for (uint32_t B = 0; B < F.numBlocks(); ++B) {
+    const BasicBlock &BB = F.block(B);
+    for (uint32_t I = 0; I < BB.size(); ++I)
+      if (BB.Insts[I].isConditionalBranch())
+        Sites[BB.Insts[I].Site] = {B, I};
+  }
+  return Sites;
+}
+
+} // namespace
+
+std::vector<SpecLeakFinding> specctrl::analysis::checkSpecLeak(
+    const Function &Original, const distill::DistillRequest &Request,
+    const Function &Distilled, SpecInterpOptions Opts) {
+  std::vector<SpecLeakFinding> Findings;
+  if (!verifyFunction(Original, nullptr) || !verifyFunction(Distilled, nullptr))
+    return Findings; // structural problems are CfgWellFormed's job
+
+  // The committed reference point: the original with the request's
+  // speculations substituted in (asserted branches resolved, speculated
+  // loads constant-folded) but nothing removed.
+  Function RA = Original;
+  applySpeculationRequest(RA, Request);
+  const SpecInterp RAInterp(RA, Opts);
+
+  // The original's own speculation windows: every branch site of the
+  // *plain* original, including the ones the request asserts away (their
+  // windows are the risk the paper already accepts).
+  const SpecInterp OrigInterp(Original, Opts);
+
+  AddrSet Envelope = RAInterp.readSet();
+  for (const SpecRead &R : OrigInterp.reads())
+    if (R.Misspec)
+      Envelope.add(R.Addr);
+  // Statically resolved committed stores are architecturally observed
+  // addresses; reading them reveals nothing new.  An unresolved store
+  // does NOT widen the envelope to "anything" (writes are not reads).
+  const StoreSummary RASum =
+      computeStoreSummary(RAInterp.cfg(), RAInterp.facts());
+  for (uint64_t Addr : RASum.ConcreteAddrs)
+    Envelope.add(AbsVal::constant(Addr));
+
+  if (Envelope.unknown())
+    // Some committed original load is statically unresolved: the envelope
+    // is vacuously "anything", so the check cannot fire.  Conservative in
+    // the non-aborting direction, by design.
+    return Findings;
+
+  const SpecInterp DistInterp(Distilled, Opts);
+
+  // Shadow walks for attribution: an uncovered committed read of the
+  // distilled version is pinned to the asserted site whose wrong side
+  // reaches that address beyond the window.  Computed lazily.
+  const std::map<SiteId, SiteLoc> OrigSites = collectBranchSites(Original);
+  std::map<SiteId, AddrSet> Shadows;
+  const auto ShadowFor = [&](SiteId S) -> const AddrSet & {
+    const auto Cached = Shadows.find(S);
+    if (Cached != Shadows.end())
+      return Cached->second;
+    AddrSet &Set = Shadows[S];
+    const auto LocIt = OrigSites.find(S);
+    if (LocIt == OrigSites.end())
+      return Set;
+    const SiteLoc Loc = LocIt->second;
+    const Instruction &Term = Original.block(Loc.Block).Insts[Loc.Index];
+    const std::vector<AbsVal> Exit =
+        OrigInterp.addrs().stateAt(Loc.Block, Loc.Index);
+    // Both directions: the site's speculation exposes whichever side the
+    // deployed assertion skips.
+    OrigInterp.walkWindow(Term.ThenTarget, Exit, Opts.ShadowWindow, S, Set,
+                          nullptr);
+    OrigInterp.walkWindow(Term.ElseTarget, Exit, Opts.ShadowWindow, S, Set,
+                          nullptr);
+    return Set;
+  };
+
+  // Every read of the distilled version must land inside the envelope.
+  std::map<std::pair<uint32_t, uint32_t>, size_t> ByLoc;
+  for (const SpecRead &R : DistInterp.reads()) {
+    if (Envelope.covers(R.Addr))
+      continue;
+    const auto Key = std::make_pair(R.Block, R.Index);
+    const auto Seen = ByLoc.find(Key);
+    if (Seen != ByLoc.end()) {
+      // Keep one finding per load; prefer a site-qualified one.
+      SpecLeakFinding &Have = Findings[Seen->second];
+      if (Have.Site == InvalidSite && R.Site != InvalidSite)
+        Have.Site = R.Site;
+      continue;
+    }
+    if (Findings.size() >= Opts.MaxFindings)
+      break;
+
+    SpecLeakFinding F;
+    F.Addr = R.Addr;
+    F.Site = R.Site;
+    F.Block = R.Block;
+    F.Index = R.Index;
+    std::ostringstream OS;
+    OS << "load may observe address " << formatAbsVal(R.Addr)
+       << " which the original can never observe, even speculatively";
+    if (R.Misspec) {
+      OS << " (misspeculated window of site " << R.Site << ")";
+    } else {
+      // Committed read: attribute to an asserted site whose skipped side
+      // reaches the address beyond the speculation window.
+      for (const auto &[Site, Dir] : Request.BranchAssertions) {
+        (void)Dir;
+        if (ShadowFor(Site).covers(F.Addr)) {
+          F.Site = Site;
+          OS << " (reachable in the original only beyond the speculation "
+                "window of site "
+             << Site << ")";
+          break;
+        }
+      }
+    }
+    F.Message = OS.str();
+    ByLoc.emplace(Key, Findings.size());
+    Findings.push_back(std::move(F));
+  }
+  return Findings;
+}

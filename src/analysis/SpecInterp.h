@@ -1,0 +1,169 @@
+//===- analysis/SpecInterp.h - Speculative abstract interpreter -*- C++ -*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An abstract interpreter over SimIR that models the *pair* of traces a
+/// speculated branch site produces:
+///
+///   committed trace : the branch resolves per the request's assertion or
+///                     per SCCP facts; its loads are the committed read
+///                     set, with addresses in the AddrDomain lattice
+///                     (constant / base+stride range / unknown).
+///   misspeculated   : from each branch site, the wrong side is executed
+///     trace           transiently for a bounded *speculation window* of
+///                     instructions.  An unresolved (data-dependent)
+///                     branch misspeculates against the truth, so the
+///                     walked side is refined by the *complement* of the
+///                     branch predicate -- the Spectre-v1 shape where a
+///                     bounds check is bypassed and the index range
+///                     widens.  Calls end the window (a speculation
+///                     barrier; callee effects belong to the callee's own
+///                     summary).
+///
+/// From the pair, checkSpecLeak computes the set of addresses readable
+/// *only* under misspeculation and flags distillations that widen it: the
+/// original's speculative reads are the paper's accepted risk, but the
+/// distiller must never manufacture new ones.  The allowed envelope for a
+/// distilled version is
+///
+///     committed(request-applied original)
+///   U misspeculation windows of every original branch site
+///   U the original's statically resolved store addresses
+///
+/// and every committed or windowed load of the distilled version must land
+/// inside it.  Findings are site-qualified: window reads carry their site
+/// directly, and committed reads reachable in the original only *beyond*
+/// some asserted site's window are attributed to that site by a deeper
+/// shadow walk.
+///
+/// Conservatism runs in the safe direction for a deploy-time abort gate:
+/// imprecision on the original side (Top addresses) enlarges the envelope
+/// toward "may observe anything", producing fewer findings, never bogus
+/// ones.  A correct distillation -- a subset of the request-applied
+/// original with branches folded only when decidable -- therefore always
+/// verifies clean.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_ANALYSIS_SPECINTERP_H
+#define SPECCTRL_ANALYSIS_SPECINTERP_H
+
+#include "analysis/AddrDomain.h"
+#include "analysis/ConstProp.h"
+#include "analysis/Dataflow.h"
+#include "analysis/ReachingDefs.h"
+#include "distill/Distiller.h"
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specctrl {
+namespace analysis {
+
+/// Tunables for the speculative exploration.
+struct SpecInterpOptions {
+  /// Instructions a misspeculated trace may retire before the pipeline
+  /// squashes it (the speculation window).
+  uint32_t Window = 64;
+  /// Bound on distinct paths explored per window walk (nested unresolved
+  /// branches fork the walk).
+  uint32_t MaxPaths = 64;
+  /// Fuel for the deeper attribution walks that map an uncovered
+  /// committed read back to the asserted site whose wrong side reaches it.
+  uint32_t ShadowWindow = 1024;
+  /// Cap on emitted findings per function pair.
+  uint32_t MaxFindings = 32;
+};
+
+/// One abstract load observed by a trace.
+struct SpecRead {
+  AbsVal Addr;
+  uint32_t Block = 0;
+  uint32_t Index = 0;
+  /// Site whose window observed the read, or ir::InvalidSite for a
+  /// committed-trace read.
+  ir::SiteId Site = ir::InvalidSite;
+  bool Misspec = false;
+};
+
+/// The committed + misspeculated read model of one function version.
+class SpecInterp {
+public:
+  explicit SpecInterp(const ir::Function &F, SpecInterpOptions Opts = {});
+
+  /// Every abstract load: committed-trace reads first, then each branch
+  /// site's window reads.
+  const std::vector<SpecRead> &reads() const { return Reads; }
+
+  /// Union of committed read addresses only.
+  const AddrSet &committedSet() const { return Committed; }
+  /// Union of committed and windowed read addresses.
+  const AddrSet &readSet() const { return All; }
+
+  /// Walks the misspeculated trace entered at \p StartBlock with register
+  /// state \p State for \p Fuel instructions, recording loads into \p Set
+  /// and (optionally) \p Out tagged with \p Tag.  Used internally for
+  /// every site's window and externally for shadow attribution.
+  void walkWindow(uint32_t StartBlock, std::vector<AbsVal> State,
+                  uint32_t Fuel, ir::SiteId Tag, AddrSet &Set,
+                  std::vector<SpecRead> *Out) const;
+
+  const CFGInfo &cfg() const { return G; }
+  const ConstantFacts &facts() const { return CF; }
+  const AddrFacts &addrs() const { return AF; }
+  const ir::Function &function() const { return Fn; }
+
+private:
+  void collectCommitted();
+  void collectWindows();
+
+  ir::Function Fn; ///< own copy; callers may pass temporaries
+  SpecInterpOptions Opts;
+  CFGInfo G;
+  ConstantFacts CF;
+  ReachingDefs RD;
+  AddrFacts AF;
+  std::vector<SpecRead> Reads;
+  AddrSet Committed;
+  AddrSet All;
+};
+
+/// One spec-leak finding: a distilled load that may observe an address
+/// outside the original's committed + speculative envelope.
+struct SpecLeakFinding {
+  AbsVal Addr;
+  /// Site whose speculation exposes the read, or ir::InvalidSite when the
+  /// read is not attributable to a single site.
+  ir::SiteId Site = ir::InvalidSite;
+  /// Offending load, in distilled coordinates.
+  uint32_t Block = 0;
+  uint32_t Index = 0;
+  std::string Message;
+};
+
+/// Substitutes the request's speculations into \p F without removing
+/// anything: speculated loads become MovImm, asserted branches become
+/// jumps to the assumed side.  Shared by the verifier checks so the
+/// committed reference point is identical everywhere; deliberately
+/// independent of the distiller's own passes (the verifier must not share
+/// code with what it checks).
+void applySpeculationRequest(ir::Function &F,
+                             const distill::DistillRequest &Request);
+
+/// Runs the two-trace comparison described above.  Assumes both functions
+/// pass the structural verifier (returns no findings otherwise; that is
+/// CfgWellFormed's job).  Never mutates its inputs.
+std::vector<SpecLeakFinding>
+checkSpecLeak(const ir::Function &Original,
+              const distill::DistillRequest &Request,
+              const ir::Function &Distilled, SpecInterpOptions Opts = {});
+
+} // namespace analysis
+} // namespace specctrl
+
+#endif // SPECCTRL_ANALYSIS_SPECINTERP_H

@@ -9,6 +9,7 @@
 #include "analysis/DistillVerifier.h"
 #include "ir/CFG.h"
 #include "ir/Verifier.h"
+#include "support/RunConfig.h"
 
 #include <cassert>
 #include <cstdio>
@@ -428,14 +429,17 @@ DistillResult distill::distillFunction(const Function &Original,
   // Deploy-time safety gate (SPECCTRL_VERIFY): statically prove
   // the distillation stays within the bounds task-level recovery can
   // handle.  Any finding here is a distiller bug, so fail loudly.
+  // SPECCTRL_VERIFY_SPECLEAK=0 opts out of the speculative-leak check.
   if (analysis::verifyDistillEnabled()) {
+    analysis::VerifyOptions Options;
+    Options.SpecLeak = RunConfig::global().VerifySpecLeak;
     const analysis::VerifyResult VR =
-        analysis::verifyDistillation(Original, Request, F);
+        analysis::verifyDistillation(Original, Request, F, Options);
     if (!VR.ok()) {
       std::fprintf(
           stderr,
           "specctrl: distillation failed speculation-safety checks:\n%s",
-          analysis::formatDiagnostics(VR, Original.name()).c_str());
+          analysis::formatDiagnostics(VR).c_str());
       std::abort();
     }
   }

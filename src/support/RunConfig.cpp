@@ -115,6 +115,13 @@ RunConfig RunConfig::fromEnv(std::string *Warnings) {
       Out.TraceMmap = Value;
   }
   Out.SweepProcs = envCount("SPECCTRL_SWEEP_PROCS", Out.SweepProcs, Warnings);
+  {
+    // Default-on knob: unset keeps the SpecLeak check, "0" opts out.
+    bool Present = false;
+    const bool Value = envFlag("SPECCTRL_VERIFY_SPECLEAK", Present);
+    if (Present)
+      Out.VerifySpecLeak = Value;
+  }
   return Out;
 }
 

@@ -23,6 +23,7 @@
 ///   SPECCTRL_SERVE_RING_EVENTS=N    serve-layer ingest ring capacity
 ///   SPECCTRL_TRACE_MMAP=0        disable the zero-copy mmap trace tier
 ///   SPECCTRL_SWEEP_PROCS=N       specctrl-sweep worker processes (0=cores)
+///   SPECCTRL_VERIFY_SPECLEAK=0   opt out of the SpecLeak verifier check
 ///
 /// The pre-RunConfig spellings SPECCTRL_VERIFY_DISTILL and
 /// SPECCTRL_ARENA_DEBUG keep working as deprecated aliases (a one-line
@@ -84,6 +85,10 @@ struct RunConfig {
   /// Worker-process count for multi-process sweeps (engine/ProcessPool.h,
   /// tools/specctrl-sweep); 0 selects the hardware concurrency.
   uint64_t SweepProcs = 0;
+  /// Run the speculative-leak check (analysis/SpecInterp.h) as part of
+  /// deploy-time verification.  On by default when VerifyDistill is on;
+  /// SPECCTRL_VERIFY_SPECLEAK=0 opts out while the check stabilizes.
+  bool VerifySpecLeak = true;
 
   /// Parses the environment (canonical names first, deprecated aliases
   /// second).  Pure: no warnings are printed; when \p Warnings is non-null

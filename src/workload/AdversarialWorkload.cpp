@@ -1,0 +1,44 @@
+//===- workload/AdversarialWorkload.cpp - Controller-adversarial loads ----===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/AdversarialWorkload.h"
+
+namespace specctrl {
+namespace workload {
+
+WorkloadSpec makeOscillationPump(const AdversarialPumpSpec &P) {
+  WorkloadSpec Spec;
+  Spec.Name = P.Name;
+  Spec.Seed = P.Seed;
+  Spec.RefEvents = P.Events;
+  Spec.TrainEvents = static_cast<uint64_t>(P.Events * 0.6);
+  // One global phase: the pump's time structure lives entirely in the
+  // Periodic behaviors, not in the phase schedule.
+  Spec.NumPhases = 1;
+
+  for (uint32_t I = 0; I < P.PumpSites; ++I) {
+    SiteSpec S;
+    S.Behavior = BehaviorSpec::periodic(P.HighBias, P.LowBias,
+                                        P.PumpPeriod + I * P.PeriodSkew);
+    S.Weight = P.PumpWeight;
+    Spec.Sites.push_back(S);
+  }
+
+  // Background population: even sites are steadily selectable (any sane
+  // policy speculates them), odd sites are steadily unselectable.  They
+  // anchor the correct-rate scale so the pump's damage is read against a
+  // workload that still contains legitimate opportunity.
+  for (uint32_t I = 0; I < P.BackgroundSites; ++I) {
+    SiteSpec S;
+    S.Behavior = BehaviorSpec::fixed((I & 1) == 0 ? 0.999 : 0.65);
+    Spec.Sites.push_back(S);
+  }
+
+  return Spec;
+}
+
+} // namespace workload
+} // namespace specctrl

@@ -1,0 +1,74 @@
+//===- workload/AdversarialWorkload.h - Controller-adversarial loads -*- C++
+//-*-===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Workloads constructed to attack the reactive controller rather than to
+/// model a SPEC benchmark (ROADMAP item 3b).  The first inhabitant is the
+/// oscillation pump: a population of branch sites whose bias alternates
+/// between "comfortably above the selection threshold" and "heavily
+/// misspeculating", with the period sized against the controller's
+/// monitor window so each site is repeatedly classified as biased, gets a
+/// distilled version deployed, and then immediately burns the eviction
+/// counter.  Under an unlimited controller the select/deploy/evict cycle
+/// repeats for the whole run; the paper's oscillation limit (Sec. 3.1,
+/// "will not optimize a sixth time") is exactly the defense, so the pump
+/// is the workload that measures what that limit buys.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECCTRL_WORKLOAD_ADVERSARIALWORKLOAD_H
+#define SPECCTRL_WORKLOAD_ADVERSARIALWORKLOAD_H
+
+#include "workload/Workload.h"
+
+#include <cstdint>
+
+namespace specctrl {
+namespace workload {
+
+/// Parameters of the oscillation pump.  The defaults are tuned against
+/// the Table 2 controller (monitor period 10,000 executions): the pump
+/// period is a small multiple of the monitor window so a site observed
+/// during a high-bias regime passes the 0.995 selection threshold, and
+/// the low-bias regime that follows deployment saturates the eviction
+/// counter within a few hundred executions.
+struct AdversarialPumpSpec {
+  std::string Name = "osc-pump";
+  uint64_t Seed = 0xAD5E;
+  /// Total branch events under the reference input.  Sized so each pump
+  /// site completes well over OscillationLimit select/deploy/evict
+  /// cycles -- the regime where the limit's bound on damage is visible.
+  uint64_t Events = 20000000;
+  /// Sites whose bias alternates (the attack population).
+  uint32_t PumpSites = 8;
+  /// Steady FixedBias sites (half selectable, half not) so the static
+  /// reference point has legitimate speculation to find.
+  uint32_t BackgroundSites = 8;
+  /// Bias during the pump's "lure" regime; must clear the controller's
+  /// selection threshold.
+  double HighBias = 0.999;
+  /// Bias during the "punish" regime; every execution is ~a misspec.
+  double LowBias = 0.02;
+  /// Executions per bias regime.  Sized against MonitorPeriod by the
+  /// caller (3x Table 2's window by default).
+  uint64_t PumpPeriod = 30000;
+  /// Per-site period increment, staggering the flips so the whole attack
+  /// population never flips in one burst.
+  uint64_t PeriodSkew = 1500;
+  /// Dynamic-frequency weight of each pump site relative to a background
+  /// site (pump sites must execute often enough to complete several
+  /// select/deploy/evict cycles per run).
+  double PumpWeight = 4.0;
+};
+
+/// Builds the oscillation-pump workload described above.
+WorkloadSpec makeOscillationPump(const AdversarialPumpSpec &Spec = {});
+
+} // namespace workload
+} // namespace specctrl
+
+#endif // SPECCTRL_WORKLOAD_ADVERSARIALWORKLOAD_H

@@ -1,0 +1,315 @@
+//===- tests/analysis/SpecInterpTest.cpp - Address domain + interpreter ---===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the abstract address domain (AbsVal / AddrSet /
+/// AddrFacts) and the two-trace speculative interpreter built on it.  The
+/// domain tests pin the lattice algebra -- joins, widening, transfer
+/// functions, predicate refinement, and the exact-union merging inside
+/// AddrSet (including the wrap-around congruence regression) -- and the
+/// interpreter tests pin the window semantics: committed vs misspeculated
+/// reads, site tagging, and the speculation-window instruction bound.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SpecInterp.h"
+
+#include "analysis/AddrDomain.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace specctrl;
+using namespace specctrl::analysis;
+using namespace specctrl::ir;
+
+//===----------------------------------------------------------------------===//
+// AbsVal lattice
+//===----------------------------------------------------------------------===//
+
+TEST(AbsValTest, StrideFactoryNormalizes) {
+  EXPECT_TRUE(AbsVal::stride(5, 0, 7).isConst());
+  EXPECT_EQ(AbsVal::stride(5, 0, 7).Base, 5u);
+  EXPECT_TRUE(AbsVal::stride(9, 4, 1).isConst());
+  // A bounded range whose last element would wrap becomes unbounded.
+  const AbsVal Wrapped = AbsVal::stride(~uint64_t(0) - 1, 2, 3);
+  ASSERT_TRUE(Wrapped.isStride());
+  EXPECT_EQ(Wrapped.Count, 0u);
+}
+
+TEST(AbsValTest, ContainsAndCovers) {
+  const AbsVal S = AbsVal::stride(100, 4, 8); // {100,104,...,128}
+  EXPECT_TRUE(S.contains(100));
+  EXPECT_TRUE(S.contains(128));
+  EXPECT_FALSE(S.contains(132)); // past the end
+  EXPECT_FALSE(S.contains(102)); // wrong residue
+  EXPECT_FALSE(S.contains(96));  // before the base
+
+  EXPECT_TRUE(S.covers(AbsVal::constant(112)));
+  EXPECT_TRUE(S.covers(AbsVal::stride(104, 8, 4))); // {104,112,120,128}
+  EXPECT_FALSE(S.covers(AbsVal::stride(104, 8, 5))); // reaches 136
+  EXPECT_FALSE(S.covers(AbsVal::stride(100, 4, 0))); // unbounded
+  EXPECT_TRUE(AbsVal::stride(100, 4, 0).covers(S));
+  EXPECT_TRUE(AbsVal::top().covers(S));
+  EXPECT_TRUE(S.covers(AbsVal::bottom()));
+}
+
+TEST(AbsValTest, JoinFusesViaGcd) {
+  // Constants a gcd apart.
+  const AbsVal J = joinVals(AbsVal::constant(4), AbsVal::constant(7));
+  EXPECT_TRUE(J.contains(4));
+  EXPECT_TRUE(J.contains(7));
+
+  // Different residue classes mod 3: the join must still cover both
+  // operands (gcd drops to 1 here).
+  const AbsVal A = AbsVal::stride(4, 3, 2); // {4,7}
+  const AbsVal B = AbsVal::stride(3, 3, 2); // {3,6}
+  const AbsVal JAB = joinVals(A, B);
+  EXPECT_TRUE(JAB.covers(A));
+  EXPECT_TRUE(JAB.covers(B));
+}
+
+TEST(AbsValTest, WidenJumpsToUnbounded) {
+  const AbsVal W =
+      widenVals(AbsVal::stride(0, 4, 2), AbsVal::stride(0, 4, 4));
+  ASSERT_TRUE(W.isStride());
+  EXPECT_EQ(W.Step, 4u);
+  EXPECT_EQ(W.Count, 0u);
+  // No growth: widening is the identity.
+  EXPECT_EQ(widenVals(AbsVal::stride(0, 4, 4), AbsVal::stride(0, 4, 2)),
+            AbsVal::stride(0, 4, 4));
+}
+
+TEST(AbsValTest, TransferClampAndArithmetic) {
+  // x & 7 is the clamp idiom: {0..7} whatever x is.
+  const AbsVal Clamped =
+      absBinary(Opcode::And, AbsVal::top(), AbsVal::constant(7));
+  EXPECT_TRUE(Clamped.covers(AbsVal::stride(0, 1, 8)));
+  EXPECT_FALSE(Clamped.contains(8));
+
+  // Stride + const shifts the base.
+  const AbsVal Shifted =
+      absBinary(Opcode::Add, AbsVal::stride(0, 1, 8), AbsVal::constant(100));
+  EXPECT_TRUE(Shifted.contains(100));
+  EXPECT_TRUE(Shifted.contains(107));
+  EXPECT_FALSE(Shifted.contains(108));
+
+  // Stride * const scales base and step.
+  const AbsVal Scaled =
+      absBinary(Opcode::Mul, AbsVal::stride(1, 1, 4), AbsVal::constant(8));
+  EXPECT_TRUE(Scaled.contains(8));
+  EXPECT_TRUE(Scaled.contains(32));
+  EXPECT_FALSE(Scaled.contains(12));
+
+  // Compares land in {0,1}.
+  const AbsVal Cmp =
+      absBinary(Opcode::CmpLt, AbsVal::top(), AbsVal::top());
+  EXPECT_TRUE(Cmp.contains(0));
+  EXPECT_TRUE(Cmp.contains(1));
+  EXPECT_FALSE(Cmp.contains(2));
+}
+
+TEST(AbsValTest, RefinementSplitsRanges) {
+  const AbsVal S = AbsVal::stride(0, 4, 8); // {0,4,...,28}
+  const AbsVal Lt = refineSignedLess(S, 16, /*Truth=*/true);
+  EXPECT_TRUE(Lt.contains(12));
+  EXPECT_FALSE(Lt.contains(16));
+  const AbsVal Ge = refineSignedLess(S, 16, /*Truth=*/false);
+  EXPECT_TRUE(Ge.contains(16));
+  EXPECT_FALSE(Ge.contains(12));
+
+  EXPECT_TRUE(refineEquals(S, 12, true).isConst());
+  EXPECT_TRUE(refineEquals(AbsVal::constant(3), 3, false).isBottom());
+  EXPECT_TRUE(refineSignedLess(S, -5, true).isBottom());
+}
+
+//===----------------------------------------------------------------------===//
+// AddrSet
+//===----------------------------------------------------------------------===//
+
+TEST(AddrSetTest, MergingNeverLosesMembers) {
+  // Regression: {4,7} and {3,6} are distinct residue classes mod 3; the
+  // wrap-around distance 3-4 is divisible by 3, which once fused them
+  // into {3,6} and silently dropped 4 and 7.
+  AddrSet S;
+  for (const uint64_t A : {7u, 4u, 6u, 3u, 0u})
+    S.add(AbsVal::constant(A));
+  for (const uint64_t A : {0u, 3u, 4u, 6u, 7u})
+    EXPECT_TRUE(S.covers(AbsVal::constant(A))) << "lost member " << A;
+  EXPECT_FALSE(S.covers(AbsVal::constant(5)));
+  EXPECT_FALSE(S.covers(AbsVal::constant(1)));
+}
+
+TEST(AddrSetTest, AdjacentRangesFuseExactly) {
+  AddrSet S;
+  for (uint64_t A = 16; A <= 23; ++A)
+    S.add(AbsVal::constant(A));
+  EXPECT_TRUE(S.covers(AbsVal::stride(16, 1, 8)));
+  EXPECT_FALSE(S.covers(AbsVal::constant(24)));
+  EXPECT_FALSE(S.covers(AbsVal::constant(15)));
+}
+
+TEST(AddrSetTest, TopPoisonsTheSet) {
+  AddrSet S;
+  S.add(AbsVal::constant(5));
+  EXPECT_FALSE(S.unknown());
+  S.add(AbsVal::top());
+  EXPECT_TRUE(S.unknown());
+  EXPECT_TRUE(S.covers(AbsVal::constant(123456)));
+}
+
+//===----------------------------------------------------------------------===//
+// AddrFacts
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Counting loop: r1 walks 0,4,8,... while r1 < 32; the body loads
+/// [r1 + 100].
+Function makeStrideLoop() {
+  Function F("loop", 0, 8);
+  IRBuilder B(F);
+  const uint32_t Entry = B.makeBlock();
+  const uint32_t Head = B.makeBlock();
+  const uint32_t Body = B.makeBlock();
+  const uint32_t Exit = B.makeBlock();
+  B.setBlock(Entry);
+  B.movImm(1, 0);
+  B.jmp(Head);
+  B.setBlock(Head);
+  B.cmpLtImm(2, 1, 32);
+  B.br(2, Body, Exit, /*Site=*/1);
+  B.setBlock(Body);
+  B.load(3, 1, 100);
+  B.addImm(1, 1, 4);
+  B.jmp(Head);
+  B.setBlock(Exit);
+  B.ret();
+  EXPECT_TRUE(verifyFunction(F));
+  return F;
+}
+
+} // namespace
+
+TEST(AddrFactsTest, LoopInductionBecomesStride) {
+  const Function F = makeStrideLoop();
+  const CFGInfo G(F);
+  const ConstantFacts CF(G);
+  const AddrFacts AF(G, CF);
+  // The body load's address is base 100, step 4 -- the induction shape.
+  const AbsVal Addr = AF.addressOf(/*Block=*/2, /*Index=*/0);
+  ASSERT_TRUE(Addr.isStride());
+  EXPECT_EQ(Addr.Base, 100u);
+  EXPECT_EQ(Addr.Step, 4u);
+  EXPECT_TRUE(Addr.contains(104));
+  EXPECT_FALSE(Addr.contains(102));
+}
+
+//===----------------------------------------------------------------------===//
+// SpecInterp
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Data-dependent branch: both sides are committed-reachable and each is
+/// also the other direction's misspeculation window.
+Function makeUnresolvedDiamond() {
+  Function F("diamond", 0, 8);
+  IRBuilder B(F);
+  const uint32_t Entry = B.makeBlock();
+  const uint32_t Then = B.makeBlock();
+  const uint32_t Else = B.makeBlock();
+  const uint32_t Exit = B.makeBlock();
+  B.setBlock(Entry);
+  B.load(1, 0, 10);
+  B.cmpLtImm(2, 1, 8);
+  B.br(2, Then, Else, /*Site=*/5);
+  B.setBlock(Then);
+  B.load(3, 0, 20);
+  B.jmp(Exit);
+  B.setBlock(Else);
+  B.load(3, 0, 30);
+  B.jmp(Exit);
+  B.setBlock(Exit);
+  B.ret();
+  EXPECT_TRUE(verifyFunction(F));
+  return F;
+}
+
+/// Constant-decided branch whose never-taken side loads [r0 + 555] after
+/// \p Filler padding instructions.
+Function makeDecidedWithDeepWrongSide(unsigned Filler) {
+  Function F("decided", 0, 8);
+  IRBuilder B(F);
+  const uint32_t Entry = B.makeBlock();
+  const uint32_t Taken = B.makeBlock();
+  const uint32_t Wrong = B.makeBlock();
+  B.setBlock(Entry);
+  B.movImm(1, 1);
+  B.br(1, Taken, Wrong, /*Site=*/7);
+  B.setBlock(Taken);
+  B.load(2, 0, 20);
+  B.ret();
+  B.setBlock(Wrong);
+  for (unsigned I = 0; I < Filler; ++I)
+    B.addImm(3, 3, 1);
+  B.load(2, 0, 555);
+  B.ret();
+  EXPECT_TRUE(verifyFunction(F));
+  return F;
+}
+
+} // namespace
+
+TEST(SpecInterpTest, UnresolvedBranchTagsWindowReads) {
+  const SpecInterp SI(makeUnresolvedDiamond());
+  // All three loads are committed-reachable.
+  for (const uint64_t A : {10u, 20u, 30u})
+    EXPECT_TRUE(SI.committedSet().covers(AbsVal::constant(A)));
+  // Both sides are also walked as site 5's misspeculation window.
+  bool SawWindowRead = false;
+  for (const SpecRead &R : SI.reads())
+    if (R.Misspec) {
+      EXPECT_EQ(R.Site, 5u);
+      SawWindowRead = true;
+    }
+  EXPECT_TRUE(SawWindowRead);
+}
+
+TEST(SpecInterpTest, DecidedBranchWalksOnlyWrongSideTransiently) {
+  const SpecInterp SI(makeDecidedWithDeepWrongSide(/*Filler=*/4));
+  EXPECT_TRUE(SI.committedSet().covers(AbsVal::constant(20)));
+  EXPECT_FALSE(SI.committedSet().covers(AbsVal::constant(555)));
+  // The wrong side's load is visible, but only as a window read.
+  EXPECT_TRUE(SI.readSet().covers(AbsVal::constant(555)));
+}
+
+TEST(SpecInterpTest, WindowBoundStopsTheTransientWalk) {
+  // 100 filler instructions push the secret load past the default
+  // 64-instruction window...
+  const Function Deep = makeDecidedWithDeepWrongSide(/*Filler=*/100);
+  const SpecInterp Bounded(Deep);
+  EXPECT_FALSE(Bounded.readSet().covers(AbsVal::constant(555)));
+  // ...and a wider window reaches it again.
+  SpecInterpOptions Wide;
+  Wide.Window = 256;
+  const SpecInterp Unbounded(Deep, Wide);
+  EXPECT_TRUE(Unbounded.readSet().covers(AbsVal::constant(555)));
+}
+
+TEST(SpecInterpTest, ApplySpeculationRequestSubstitutes) {
+  Function F = makeUnresolvedDiamond();
+  distill::DistillRequest Request;
+  Request.BranchAssertions[5] = true;
+  Request.ValueConstants[{0, 0}] = 42; // the dispatch load
+  applySpeculationRequest(F, Request);
+  EXPECT_EQ(F.block(0).Insts[0].Op, Opcode::MovImm);
+  EXPECT_EQ(F.block(0).Insts[0].Imm, 42);
+  const Instruction &Term = F.block(0).Insts.back();
+  EXPECT_EQ(Term.Op, Opcode::Jmp);
+  EXPECT_EQ(Term.ThenTarget, 1u);
+}

@@ -1,0 +1,306 @@
+//===- tests/analysis/SpecLeakTest.cpp - Spec-leak check tests ------------===//
+//
+// Part of the specctrl project (CGO 2005 reactive speculation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SpecLeak check must (a) stay silent on everything the distiller
+/// actually produces and (b) fire, with site-qualified coordinates, when
+/// a distilled version is mutated to read an address the original can
+/// never observe -- one mutation per distiller transform class: constant
+/// folding (a load's address folded wrong), value speculation (a novel
+/// address after substitution), branch assertion (an address reachable
+/// only beyond the asserted site's speculation window), straightening
+/// (an edge re-pointed into a secret-reading path), and dead-code
+/// elimination (a dropped clamp widening a bounded read to unknown).
+/// Also pins the Diagnostic integration: formatDiagnostic golden strings,
+/// the JSON shape, and the VerifyOptions opt-out.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DistillVerifier.h"
+#include "analysis/SpecInterp.h"
+#include "distill/Distiller.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace specctrl;
+using namespace specctrl::analysis;
+using namespace specctrl::distill;
+using namespace specctrl::ir;
+
+namespace {
+
+/// Same region shape as DistillVerifierTest: site 10 guards a rare side
+/// exit, site 11 picks between stores, marker store to 400.
+Function makeRegion() {
+  Function F("region", 0, 8);
+  IRBuilder B(F);
+  const uint32_t Entry = B.makeBlock();
+  const uint32_t Rare = B.makeBlock();
+  const uint32_t Main = B.makeBlock();
+  const uint32_t Then = B.makeBlock();
+  const uint32_t Else = B.makeBlock();
+  const uint32_t Exit = B.makeBlock();
+  B.setBlock(Entry);
+  B.load(1, 0, 100);
+  B.cmpEqImm(2, 1, 77);
+  B.br(2, Rare, Main, 10);
+  B.setBlock(Rare);
+  B.load(3, 0, 500);
+  B.addImm(3, 3, 1);
+  B.store(0, 500, 3);
+  B.jmp(Main);
+  B.setBlock(Main);
+  B.load(4, 0, 101);
+  B.cmpLtImm(5, 4, 50);
+  B.br(5, Then, Else, 11);
+  B.setBlock(Then);
+  B.store(0, 600, 4);
+  B.jmp(Exit);
+  B.setBlock(Else);
+  B.store(0, 601, 4);
+  B.jmp(Exit);
+  B.setBlock(Exit);
+  B.movImm(6, 1);
+  B.store(0, 400, 6);
+  B.ret();
+  EXPECT_TRUE(verifyFunction(F));
+  return F;
+}
+
+DistillRequest assertBoth() {
+  DistillRequest Request;
+  Request.BranchAssertions[10] = false;
+  Request.BranchAssertions[11] = true;
+  return Request;
+}
+
+/// Rewrites the first load whose address immediate is \p From to \p To.
+bool retargetLoad(Function &F, int64_t From, int64_t To) {
+  for (uint32_t B = 0; B < F.numBlocks(); ++B)
+    for (Instruction &I : F.block(B).Insts)
+      if (I.Op == Opcode::Load && I.Imm == From) {
+        I.Imm = To;
+        return true;
+      }
+  return false;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Clean on what the distiller actually produces
+//===----------------------------------------------------------------------===//
+
+TEST(SpecLeakTest, CleanOnAssertedDistillation) {
+  const Function Original = makeRegion();
+  const DistillRequest Request = assertBoth();
+  const Function Distilled = distillFunction(Original, Request).Distilled;
+  EXPECT_TRUE(checkSpecLeak(Original, Request, Distilled).empty());
+}
+
+TEST(SpecLeakTest, CleanOnEmptyRequestCleanup) {
+  const Function Original = makeRegion();
+  const Function Distilled =
+      distillFunction(Original, DistillRequest()).Distilled;
+  EXPECT_TRUE(checkSpecLeak(Original, DistillRequest(), Distilled).empty());
+}
+
+TEST(SpecLeakTest, CleanOnValueSpeculatedDistillation) {
+  const Function Original = makeRegion();
+  DistillRequest Request;
+  Request.ValueConstants[{2, 0}] = 7; // dispatch load decides site 11
+  const Function Distilled = distillFunction(Original, Request).Distilled;
+  EXPECT_TRUE(checkSpecLeak(Original, Request, Distilled).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Mutations, one per distiller transform class
+//===----------------------------------------------------------------------===//
+
+// Constant folding: a surviving load's address folded to the wrong
+// constant reads an address no original trace ever touches.
+TEST(SpecLeakTest, FlagsMisfoldedLoadAddress) {
+  const Function Original = makeRegion();
+  const DistillRequest Request = assertBoth();
+  Function Distilled = distillFunction(Original, Request).Distilled;
+  ASSERT_TRUE(retargetLoad(Distilled, 101, 9999));
+
+  const auto Findings = checkSpecLeak(Original, Request, Distilled);
+  ASSERT_FALSE(Findings.empty());
+  EXPECT_NE(Findings.front().Message.find("9999"), std::string::npos);
+}
+
+// Value speculation: after substituting the speculated load, the
+// distilled version sneaks in a read of a novel address.
+TEST(SpecLeakTest, FlagsNovelLoadAfterValueSpeculation) {
+  const Function Original = makeRegion();
+  DistillRequest Request;
+  Request.ValueConstants[{2, 0}] = 7;
+  Function Distilled = distillFunction(Original, Request).Distilled;
+  Distilled.block(0).Insts.insert(Distilled.block(0).Insts.begin(),
+                                  Instruction::makeLoad(7, 0, 0xdead));
+
+  const auto Findings = checkSpecLeak(Original, Request, Distilled);
+  ASSERT_FALSE(Findings.empty());
+  EXPECT_EQ(Findings.front().Block, 0u);
+  EXPECT_EQ(Findings.front().Index, 0u);
+  EXPECT_TRUE(Findings.front().Addr.contains(0xdead));
+}
+
+// Branch assertion: an address the original reaches only *beyond* the
+// asserted site's speculation window is not part of the accepted risk;
+// the finding is attributed to that site by the shadow walk.
+TEST(SpecLeakTest, FlagsBeyondWindowReadWithSiteAttribution) {
+  Function Original("deep", 0, 8);
+  {
+    IRBuilder B(Original);
+    const uint32_t Entry = B.makeBlock();
+    const uint32_t Safe = B.makeBlock();
+    const uint32_t Risky = B.makeBlock();
+    B.setBlock(Entry);
+    B.load(1, 0, 10);
+    B.cmpLtImm(2, 1, 8);
+    B.br(2, Safe, Risky, /*Site=*/10);
+    B.setBlock(Safe);
+    B.load(3, 0, 20);
+    B.ret();
+    B.setBlock(Risky);
+    for (unsigned I = 0; I < 100; ++I) // past the 64-instruction window
+      B.addImm(4, 4, 1);
+    B.load(3, 0, 777);
+    B.ret();
+    ASSERT_TRUE(verifyFunction(Original));
+  }
+  DistillRequest Request;
+  Request.BranchAssertions[10] = true; // commit to the safe side
+  Function Distilled = distillFunction(Original, Request).Distilled;
+  Distilled.block(0).Insts.insert(Distilled.block(0).Insts.begin(),
+                                  Instruction::makeLoad(5, 0, 777));
+
+  const auto Findings = checkSpecLeak(Original, Request, Distilled);
+  ASSERT_FALSE(Findings.empty());
+  EXPECT_EQ(Findings.front().Site, 10u);
+  EXPECT_NE(Findings.front().Message.find(
+                "beyond the speculation window of site 10"),
+            std::string::npos);
+}
+
+// Straightening: a decided branch's surviving window is re-pointed at a
+// secret-reading path (hand-written distilled version reading the wrong
+// side's address under its own window).
+TEST(SpecLeakTest, FlagsWindowReadOfNovelAddress) {
+  Function Original("decided", 0, 8);
+  {
+    IRBuilder B(Original);
+    const uint32_t Entry = B.makeBlock();
+    const uint32_t Taken = B.makeBlock();
+    const uint32_t Wrong = B.makeBlock();
+    B.setBlock(Entry);
+    B.movImm(1, 1);
+    B.br(1, Taken, Wrong, /*Site=*/7);
+    B.setBlock(Taken);
+    B.load(2, 0, 20);
+    B.ret();
+    B.setBlock(Wrong);
+    B.load(2, 0, 30);
+    B.ret();
+    ASSERT_TRUE(verifyFunction(Original));
+  }
+  Function Distilled = Original;
+  ASSERT_TRUE(retargetLoad(Distilled, 30, 888)); // only the window reads it
+
+  const auto Findings =
+      checkSpecLeak(Original, DistillRequest(), Distilled);
+  ASSERT_FALSE(Findings.empty());
+  EXPECT_EQ(Findings.front().Site, 7u);
+  EXPECT_NE(
+      Findings.front().Message.find("misspeculated window of site 7"),
+      std::string::npos);
+}
+
+// Dead-code elimination: dropping the clamp before an indexed load widens
+// a bounded committed read to "unknown address".
+TEST(SpecLeakTest, FlagsDroppedClampWideningARead) {
+  Function Original("clamped", 0, 8);
+  {
+    IRBuilder B(Original);
+    B.makeBlock();
+    B.load(1, 0, 10);
+    B.movImm(2, 7);
+    B.binary(Opcode::And, 3, 1, 2); // r3 in {0..7}
+    B.load(4, 3, 100);              // reads {100..107}
+    B.store(0, 200, 4);
+    B.ret();
+    ASSERT_TRUE(verifyFunction(Original));
+  }
+  Function Distilled = Original;
+  // The "optimizer" drops the mask and indexes with the raw value.
+  Distilled.block(0).Insts[2] = Instruction::makeMov(3, 1);
+
+  const auto Findings =
+      checkSpecLeak(Original, DistillRequest(), Distilled);
+  ASSERT_FALSE(Findings.empty());
+  EXPECT_TRUE(Findings.front().Addr.isTop());
+  EXPECT_NE(Findings.front().Message.find("unknown"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier and formatter integration
+//===----------------------------------------------------------------------===//
+
+TEST(SpecLeakTest, VerifyDistillationSurfacesAndGatesTheCheck) {
+  const Function Original = makeRegion();
+  const DistillRequest Request = assertBoth();
+  Function Distilled = distillFunction(Original, Request).Distilled;
+  ASSERT_TRUE(retargetLoad(Distilled, 101, 9999));
+
+  const VerifyResult VR = verifyDistillation(Original, Request, Distilled);
+  ASSERT_FALSE(VR.ok());
+  EXPECT_TRUE(std::any_of(
+      VR.Diags.begin(), VR.Diags.end(), [](const Diagnostic &D) {
+        return D.Kind == CheckKind::SpecLeak && D.Function == "region" &&
+               D.InDistilled;
+      }));
+
+  VerifyOptions Opts;
+  Opts.SpecLeak = false;
+  const VerifyResult Off =
+      verifyDistillation(Original, Request, Distilled, Opts);
+  EXPECT_TRUE(std::none_of(
+      Off.Diags.begin(), Off.Diags.end(),
+      [](const Diagnostic &D) { return D.Kind == CheckKind::SpecLeak; }));
+}
+
+TEST(SpecLeakTest, DiagnosticTextAndJsonAreStable) {
+  Diagnostic D;
+  D.Kind = CheckKind::SpecLeak;
+  D.Site = 10;
+  D.Block = 2;
+  D.Index = 4;
+  D.InDistilled = true;
+  D.Function = "region";
+  D.Message = "load may observe address 9999";
+  EXPECT_EQ(formatDiagnostic(D),
+            "region: [spec-leak] site 10 @ distilled:2/4: "
+            "load may observe address 9999");
+  EXPECT_EQ(formatDiagnosticJson(D),
+            "{\"check\":\"spec-leak\",\"function\":\"region\",\"site\":10,"
+            "\"version\":\"distilled\",\"block\":2,\"index\":4,"
+            "\"message\":\"load may observe address 9999\"}");
+
+  D.Site = InvalidSite;
+  D.InDistilled = false;
+  D.Function = "a\"b";
+  D.Message = "line1\nline2";
+  EXPECT_EQ(formatDiagnosticJson(D),
+            "{\"check\":\"spec-leak\",\"function\":\"a\\\"b\",\"site\":null,"
+            "\"version\":\"original\",\"block\":2,\"index\":4,"
+            "\"message\":\"line1\\nline2\"}");
+}

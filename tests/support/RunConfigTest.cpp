@@ -44,12 +44,12 @@ public:
   }
 
 private:
-  static constexpr const char *Names[9] = {
+  static constexpr const char *Names[10] = {
       "SPECCTRL_VERIFY",        "SPECCTRL_VERIFY_DISTILL",
       "SPECCTRL_ARENA_VERBOSE", "SPECCTRL_ARENA_DEBUG",
       "SPECCTRL_EXEC_TIER",     "SPECCTRL_SERVE_EPOCH_EVENTS",
       "SPECCTRL_SERVE_RING_EVENTS", "SPECCTRL_TRACE_MMAP",
-      "SPECCTRL_SWEEP_PROCS"};
+      "SPECCTRL_SWEEP_PROCS",   "SPECCTRL_VERIFY_SPECLEAK"};
   std::vector<std::pair<const char *, std::string>> Saved;
   std::vector<bool> HadValue;
 };
@@ -182,6 +182,16 @@ TEST(RunConfig, TraceMmapDefaultsOnAndZeroDisables) {
   EXPECT_TRUE(RunConfig::fromEnv().TraceMmap);
   Env.set("SPECCTRL_TRACE_MMAP", "");
   EXPECT_FALSE(RunConfig::fromEnv().TraceMmap) << "explicit empty means off";
+}
+
+TEST(RunConfig, VerifySpecLeakDefaultsOnAndZeroOptsOut) {
+  ScopedEnv Env;
+  EXPECT_TRUE(RunConfig::fromEnv().VerifySpecLeak)
+      << "the SpecLeak check defaults on";
+  Env.set("SPECCTRL_VERIFY_SPECLEAK", "0");
+  EXPECT_FALSE(RunConfig::fromEnv().VerifySpecLeak);
+  Env.set("SPECCTRL_VERIFY_SPECLEAK", "1");
+  EXPECT_TRUE(RunConfig::fromEnv().VerifySpecLeak);
 }
 
 TEST(RunConfig, SweepProcsDefaultsAutoAndParses) {

@@ -21,8 +21,16 @@
 //                                       suite, distill every region function
 //                                       under a full assertion + value-
 //                                       speculation request, and verify all
-//                                       pairs (the CI acceptance gate)
+//                                       pairs (the CI acceptance gate); all
+//                                       five checks run, SpecLeak included
+//     --spec-leak                       report only spec-leak findings
+//     --no-spec-leak                    skip the spec-leak check entirely
+//     --json                            one JSON object per finding (the
+//                                       formatDiagnosticJson shape), no
+//                                       other stdout output
 //     --quiet                           findings only, no summaries
+//
+// Exit codes are stable: 0 clean, 1 findings, 2 usage or parse error.
 //
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +48,8 @@
 #include "workload/ProgramSynthesizer.h"
 #include "workload/SpecSuite.h"
 
+#include <array>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -49,6 +59,30 @@ using namespace specctrl::ir;
 
 namespace {
 
+/// Non-throwing full-string number parsers so a malformed list always
+/// exits 2 with a diagnostic instead of terminating on std::stoul.
+bool parseU32(const std::string &S, uint32_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  const unsigned long long V = std::strtoull(S.c_str(), &End, 10);
+  if (End != S.c_str() + S.size() || V > UINT32_MAX)
+    return false;
+  Out = static_cast<uint32_t>(V);
+  return true;
+}
+
+bool parseI64(const std::string &S, int64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  const long long V = std::strtoll(S.c_str(), &End, 10);
+  if (End != S.c_str() + S.size())
+    return false;
+  Out = V;
+  return true;
+}
+
 bool parseAssertions(const std::string &Spec, std::map<SiteId, bool> &Out) {
   for (const std::string &Item : splitList(Spec)) {
     const size_t Colon = Item.find(':');
@@ -57,7 +91,10 @@ bool parseAssertions(const std::string &Spec, std::map<SiteId, bool> &Out) {
     const std::string Dir = Item.substr(Colon + 1);
     if (Dir != "t" && Dir != "n")
       return false;
-    Out[static_cast<SiteId>(std::stoul(Item.substr(0, Colon)))] = Dir == "t";
+    uint32_t Site = 0;
+    if (!parseU32(Item.substr(0, Colon), Site))
+      return false;
+    Out[static_cast<SiteId>(Site)] = Dir == "t";
   }
   return true;
 }
@@ -71,13 +108,64 @@ bool parseValueSpecs(const std::string &Spec,
     if (C2 == std::string::npos)
       return false;
     distill::LocKey Key;
-    Key.Block = static_cast<uint32_t>(std::stoul(Item.substr(0, C1)));
-    Key.Index =
-        static_cast<uint32_t>(std::stoul(Item.substr(C1 + 1, C2 - C1 - 1)));
-    Out[Key] = std::stoll(Item.substr(C2 + 1));
+    int64_t Value = 0;
+    if (!parseU32(Item.substr(0, C1), Key.Block) ||
+        !parseU32(Item.substr(C1 + 1, C2 - C1 - 1), Key.Index) ||
+        !parseI64(Item.substr(C2 + 1), Value))
+      return false;
+    Out[Key] = Value;
   }
   return true;
 }
+
+/// Routes findings to stdout (lint lines or JSON) and keeps the per-check
+/// tallies for the end-of-run summary.
+struct Reporter {
+  bool Json = false;
+  bool Quiet = false;
+  /// Report only SpecLeak findings (--spec-leak); the exit code then
+  /// reflects spec-leak cleanliness alone.
+  bool OnlySpecLeak = false;
+  size_t Total = 0;
+  std::array<size_t, analysis::NumCheckKinds> PerCheck{};
+
+  /// Emits the (focus-filtered) findings of one verification; returns how
+  /// many were reported.
+  size_t report(const analysis::VerifyResult &VR,
+                const std::string &Qualified = "") {
+    size_t Shown = 0;
+    for (const analysis::Diagnostic &D : VR.Diags) {
+      if (OnlySpecLeak && D.Kind != analysis::CheckKind::SpecLeak)
+        continue;
+      ++PerCheck[static_cast<size_t>(D.Kind)];
+      ++Total;
+      ++Shown;
+      if (Json) {
+        analysis::Diagnostic Copy = D;
+        if (!Qualified.empty())
+          Copy.Function = Qualified;
+        std::cout << analysis::formatDiagnosticJson(Copy) << '\n';
+      } else if (Qualified.empty()) {
+        std::cout << analysis::formatDiagnostic(D) << '\n';
+      } else {
+        std::cout << analysis::formatDiagnostic(D, Qualified) << '\n';
+      }
+    }
+    return Shown;
+  }
+
+  /// One line with the per-check breakdown (suppressed by --quiet/--json).
+  void summary(size_t Pairs) const {
+    if (Quiet || Json)
+      return;
+    std::cout << "summary: " << Pairs << " pairs, " << Total << " findings (";
+    for (unsigned K = 0; K < analysis::NumCheckKinds; ++K)
+      std::cout << (K ? " " : "")
+                << analysis::checkName(static_cast<analysis::CheckKind>(K))
+                << "=" << PerCheck[K];
+    std::cout << ")\n";
+  }
+};
 
 std::optional<Module> readModule(const std::string &Path) {
   std::string Text;
@@ -197,9 +285,8 @@ buildSuiteRequest(const workload::SynthProgram &P, uint32_t FuncId) {
 }
 
 /// Distills and pair-verifies every region function of every seed
-/// benchmark.  Returns the number of findings.
-size_t runSuite(bool Quiet) {
-  size_t Findings = 0;
+/// benchmark.  Returns the number of reported findings.
+size_t runSuite(Reporter &R, const analysis::VerifyOptions &VOpts) {
   size_t Pairs = 0;
   for (const workload::BenchmarkProfile &Profile :
        workload::suiteProfiles()) {
@@ -212,13 +299,12 @@ size_t runSuite(bool Quiet) {
       const distill::DistillResult DR =
           distill::distillFunction(Original, Request);
       const analysis::VerifyResult VR =
-          analysis::verifyDistillation(Original, Request, DR.Distilled);
+          analysis::verifyDistillation(Original, Request, DR.Distilled,
+                                       VOpts);
       ++Pairs;
-      if (!VR.ok()) {
-        std::cout << analysis::formatDiagnostics(
-            VR, Profile.Name + "/" + Original.name());
-        Findings += VR.Diags.size();
-      } else if (!Quiet) {
+      const size_t Shown =
+          R.report(VR, Profile.Name + "/" + Original.name());
+      if (Shown == 0 && !R.Quiet && !R.Json) {
         std::cout << Profile.Name << "/" << Original.name() << ": clean ("
                   << Request.BranchAssertions.size() << " assertions, "
                   << Request.ValueConstants.size() << " value specs, "
@@ -227,10 +313,8 @@ size_t runSuite(bool Quiet) {
       }
     }
   }
-  if (!Quiet)
-    std::cout << "suite: " << Pairs << " distillation pairs, " << Findings
-              << " findings\n";
-  return Findings;
+  R.summary(Pairs);
+  return R.Total;
 }
 
 } // namespace
@@ -241,6 +325,9 @@ int main(int Argc, char **Argv) {
   Opts.addFlag("analyze", "dump per-function dataflow analyses");
   Opts.addFlag("distill-check", "verify a distillation pair");
   Opts.addFlag("suite", "verify distillations across the seed suite");
+  Opts.addFlag("spec-leak", "report only spec-leak findings");
+  Opts.addFlag("no-spec-leak", "skip the spec-leak check");
+  Opts.addFlag("json", "one JSON object per finding, nothing else");
   Opts.addFlag("quiet", "findings only");
   Opts.addString("assert", "", "branch assertions SITE:t|n[,...]");
   Opts.addString("value", "", "value speculations BB:IDX:CONST[,...]");
@@ -248,10 +335,20 @@ int main(int Argc, char **Argv) {
   if (!Opts.parse(Argc, Argv))
     return Opts.wasError() ? 2 : 0;
 
-  const bool Quiet = Opts.getFlag("quiet");
+  if (Opts.getFlag("spec-leak") && Opts.getFlag("no-spec-leak")) {
+    std::cerr << "error: --spec-leak and --no-spec-leak conflict\n";
+    return 2;
+  }
+
+  Reporter R;
+  R.Json = Opts.getFlag("json");
+  R.Quiet = Opts.getFlag("quiet");
+  R.OnlySpecLeak = Opts.getFlag("spec-leak");
+  analysis::VerifyOptions VOpts;
+  VOpts.SpecLeak = !Opts.getFlag("no-spec-leak");
 
   if (Opts.getFlag("suite"))
-    return runSuite(Quiet) == 0 ? 0 : 1;
+    return runSuite(R, VOpts) == 0 ? 0 : 1;
 
   distill::DistillRequest Request;
   if (!parseAssertions(Opts.getString("assert"), Request.BranchAssertions)) {
@@ -268,13 +365,21 @@ int main(int Argc, char **Argv) {
   if (!M)
     return 2;
 
-  size_t Findings = 0;
+  size_t Pairs = 0;
   const int64_t Only = Opts.getInt("function");
 
   // Structural lint always runs.
   std::string Err;
   if (!verifyModule(*M, &Err)) {
-    std::cout << "input: [cfg-well-formed] " << Err << '\n';
+    if (R.Json) {
+      analysis::Diagnostic D;
+      D.Kind = analysis::CheckKind::CfgWellFormed;
+      D.Function = "input";
+      D.Message = Err;
+      std::cout << analysis::formatDiagnosticJson(D) << '\n';
+    } else {
+      std::cout << "input: [cfg-well-formed] " << Err << '\n';
+    }
     return 1;
   }
 
@@ -300,7 +405,7 @@ int main(int Argc, char **Argv) {
     if (Only >= 0 && FId != static_cast<uint32_t>(Only))
       continue;
     const Function &F = M->function(FId);
-    if (Opts.getFlag("analyze"))
+    if (Opts.getFlag("analyze") && !R.Json)
       dumpAnalyses(F, std::cout);
     if (!PairMode)
       continue;
@@ -309,16 +414,15 @@ int main(int Argc, char **Argv) {
         D ? D->function(FId)
           : distill::distillFunction(F, Request).Distilled;
     const analysis::VerifyResult VR =
-        analysis::verifyDistillation(F, Request, Distilled);
-    if (!VR.ok()) {
-      std::cout << analysis::formatDiagnostics(VR, F.name());
-      Findings += VR.Diags.size();
-    } else if (!Quiet) {
+        analysis::verifyDistillation(F, Request, Distilled, VOpts);
+    ++Pairs;
+    if (R.report(VR) == 0 && !R.Quiet && !R.Json)
       std::cout << F.name() << ": clean\n";
-    }
   }
 
-  if (!Quiet && !PairMode)
+  if (PairMode)
+    R.summary(Pairs);
+  else if (!R.Quiet && !R.Json)
     std::cout << "ok\n";
-  return Findings == 0 ? 0 : 1;
+  return R.Total == 0 ? 0 : 1;
 }
